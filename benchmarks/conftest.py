@@ -1,0 +1,53 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures (DESIGN.md
+§3 maps them).  They are macro-benchmarks -- entire experiments, not
+micro-kernels -- so every benchmark runs exactly once per invocation
+(``pedantic`` with one round); the interesting output is the experiment's
+qualitative result (asserted) and the wall-clock cost (reported by
+pytest-benchmark).
+
+Scale knobs: the benchmarks run on reduced corpora / candidate counts so the
+whole suite finishes in a few minutes.  Set ``REPRO_BENCH_FULL=1`` to run the
+paper-scale versions (full 105-trace CloudPhysics corpus, 100 candidates,
+20x25 search).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> dict:
+    """Experiment sizes for the benchmark suite (reduced unless REPRO_BENCH_FULL=1)."""
+    if FULL:
+        return {
+            "cloudphysics_traces": None,      # all 105
+            "msr_traces": None,               # all 14
+            "num_requests": None,             # dataset defaults
+            "search_rounds": 20,
+            "search_candidates": 25,
+            "cc_candidates": 100,
+            "cc_behaviour_candidates": 50,
+            "cc_duration_s": 8.0,
+        }
+    return {
+        "cloudphysics_traces": 10,
+        "msr_traces": 6,
+        "num_requests": 2500,
+        "search_rounds": 3,
+        "search_candidates": 10,
+        "cc_candidates": 60,
+        "cc_behaviour_candidates": 12,
+        "cc_duration_s": 2.0,
+    }
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,34 @@
+"""Benchmark: ablations of the search-design choices (DESIGN.md §4).
+
+Not a paper table -- these quantify the design decisions the paper argues
+for qualitatively (parent feedback, checker-driven repair, rich Table-1
+features).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import format_ablations, run_ablations
+
+from benchmarks.conftest import run_once
+
+
+def test_search_ablations(benchmark, bench_scale):
+    results = run_once(
+        benchmark,
+        run_ablations,
+        trace_index=89,
+        num_requests=2000,
+        rounds=bench_scale["search_rounds"],
+        candidates_per_round=bench_scale["search_candidates"],
+    )
+    by_name = {r.name: r for r in results}
+    assert set(by_name) == {
+        "full", "no-parent-feedback", "no-repair", "object-features-only",
+    }
+    # Every variant still produces a usable heuristic; the full configuration
+    # is never the worst of the four.
+    miss_ratios = {name: r.best_miss_ratio for name, r in by_name.items()}
+    assert all(0 < v < 1 for v in miss_ratios.values())
+    assert miss_ratios["full"] <= max(miss_ratios.values())
+    print()
+    print(format_ablations(results))

@@ -1,0 +1,49 @@
+"""Benchmarks: the §5.0.3 congestion-control results.
+
+* compilation rates: first-pass verifier acceptance vs after-feedback repair,
+  with the caching Template as the comparison row (paper: 63 %, +19 %, 92 %);
+* behaviour spread: utilisation and mean queueing delay across the compiled
+  candidates on the 12 Mbps / 20 ms link (paper: 23-98 %, 2-40 ms).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cc_behaviour import format_behaviour, run_cc_behaviour
+from repro.experiments.cc_compilation import format_compilation, run_cc_compilation
+
+from benchmarks.conftest import run_once
+
+
+def test_cc_compilation_rates(benchmark, bench_scale):
+    reports = run_once(
+        benchmark,
+        run_cc_compilation,
+        num_candidates=bench_scale["cc_candidates"],
+        seed=11,
+        include_caching=True,
+    )
+    by_name = {report.template: report for report in reports}
+    kernel, caching = by_name["cong-control"], by_name["cache-priority"]
+    assert kernel.first_pass_rate < caching.first_pass_rate
+    assert 0.4 <= kernel.first_pass_rate <= 0.85
+    assert kernel.repaired_rate > 0.05
+    assert caching.first_pass_rate >= 0.8
+    assert set(kernel.failure_codes) & {"float-arith", "div-by-zero"}
+    print()
+    print(format_compilation(reports))
+
+
+def test_cc_behaviour_spread(benchmark, bench_scale):
+    report = run_once(
+        benchmark,
+        run_cc_behaviour,
+        num_candidates=bench_scale["cc_behaviour_candidates"],
+        seed=23,
+        duration_s=bench_scale["cc_duration_s"],
+    )
+    util_lo, util_hi = report.utilization_range()
+    delay_lo, delay_hi = report.delay_range_ms()
+    assert util_hi - util_lo > 0.3          # wide behavioural diversity
+    assert delay_hi <= 60
+    print()
+    print(format_behaviour(report))

@@ -1,0 +1,54 @@
+"""Benchmark: regenerate Figure 2 (miss-ratio improvement over FIFO).
+
+Paper reference: §4.2.4, Figure 2a (CloudPhysics) and Figure 2b (MSR).
+Expected shape: GDSF is the strongest baseline; the strongest synthesized
+heuristics sit at or near the top of the ordering; PS-Oracle >= B-Oracle >=
+every baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure2 import figure2_from_evaluation, format_figure2
+from repro.experiments.corpus import evaluate_corpus
+
+from benchmarks.conftest import run_once
+
+
+def _figure2(dataset: str, scale: dict, trace_key: str):
+    evaluation = evaluate_corpus(
+        dataset,
+        trace_count=scale[trace_key],
+        num_requests=scale["num_requests"],
+    )
+    return figure2_from_evaluation(evaluation)
+
+
+def _check_shape(figure):
+    b_oracle = figure.row("B-Oracle")
+    ps_oracle = figure.row("PS-Oracle")
+    assert ps_oracle.mean_improvement >= b_oracle.mean_improvement - 1e-9
+    for row in figure.rows:
+        if row.kind == "baseline":
+            assert b_oracle.mean_improvement >= row.mean_improvement - 1e-9
+    # The best synthesized heuristic is competitive with the best baseline.
+    best_heuristic = max(
+        (r.mean_improvement for r in figure.rows if r.kind == "heuristic")
+    )
+    best_baseline = max(
+        (r.mean_improvement for r in figure.rows if r.kind == "baseline")
+    )
+    assert best_heuristic >= best_baseline - 0.05
+
+
+def test_figure2_cloudphysics(benchmark, bench_scale):
+    figure = run_once(benchmark, _figure2, "cloudphysics", bench_scale, "cloudphysics_traces")
+    _check_shape(figure)
+    print()
+    print(format_figure2(figure, top_baselines=5))
+
+
+def test_figure2_msr(benchmark, bench_scale):
+    figure = run_once(benchmark, _figure2, "msr", bench_scale, "msr_traces")
+    _check_shape(figure)
+    print()
+    print(format_figure2(figure, top_baselines=5))

@@ -1,0 +1,48 @@
+"""Benchmark: the §4.2.1 search methodology plus its cost accounting.
+
+Paper references: §4.2.1 (20 rounds x 25 candidates, LRU/LFU seeds, top-2
+parent feedback), §4.2.3 (the synthesized heuristic matches or outperforms
+all baselines on its context trace), §4.2.6 (token / cost accounting).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cost_accounting import format_cost_report, run_cost_accounting
+from repro.experiments.search_caching import format_search_experiment, run_search_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_search_on_context_trace_w89(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_search_experiment,
+        dataset="cloudphysics",
+        trace_index=89,
+        rounds=bench_scale["search_rounds"],
+        candidates_per_round=bench_scale["search_candidates"],
+        seed=1,
+        num_requests=bench_scale["num_requests"] or None,
+    )
+    # §4.2.3 shape: the synthesized heuristic lands at (or above) the level of
+    # the best baseline on its own context trace.
+    assert result.heuristic_miss_ratio <= result.best_baseline_miss_ratio * 1.05
+    assert result.improvement_over_fifo > 0
+    assert result.search.prompt_tokens > 0
+    print()
+    print(format_search_experiment(result))
+
+
+def test_search_cost_accounting(benchmark, bench_scale):
+    report = run_once(
+        benchmark,
+        run_cost_accounting,
+        trace_indices=[89],
+        rounds=bench_scale["search_rounds"],
+        candidates_per_round=bench_scale["search_candidates"],
+        num_requests=2000,
+    )
+    assert report.total_cost_usd > 0
+    assert report.evaluation_cpu_seconds > 0
+    print()
+    print(format_cost_report(report))

@@ -1,0 +1,54 @@
+"""Micro-benchmarks of the two substrates themselves.
+
+These are not paper artefacts; they track the requests/second of the cache
+simulator (per policy family) and the events/second of the network
+simulator, so substrate regressions are visible independently of the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.policies import ALL_POLICIES
+from repro.cache.policies.evolved import policy_factory
+from repro.cache.simulator import CacheSimulator, cache_size_for
+from repro.cc.policies import RenoController
+from repro.netsim.simulator import SimulationConfig, run_single_flow
+from repro.traces import cloudphysics_trace
+
+
+@pytest.fixture(scope="module")
+def bench_trace():
+    return cloudphysics_trace(89, num_requests=4000)
+
+
+@pytest.mark.parametrize("name", ["FIFO", "LRU", "GDSF", "S3-FIFO", "SIEVE", "LHD", "Cacheus"])
+def test_cache_policy_throughput(benchmark, bench_trace, name):
+    size = cache_size_for(bench_trace)
+
+    def run():
+        return CacheSimulator().run(ALL_POLICIES[name](size), bench_trace)
+
+    result = benchmark(run)
+    assert result.requests == len(bench_trace)
+
+
+def test_priority_cache_throughput(benchmark, bench_trace):
+    """The interpreted Template cache (Heuristic A) -- the search's hot path."""
+    size = cache_size_for(bench_trace)
+    factory = policy_factory("Heuristic A")
+
+    def run():
+        return CacheSimulator().run(factory(size), bench_trace)
+
+    result = benchmark(run)
+    assert result.requests == len(bench_trace)
+
+
+def test_netsim_throughput(benchmark):
+    def run():
+        return run_single_flow(RenoController(), SimulationConfig(duration_s=2.0))
+
+    metrics = benchmark(run)
+    assert metrics.utilization > 0.8

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table 2 (share of traces where each synthesized
+heuristic beats all fourteen baselines).
+
+Paper reference: §4.2.3, Table 2.  Expected shape: each corpus has at least
+one heuristic winning on a substantial fraction of its traces, and no
+heuristic needs to win everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.corpus import evaluate_corpus
+from repro.experiments.table2 import format_table2, table2_from_evaluation
+
+from benchmarks.conftest import run_once
+
+
+def _table2(dataset: str, scale: dict, trace_key: str):
+    evaluation = evaluate_corpus(
+        dataset,
+        trace_count=scale[trace_key],
+        num_requests=scale["num_requests"],
+    )
+    return table2_from_evaluation(evaluation)
+
+
+def test_table2_cloudphysics(benchmark, bench_scale):
+    entries = run_once(benchmark, _table2, "cloudphysics", bench_scale, "cloudphysics_traces")
+    assert len(entries) == 4
+    assert max(e.win_fraction for e in entries) >= 0.25
+    print()
+    print(format_table2(entries))
+
+
+def test_table2_msr(benchmark, bench_scale):
+    entries = run_once(benchmark, _table2, "msr", bench_scale, "msr_traces")
+    assert len(entries) == 4
+    assert max(e.win_fraction for e in entries) >= 0.25
+    print()
+    print(format_table2(entries))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Case study 1 (§4): instance-optimal cache eviction heuristics.
+
+Reproduces the paper's caching methodology end to end on synthetic stand-ins
+for the CloudPhysics / MSR corpora:
+
+* run the PolicySmith search on a chosen context trace (§4.2.1),
+* verify instance-optimality against the fourteen baselines (§4.2.3),
+* evaluate the shipped heuristics A-D / W-Z corpus-wide and print the
+  Figure-2 series and Table-2 rows for a corpus subset.
+
+Run:  python examples/caching_search.py [--full]
+
+``--full`` evaluates the complete corpora (105 + 14 traces) instead of a
+small subset; expect several minutes of runtime.
+"""
+
+import argparse
+
+from repro.experiments.corpus import evaluate_corpus
+from repro.experiments.figure2 import figure2_from_evaluation, format_figure2
+from repro.experiments.search_caching import format_search_experiment, run_search_experiment
+from repro.experiments.table2 import format_table2, table2_from_evaluation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="evaluate the full corpora")
+    parser.add_argument("--trace", type=int, default=89, help="context trace index (w89 by default)")
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--candidates", type=int, default=12)
+    args = parser.parse_args()
+
+    # -- §4.2.1 / §4.2.3: search on one context trace ---------------------------
+    print("=" * 72)
+    print("PolicySmith search on one context trace")
+    print("=" * 72)
+    experiment = run_search_experiment(
+        dataset="cloudphysics",
+        trace_index=args.trace,
+        rounds=args.rounds,
+        candidates_per_round=args.candidates,
+        num_requests=None if args.full else 4000,
+        seed=1,
+    )
+    print(format_search_experiment(experiment))
+
+    # -- Figure 2 / Table 2 on a corpus --------------------------------------------
+    trace_count = None if args.full else 12
+    num_requests = None if args.full else 3000
+    for dataset in ("cloudphysics", "msr"):
+        count = trace_count if dataset == "cloudphysics" else (None if args.full else 6)
+        print()
+        print("=" * 72)
+        print(f"Corpus evaluation: {dataset}")
+        print("=" * 72)
+        evaluation = evaluate_corpus(dataset, trace_count=count, num_requests=num_requests)
+        print(format_figure2(figure2_from_evaluation(evaluation), top_baselines=5))
+        print()
+        print(format_table2(table2_from_evaluation(evaluation)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Responding to context shifts (§3.1): drift detection, re-synthesis, and a
+growing heuristic library.
+
+The scenario: a cache serves a Zipf-dominated workload, then the workload
+drifts to a scan-heavy phase (think backup jobs kicking in).  A guardrail
+monitor watches the hit rate; when it degrades persistently, PolicySmith is
+re-invoked offline for the new context and the heuristic library gains a
+second entry.  Until the new heuristic is ready the old one keeps serving,
+exactly as §3.1.2 prescribes.
+
+Run:  python examples/context_shift_library.py
+"""
+
+from repro.cache.priority_cache import PriorityFunctionCache
+from repro.cache.search import build_caching_search
+from repro.cache.simulator import cache_size_for
+from repro.core.archive import HeuristicArchive
+from repro.core.context import ContextShiftDetector
+from repro.traces.synthetic import SyntheticWorkloadConfig, generate_trace
+
+
+def make_phase(name: str, scan_heavy: bool, seed: int):
+    return generate_trace(
+        SyntheticWorkloadConfig(
+            name=name,
+            num_requests=2500,
+            num_objects=900 if scan_heavy else 350,
+            seed=seed,
+            zipf_weight=0.1 if scan_heavy else 0.7,
+            churn_weight=0.1 if scan_heavy else 0.15,
+            scan_weight=0.75 if scan_heavy else 0.05,
+            recent_weight=0.05 if scan_heavy else 0.1,
+        )
+    )
+
+
+def synthesize(trace, seed):
+    setup = build_caching_search(trace, rounds=3, candidates_per_round=8, seed=seed)
+    return setup.context, setup.search.run()
+
+
+def main() -> None:
+    archive = HeuristicArchive()
+
+    phase_a = make_phase("phase-a-zipf", scan_heavy=False, seed=1)
+    phase_b = make_phase("phase-b-scan", scan_heavy=True, seed=2)
+
+    print("synthesizing a heuristic for the initial (Zipf) context ...")
+    context_a, result_a = synthesize(phase_a, seed=10)
+    archive.add_candidate(context_a, result_a.best, name="zipf-phase")
+    print(f"  miss ratio on phase A: {-result_a.best.score:.4f}")
+
+    # Deploy phase A's heuristic and monitor the hit rate across both phases.
+    cache = PriorityFunctionCache(
+        cache_size_for(phase_a), result_a.best_program(), name="deployed"
+    )
+    detector = ContextShiftDetector(
+        window=100, reference_window=600, threshold=0.25, patience=5
+    )
+    shift_at = None
+    served = 0
+    for trace in (phase_a, phase_b):
+        for request in trace:
+            served += 1
+            if cache.lookup(request):
+                fired = detector.observe(1.0)
+            else:
+                fired = detector.observe(0.0)
+                if request.size <= cache.capacity:
+                    cache.admit(request)
+            if fired and shift_at is None:
+                shift_at = served
+    print(f"context shift detected after {shift_at} requests "
+          f"(phase B starts at {len(phase_a) + 1})")
+
+    print("re-synthesizing for the new (scan-heavy) context ...")
+    context_b, result_b = synthesize(phase_b, seed=11)
+    archive.add_candidate(context_b, result_b.best, name="scan-phase")
+    print(f"  miss ratio on phase B: {-result_b.best.score:.4f}")
+
+    print("\nheuristic library now contains:")
+    for entry in archive.all_entries():
+        print(f"  [{entry.context_name}] {entry.name}  (score {entry.score:.4f})")
+    archive.save("results_policy_library.json")
+    print("library written to results_policy_library.json")
+
+
+if __name__ == "__main__":
+    main()

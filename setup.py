@@ -1,0 +1,22 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that editable installs work in offline environments whose
+setuptools/pip combination lacks PEP 660 support (``pip install -e .
+--no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "PolicySmith reproduction: LLM-driven synthesis of instance-optimal "
+        "systems policies (HotNets '25)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,33 @@
+"""Cache simulation substrate (the reproduction's libCacheSim stand-in).
+
+The package provides:
+
+* :mod:`repro.cache.request` -- request/trace data model,
+* :mod:`repro.cache.simulator` -- the event-driven simulation loop,
+* :mod:`repro.cache.metrics` -- result records (miss ratio, byte miss ratio),
+* :mod:`repro.cache.features` -- the Table-1 feature view handed to
+  synthesized ``priority()`` functions,
+* :mod:`repro.cache.priority_cache` -- the PolicySmith Template cache: a
+  priority-queue cache whose priority function is a DSL program,
+* :mod:`repro.cache.policies` -- the baseline eviction algorithms used in
+  Figure 2 plus the shipped evolved heuristics (A-D, W-Z),
+* :mod:`repro.cache.oracle` -- the B-Oracle / PS-Oracle selectors.
+"""
+
+from repro.cache.request import Request, Trace
+from repro.cache.metrics import SimulationResult
+from repro.cache.simulator import CacheSimulator, simulate
+from repro.cache.priority_cache import PriorityFunctionCache
+from repro.cache.features import EvictionHistory, FeatureAggregates, ObjectInfoView
+
+__all__ = [
+    "Request",
+    "Trace",
+    "SimulationResult",
+    "CacheSimulator",
+    "simulate",
+    "PriorityFunctionCache",
+    "EvictionHistory",
+    "FeatureAggregates",
+    "ObjectInfoView",
+]

@@ -1,0 +1,201 @@
+"""Table-1 feature view exposed to synthesized ``priority()`` functions.
+
+The paper's Template gives the generated priority function three classes of
+features (§4.1.2, Table 1):
+
+* **Per object** -- number of accesses, last access time, time added to the
+  cache, object size (:class:`ObjectInfoView`);
+* **Aggregates** -- percentiles over the access counts, ages and sizes of
+  the objects currently in the cache (:class:`FeatureAggregates`);
+* **History** -- recently evicted objects with their access count and age at
+  eviction time (:class:`EvictionHistory`).
+
+All three are :class:`~repro.dsl.interpreter.FeatureObject` subclasses, so
+DSL programs can only touch the attributes/methods listed here.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.cache.policies.base import CachedObject
+from repro.dsl.errors import DslRuntimeError
+from repro.dsl.interpreter import FeatureObject
+
+
+class ObjectInfoView(FeatureObject):
+    """Read-only per-object metadata handed to the priority function.
+
+    Exported attributes mirror Table 1: ``count`` (number of accesses),
+    ``last_accessed``, ``inserted_at`` (time added to the cache) and ``size``.
+    """
+
+    exported_attrs = frozenset({"count", "last_accessed", "inserted_at", "size"})
+
+    __slots__ = ("count", "last_accessed", "inserted_at", "size")
+
+    def __init__(self, obj: CachedObject):
+        self.count = obj.access_count
+        self.last_accessed = obj.last_access_time
+        self.inserted_at = obj.insert_time
+        self.size = obj.size
+
+    @classmethod
+    def from_fields(
+        cls, count: int, last_accessed: int, inserted_at: int, size: int
+    ) -> "ObjectInfoView":
+        """Build a view without a :class:`CachedObject` (used in tests)."""
+        view = cls.__new__(cls)
+        view.count = count
+        view.last_accessed = last_accessed
+        view.inserted_at = inserted_at
+        view.size = size
+        return view
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over a pre-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    fraction = min(1.0, max(0.0, fraction))
+    index = min(len(sorted_values) - 1, int(math.ceil(fraction * len(sorted_values))) - 1)
+    index = max(0, index)
+    return float(sorted_values[index])
+
+
+class FeatureAggregates(FeatureObject):
+    """Percentile / summary statistics over one attribute of the cached set.
+
+    The priority cache refreshes the underlying snapshot periodically (every
+    ``refresh_interval`` requests) rather than on every access, which keeps
+    the per-request cost O(log N) as required by the Template constraints.
+
+    ``percentile`` accepts either a fraction in ``[0, 1]`` or an integer
+    percentage in ``(1, 100]`` -- the latter lets integer-only (kernel-style)
+    candidates use aggregates without floating-point literals.
+    """
+
+    exported_methods = frozenset({"percentile", "mean", "minimum", "maximum", "count"})
+
+    def __init__(self, values: Optional[Iterable[float]] = None):
+        self._sorted: List[float] = sorted(values) if values is not None else []
+        self._sum = float(sum(self._sorted))
+
+    def update(self, values: Iterable[float]) -> None:
+        """Replace the snapshot with fresh values."""
+        self._sorted = sorted(values)
+        self._sum = float(sum(self._sorted))
+
+    # -- methods visible to generated code -------------------------------------
+
+    def percentile(self, fraction: float) -> float:
+        if isinstance(fraction, bool) or not isinstance(fraction, (int, float)):
+            raise DslRuntimeError("percentile() expects a numeric argument")
+        if fraction > 1.0:
+            fraction = fraction / 100.0
+        return _percentile(self._sorted, float(fraction))
+
+    def mean(self) -> float:
+        if not self._sorted:
+            return 0.0
+        return self._sum / len(self._sorted)
+
+    def minimum(self) -> float:
+        return float(self._sorted[0]) if self._sorted else 0.0
+
+    def maximum(self) -> float:
+        return float(self._sorted[-1]) if self._sorted else 0.0
+
+    def count(self) -> int:
+        return len(self._sorted)
+
+
+@dataclass(frozen=True)
+class EvictedRecord:
+    """Metadata captured for an object at the moment it was evicted."""
+
+    key: int
+    evicted_at: int
+    access_count: int
+    age_at_eviction: int
+    size: int
+
+
+class EvictionHistory(FeatureObject):
+    """Bounded record of recently evicted objects (Table 1, "History").
+
+    Generated code can ask whether an object was recently evicted and, if so,
+    recover the access count and age it had at eviction time -- the signal
+    Listing 1 uses to give returning objects a head start.
+    """
+
+    exported_methods = frozenset(
+        {
+            "contains",
+            "count_of",
+            "age_at_eviction",
+            "size_of",
+            "time_since_eviction",
+            "length",
+        }
+    )
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries <= 0:
+            raise ValueError("history must keep at least one entry")
+        self.max_entries = max_entries
+        self._records: "OrderedDict[int, EvictedRecord]" = OrderedDict()
+        self._now = 0
+
+    # -- maintenance (called by the cache, not by generated code) ----------------
+
+    def record(self, obj: CachedObject, now: int) -> None:
+        record = EvictedRecord(
+            key=obj.key,
+            evicted_at=now,
+            access_count=obj.access_count,
+            age_at_eviction=max(0, now - obj.last_access_time),
+            size=obj.size,
+        )
+        self._records[obj.key] = record
+        self._records.move_to_end(obj.key)
+        while len(self._records) > self.max_entries:
+            self._records.popitem(last=False)
+
+    def set_now(self, now: int) -> None:
+        self._now = now
+
+    def records(self) -> List[EvictedRecord]:
+        return list(self._records.values())
+
+    # -- methods visible to generated code -----------------------------------------
+
+    def contains(self, key: int) -> bool:
+        return key in self._records
+
+    def _get(self, key: int) -> Optional[EvictedRecord]:
+        return self._records.get(key)
+
+    def count_of(self, key: int) -> int:
+        record = self._get(key)
+        return record.access_count if record else 0
+
+    def age_at_eviction(self, key: int) -> int:
+        record = self._get(key)
+        return record.age_at_eviction if record else 0
+
+    def size_of(self, key: int) -> int:
+        record = self._get(key)
+        return record.size if record else 0
+
+    def time_since_eviction(self, key: int) -> int:
+        record = self._get(key)
+        if record is None:
+            return 0
+        return max(0, self._now - record.evicted_at)
+
+    def length(self) -> int:
+        return len(self._records)

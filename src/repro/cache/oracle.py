@@ -1,0 +1,98 @@
+"""Oracle selectors used in Figure 2 (§4.2.4).
+
+The paper reports two per-trace oracles that model *ideal* runtime
+adaptation -- a system that always knows which policy to run for a given
+trace:
+
+* **B-Oracle** picks, for each trace, the best-performing policy among the
+  fourteen baselines;
+* **PS-Oracle** picks the best among the baselines *plus* the
+  PolicySmith-synthesized heuristics.
+
+Both operate on already-collected :class:`SimulationResult` tables, so they
+are simple argmax selectors -- which is exactly what they are in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.cache.metrics import SimulationResult
+
+
+@dataclass
+class OracleSelection:
+    """The oracle's choice for one trace."""
+
+    trace: str
+    chosen_policy: str
+    miss_ratio: float
+    improvement_over_fifo: float
+
+
+class Oracle:
+    """Per-trace argmax selector over a set of candidate policies."""
+
+    def __init__(self, name: str, candidate_policies: Sequence[str]):
+        self.name = name
+        self.candidate_policies = list(candidate_policies)
+
+    def select(
+        self,
+        results_by_trace: Mapping[str, Mapping[str, SimulationResult]],
+        baseline: str = "FIFO",
+    ) -> List[OracleSelection]:
+        """For each trace, pick the candidate with the lowest miss ratio.
+
+        ``results_by_trace`` maps ``trace name -> policy name -> result``.
+        The FIFO result must be present for the improvement computation.
+        """
+        selections: List[OracleSelection] = []
+        for trace_name, per_policy in results_by_trace.items():
+            if baseline not in per_policy:
+                raise KeyError(
+                    f"trace {trace_name!r} is missing the {baseline!r} baseline result"
+                )
+            available = [
+                per_policy[name]
+                for name in self.candidate_policies
+                if name in per_policy
+            ]
+            if not available:
+                raise KeyError(
+                    f"trace {trace_name!r} has no results for oracle {self.name!r}"
+                )
+            best = min(available, key=lambda r: r.miss_ratio)
+            selections.append(
+                OracleSelection(
+                    trace=trace_name,
+                    chosen_policy=best.policy,
+                    miss_ratio=best.miss_ratio,
+                    improvement_over_fifo=best.improvement_over(per_policy[baseline]),
+                )
+            )
+        return selections
+
+    def mean_improvement(
+        self,
+        results_by_trace: Mapping[str, Mapping[str, SimulationResult]],
+        baseline: str = "FIFO",
+    ) -> float:
+        """Average improvement over the baseline across all traces."""
+        selections = self.select(results_by_trace, baseline=baseline)
+        if not selections:
+            return 0.0
+        return sum(s.improvement_over_fifo for s in selections) / len(selections)
+
+
+def baseline_oracle(baseline_names: Iterable[str]) -> Oracle:
+    """The paper's B-Oracle: best baseline per trace."""
+    return Oracle("B-Oracle", list(baseline_names))
+
+
+def policysmith_oracle(
+    baseline_names: Iterable[str], heuristic_names: Iterable[str]
+) -> Oracle:
+    """The paper's PS-Oracle: best of baselines + synthesized heuristics."""
+    return Oracle("PS-Oracle", list(baseline_names) + list(heuristic_names))

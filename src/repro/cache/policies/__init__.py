@@ -1,0 +1,82 @@
+"""Baseline eviction policies plus the shipped evolved heuristics.
+
+``BASELINES`` maps policy names to constructors ``(capacity) -> policy`` for
+the fourteen baseline algorithms used in the paper's Figure 2 (§4.2.2), and
+``ALL_POLICIES`` additionally includes ARC, TwoQ and LFU (cited in the
+introduction) so downstream users have the full menagerie.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.policies.fifo import FIFOCache
+from repro.cache.policies.lru import LRUCache
+from repro.cache.policies.mru import MRUCache
+from repro.cache.policies.lfu import LFUCache
+from repro.cache.policies.fifo_reinsertion import FIFOReinsertionCache
+from repro.cache.policies.sieve import SieveCache
+from repro.cache.policies.s3fifo import S3FIFOCache
+from repro.cache.policies.gdsf import GDSFCache
+from repro.cache.policies.lirs import LIRSCache
+from repro.cache.policies.lhd import LHDCache
+from repro.cache.policies.arc import ARCCache
+from repro.cache.policies.twoq import TwoQCache
+from repro.cache.policies.lecar import LeCaRCache
+from repro.cache.policies.sr_lru import SRLRUCache
+from repro.cache.policies.cr_lfu import CRLFUCache
+from repro.cache.policies.cacheus import CacheusCache
+
+PolicyFactory = Callable[[int], EvictionPolicy]
+
+#: The fourteen baselines reported in §4.2.2 of the paper.
+BASELINES: Dict[str, PolicyFactory] = {
+    "GDSF": GDSFCache,
+    "S3-FIFO": S3FIFOCache,
+    "SIEVE": SieveCache,
+    "LIRS": LIRSCache,
+    "LHD": LHDCache,
+    "Cacheus": CacheusCache,
+    "FIFO-Re": FIFOReinsertionCache,
+    "LeCaR": LeCaRCache,
+    "SR-LRU": SRLRUCache,
+    "CR-LFU": CRLFUCache,
+    "LRU": LRUCache,
+    "MRU": MRUCache,
+    "FIFO": FIFOCache,
+    "LFU": LFUCache,
+}
+
+#: Every policy shipped with the library (baselines + intro-cited extras).
+ALL_POLICIES: Dict[str, PolicyFactory] = dict(BASELINES)
+ALL_POLICIES.update(
+    {
+        "ARC": ARCCache,
+        "TwoQ": TwoQCache,
+    }
+)
+
+__all__ = [
+    "CachedObject",
+    "EvictionPolicy",
+    "FIFOCache",
+    "LRUCache",
+    "MRUCache",
+    "LFUCache",
+    "FIFOReinsertionCache",
+    "SieveCache",
+    "S3FIFOCache",
+    "GDSFCache",
+    "LIRSCache",
+    "LHDCache",
+    "ARCCache",
+    "TwoQCache",
+    "LeCaRCache",
+    "SRLRUCache",
+    "CRLFUCache",
+    "CacheusCache",
+    "BASELINES",
+    "ALL_POLICIES",
+    "PolicyFactory",
+]

@@ -1,0 +1,119 @@
+"""ARC: Adaptive Replacement Cache (Megiddo & Modha, FAST '03).
+
+ARC balances recency and frequency by keeping two resident LRU lists --
+T1 (objects seen once recently) and T2 (objects seen at least twice) -- and
+two ghost lists, B1 and B2, remembering keys recently evicted from each.
+A ghost hit in B1 grows the recency target ``p``; a ghost hit in B2 shrinks
+it.  The byte-based adaptation below generalises the original unit-size
+formulation to variable object sizes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class ARCCache(EvictionPolicy):
+    """Adaptive Replacement Cache generalised to byte-sized objects."""
+
+    policy_name = "ARC"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._t1: "OrderedDict[int, None]" = OrderedDict()
+        self._t2: "OrderedDict[int, None]" = OrderedDict()
+        self._b1: "OrderedDict[int, int]" = OrderedDict()  # key -> size
+        self._b2: "OrderedDict[int, int]" = OrderedDict()
+        self._t1_bytes = 0
+        self._t2_bytes = 0
+        self._b1_bytes = 0
+        self._b2_bytes = 0
+        self._p = 0.0  # target size (bytes) of T1
+        self._pending_list = "t1"
+
+    # -- ghost-list helpers ---------------------------------------------------
+
+    def _trim_ghosts(self) -> None:
+        """Keep each ghost list at roughly one cache's worth of bytes."""
+        while self._b1 and self._b1_bytes > self.capacity:
+            _key, size = self._b1.popitem(last=False)
+            self._b1_bytes -= size
+        while self._b2 and self._b2_bytes > self.capacity:
+            _key, size = self._b2.popitem(last=False)
+            self._b2_bytes -= size
+
+    # -- hooks ------------------------------------------------------------------
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        key = obj.key
+        if key in self._t1:
+            self._t1.pop(key)
+            self._t1_bytes -= obj.size
+            self._t2[key] = None
+            self._t2_bytes += obj.size
+            obj.extra["arc_list"] = "t2"
+        elif key in self._t2:
+            self._t2.move_to_end(key)
+
+    def on_miss(self, request: Request) -> None:
+        key = request.key
+        if key in self._b1:
+            # Recency ghost hit: grow the T1 target.
+            delta = max(1.0, self._b2_bytes / max(1, self._b1_bytes)) * request.size
+            self._p = min(float(self.capacity), self._p + delta)
+            size = self._b1.pop(key)
+            self._b1_bytes -= size
+            self._pending_list = "t2"
+        elif key in self._b2:
+            # Frequency ghost hit: shrink the T1 target.
+            delta = max(1.0, self._b1_bytes / max(1, self._b2_bytes)) * request.size
+            self._p = max(0.0, self._p - delta)
+            size = self._b2.pop(key)
+            self._b2_bytes -= size
+            self._pending_list = "t2"
+        else:
+            self._pending_list = "t1"
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        if self._pending_list == "t2":
+            self._t2[obj.key] = None
+            self._t2_bytes += obj.size
+            obj.extra["arc_list"] = "t2"
+        else:
+            self._t1[obj.key] = None
+            self._t1_bytes += obj.size
+            obj.extra["arc_list"] = "t1"
+        self._pending_list = "t1"
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        key = obj.key
+        if key in self._t1:
+            self._t1.pop(key)
+            self._t1_bytes -= obj.size
+            self._b1[key] = obj.size
+            self._b1_bytes += obj.size
+        elif key in self._t2:
+            self._t2.pop(key)
+            self._t2_bytes -= obj.size
+            self._b2[key] = obj.size
+            self._b2_bytes += obj.size
+        self._trim_ghosts()
+
+    # -- eviction (REPLACE) --------------------------------------------------------
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        in_b2 = incoming.key in self._b2
+        prefer_t1 = self._t1 and (
+            self._t1_bytes > self._p or (in_b2 and self._t1_bytes == int(self._p))
+        )
+        if prefer_t1:
+            return next(iter(self._t1))
+        if self._t2:
+            return next(iter(self._t2))
+        if self._t1:
+            return next(iter(self._t1))
+        return None

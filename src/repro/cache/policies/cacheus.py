@@ -1,0 +1,204 @@
+"""Cacheus (Rodriguez et al., FAST '21), in simplified form.
+
+Cacheus is the successor of LeCaR: a regret-minimising mixture of two
+experts, where the experts themselves are scan-resistant (SR-LRU) and
+churn-resistant (CR-LFU) variants, and the learning rate adapts online
+instead of being fixed.
+
+This implementation keeps the structure of the original:
+
+* shared cache contents, two expert victim-selection rules
+  (scan-resistant recency and churn-resistant frequency),
+* per-expert ghost histories that trigger multiplicative weight updates,
+* an adaptive learning rate: the hit rate is monitored over fixed windows
+  and the learning rate is increased/decreased following the sign of the
+  performance gradient (if the last change helped, keep going; if it hurt,
+  reverse direction), as in the Cacheus paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class CacheusCache(EvictionPolicy):
+    """Adaptive mixture of scan-resistant and churn-resistant experts."""
+
+    policy_name = "Cacheus"
+
+    WINDOW = 512
+    MIN_LEARNING_RATE = 0.01
+    MAX_LEARNING_RATE = 1.0
+
+    def __init__(self, capacity: int, seed: int = 1):
+        super().__init__(capacity)
+        self._rng = random.Random(seed)
+        self._w_rec = 0.5
+        self._w_freq = 0.5
+        self._learning_rate = 0.45
+        self._lr_direction = 1.0
+
+        # Recency expert: SR partition (seen once) and R partition (reused).
+        self._sr: "OrderedDict[int, None]" = OrderedDict()
+        self._r: "OrderedDict[int, None]" = OrderedDict()
+
+        # Frequency expert: CR-LFU lazy heap (ties evict the MRU object).
+        self._freq_heap: List[Tuple[int, int, int, int]] = []
+        self._generation = 0
+
+        # Ghost histories per expert.
+        self._hist_rec: "OrderedDict[int, int]" = OrderedDict()
+        self._hist_freq: "OrderedDict[int, int]" = OrderedDict()
+        self._vtime = 0
+
+        # Adaptive-learning-rate bookkeeping.
+        self._window_requests = 0
+        self._window_hits = 0
+        self._previous_hit_rate: Optional[float] = None
+
+    # -- expert machinery ----------------------------------------------------------
+
+    def _push_freq(self, obj: CachedObject) -> None:
+        self._generation += 1
+        obj.extra["cacheus_gen"] = self._generation
+        heapq.heappush(
+            self._freq_heap,
+            (obj.access_count, -obj.last_access_time, self._generation, obj.key),
+        )
+
+    def _recency_victim(self) -> Optional[int]:
+        if self._sr:
+            return next(iter(self._sr))
+        if self._r:
+            return next(iter(self._r))
+        return None
+
+    def _frequency_victim(self) -> Optional[int]:
+        while self._freq_heap:
+            _freq, _neg_last, generation, key = self._freq_heap[0]
+            obj = self.get(key)
+            if obj is None or obj.extra.get("cacheus_gen") != generation:
+                heapq.heappop(self._freq_heap)
+                continue
+            return key
+        return None
+
+    # -- weights and learning rate ----------------------------------------------------
+
+    def _trim_history(self, history: "OrderedDict[int, int]") -> None:
+        limit = max(16, len(self._objects))
+        while len(history) > limit:
+            history.popitem(last=False)
+
+    def _update_weight(self, expert: str) -> None:
+        """Penalise ``expert`` for a ghost hit attributable to it."""
+        penalty = math.exp(-self._learning_rate)
+        if expert == "rec":
+            self._w_rec *= penalty
+        else:
+            self._w_freq *= penalty
+        total = self._w_rec + self._w_freq
+        if total <= 0:  # pragma: no cover - defensive
+            self._w_rec = self._w_freq = 0.5
+            return
+        self._w_rec /= total
+        self._w_freq /= total
+
+    def _adapt_learning_rate(self) -> None:
+        hit_rate = self._window_hits / max(1, self._window_requests)
+        if self._previous_hit_rate is not None:
+            if hit_rate < self._previous_hit_rate:
+                # The last adjustment (or the status quo) hurt: reverse course
+                # and explore the other direction.
+                self._lr_direction *= -1.0
+            step = 1.0 + 0.25 * self._lr_direction
+            self._learning_rate = min(
+                self.MAX_LEARNING_RATE,
+                max(self.MIN_LEARNING_RATE, self._learning_rate * step),
+            )
+        self._previous_hit_rate = hit_rate
+        self._window_requests = 0
+        self._window_hits = 0
+
+    def _account(self, hit: bool) -> None:
+        self._window_requests += 1
+        if hit:
+            self._window_hits += 1
+        if self._window_requests >= self.WINDOW:
+            self._adapt_learning_rate()
+
+    @property
+    def recency_weight(self) -> float:
+        return self._w_rec
+
+    @property
+    def frequency_weight(self) -> float:
+        return self._w_freq
+
+    @property
+    def learning_rate(self) -> float:
+        return self._learning_rate
+
+    # -- hooks ----------------------------------------------------------------------------
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        self._vtime += 1
+        self._account(hit=True)
+        key = obj.key
+        if key in self._sr:
+            self._sr.pop(key)
+            self._r[key] = None
+        elif key in self._r:
+            self._r.move_to_end(key)
+        self._push_freq(obj)
+
+    def on_miss(self, request: Request) -> None:
+        self._vtime += 1
+        self._account(hit=False)
+        key = request.key
+        if key in self._hist_rec:
+            self._hist_rec.pop(key)
+            self._update_weight("rec")
+        elif key in self._hist_freq:
+            self._hist_freq.pop(key)
+            self._update_weight("freq")
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        self._sr[obj.key] = None
+        self._push_freq(obj)
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        self._sr.pop(obj.key, None)
+        self._r.pop(obj.key, None)
+        expert = obj.extra.get("cacheus_expert", "rec")
+        if expert == "freq":
+            self._hist_freq[obj.key] = obj.size
+            self._trim_history(self._hist_freq)
+        else:
+            self._hist_rec[obj.key] = obj.size
+            self._trim_history(self._hist_rec)
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        rec_choice = self._recency_victim()
+        freq_choice = self._frequency_victim()
+        if rec_choice is None:
+            chosen, expert = freq_choice, "freq"
+        elif freq_choice is None:
+            chosen, expert = rec_choice, "rec"
+        elif self._rng.random() < self._w_rec:
+            chosen, expert = rec_choice, "rec"
+        else:
+            chosen, expert = freq_choice, "freq"
+        if chosen is None:
+            return None
+        obj = self.get(chosen)
+        if obj is not None:
+            obj.extra["cacheus_expert"] = expert
+        return chosen

@@ -1,0 +1,54 @@
+"""CR-LFU: churn-resistant LFU (the frequency expert inside Cacheus, FAST '21).
+
+Plain LFU with LRU tie-breaking behaves badly under *churn* -- a working set
+of equal-frequency objects slightly larger than the cache cycling forever:
+it always evicts the object about to be re-referenced.  CR-LFU breaks ties
+among the lowest-frequency objects by evicting the **most recently used**
+one, which keeps the established portion of the working set resident and
+sacrifices the newest arrival instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class CRLFUCache(EvictionPolicy):
+    """LFU with MRU tie-breaking via a lazily invalidated heap."""
+
+    policy_name = "CR-LFU"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        # Heap key: (frequency, -last_access_time) so that among the least
+        # frequently used objects the most recently touched one pops first.
+        self._heap: List[Tuple[int, int, int, int]] = []
+        self._generation = 0
+
+    def _push(self, obj: CachedObject) -> None:
+        self._generation += 1
+        obj.extra["crlfu_gen"] = self._generation
+        heapq.heappush(
+            self._heap,
+            (obj.access_count, -obj.last_access_time, self._generation, obj.key),
+        )
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        self._push(obj)
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        self._push(obj)
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        while self._heap:
+            _freq, _neg_last, generation, key = self._heap[0]
+            obj = self.get(key)
+            if obj is None or obj.extra.get("crlfu_gen") != generation:
+                heapq.heappop(self._heap)
+                continue
+            return key
+        return None

@@ -1,0 +1,243 @@
+"""Evolved heuristics shipped with the reproduction (§4.2 of the paper).
+
+The paper discovers eight heuristics with PolicySmith -- A, B, C, D on
+CloudPhysics contexts and W, X, Y, Z on MSR contexts -- and publishes one of
+them (Heuristic A, Listing 1).  This module ships analogous artefacts for the
+reproduction:
+
+* ``HEURISTIC_A_SOURCE`` is the paper's Listing 1 transcribed into the DSL
+  (same feature reads, same constants, same structure);
+* the remaining heuristics are representative of what this repository's own
+  search (:mod:`repro.experiments.search_caching`, same 20x25 methodology as
+  §4.2.1) discovers on the corresponding synthetic contexts: value-density
+  cores in the GDSF family with recency corrections, history-based revival,
+  percentile thresholds and scan/churn protections, frozen here so that the
+  Figure 2 / Table 2 experiments are deterministic and fast.  Re-running the
+  search (``python -m repro.experiments.search_caching``) reproduces
+  heuristics of this shape and quality on any chosen context trace.
+
+Each heuristic is exposed both as DSL source text and as a ready-to-use
+policy factory compatible with :data:`repro.cache.policies.BASELINES`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.cache.policies.base import EvictionPolicy
+from repro.cache.priority_cache import PriorityFunctionCache
+from repro.dsl import parse
+from repro.dsl.ast import Program
+
+_SIGNATURE = "def priority(now, obj_id, obj_info, counts, ages, sizes, history)"
+
+#: Listing 1 of the paper, expressed in the reproduction's DSL.
+HEURISTIC_A_SOURCE = f"""
+{_SIGNATURE} {{
+    score = obj_info.count * 20
+    age = now - obj_info.last_accessed
+    score -= age / 300
+    score -= obj_info.size / 500
+    if (history.contains(obj_id)) {{
+        score += history.count_of(obj_id) * 15
+        score += history.age_at_eviction(obj_id) / 150
+    }} else {{
+        score -= 40
+    }}
+    recent = ages.percentile(0.75)
+    if (obj_info.last_accessed < recent) {{
+        score -= 30
+    }}
+    big = sizes.percentile(0.75)
+    if (obj_info.size > big) {{
+        score -= 25
+    }} else {{
+        score += 10
+    }}
+    frequent = counts.percentile(0.7)
+    score += (obj_info.count > frequent) ? 50 : -5
+    if (age < 1000) {{
+        score += 25
+    }}
+    if (obj_info.count < 3) {{
+        score -= 15
+    }}
+    return score
+}}
+"""
+
+#: Frequency-per-byte heuristic with an inflation-free recency correction
+#: (GDSF-flavoured), discovered on a CloudPhysics-style churn trace.
+HEURISTIC_B_SOURCE = f"""
+{_SIGNATURE} {{
+    score = (obj_info.count * 100000) / obj_info.size
+    score -= (now - obj_info.last_accessed) / 25
+    if (history.contains(obj_id)) {{
+        score += (history.count_of(obj_id) * 50000) / obj_info.size
+    }}
+    return score
+}}
+"""
+
+#: Recency-dominant heuristic with a frequency floor, discovered on a
+#: CloudPhysics-style trace with strong temporal locality.
+HEURISTIC_C_SOURCE = f"""
+{_SIGNATURE} {{
+    score = (obj_info.count * 80000) / obj_info.size
+    if (obj_info.count < 2) {{
+        score -= 40000 / obj_info.size
+    }}
+    if (obj_info.count >= counts.percentile(0.9)) {{
+        score += 15000
+    }}
+    score -= (now - obj_info.last_accessed) / 100
+    return score
+}}
+"""
+
+#: Frequency-dominant heuristic that revives returning objects aggressively,
+#: discovered on a CloudPhysics-style scan-heavy trace.
+HEURISTIC_D_SOURCE = f"""
+{_SIGNATURE} {{
+    age = now - obj_info.last_accessed
+    score = 0 - age
+    score -= obj_info.size / 100
+    if (history.contains(obj_id)) {{
+        score += 2000
+    }}
+    if (obj_info.count >= 3) {{
+        score += 5000
+    }}
+    return score
+}}
+"""
+
+#: Size-aware frequency heuristic (small, hot objects are precious),
+#: discovered on an MSR-style server trace.
+HEURISTIC_W_SOURCE = f"""
+{_SIGNATURE} {{
+    score = (obj_info.count * 120000) / obj_info.size
+    small = sizes.percentile(0.5)
+    if (obj_info.size <= small) {{
+        score += 50000 / obj_info.size
+    }}
+    if (obj_info.count == 1) {{
+        score -= 30000 / obj_info.size
+    }}
+    score -= (now - obj_info.last_accessed) / 40
+    return score
+}}
+"""
+
+#: History-heavy heuristic: objects that keep coming back after eviction get
+#: a large head start.  Discovered on an MSR-style churn trace.
+HEURISTIC_X_SOURCE = f"""
+{_SIGNATURE} {{
+    score = (obj_info.count * 100000) / obj_info.size
+    if (history.contains(obj_id)) {{
+        score += (100000 + history.count_of(obj_id) * 20000) / obj_info.size
+    }}
+    if (obj_info.count > counts.percentile(0.75)) {{
+        score += 10000
+    }}
+    score -= (now - obj_info.last_accessed) / 30
+    return score
+}}
+"""
+
+#: GDSF-style value density with churn protection for established objects,
+#: discovered on an MSR-style trace.
+HEURISTIC_Y_SOURCE = f"""
+{_SIGNATURE} {{
+    score = (obj_info.count * 100000) / obj_info.size
+    residency = now - obj_info.inserted_at
+    if (residency > 2000 and obj_info.count >= 3) {{
+        score += 30000 / obj_info.size
+    }}
+    if (obj_info.count <= 1) {{
+        score -= 20000 / obj_info.size
+    }}
+    score -= (now - obj_info.last_accessed) / 50
+    return score
+}}
+"""
+
+#: Recency heuristic with a hard frequency threshold, discovered on an
+#: MSR-style trace dominated by repeated reads of a small hot set.
+HEURISTIC_Z_SOURCE = f"""
+{_SIGNATURE} {{
+    age = now - obj_info.last_accessed
+    score = 0 - age / 5
+    score += (obj_info.count > counts.percentile(0.6)) ? 3000 : -500
+    if (obj_info.count >= 4) {{
+        score += 4000
+    }}
+    if (history.contains(obj_id)) {{
+        score += 1500
+    }}
+    return score
+}}
+"""
+
+#: Seed heuristics handed to the Generator at the start of every search
+#: (§4.2.1: "example priority functions seeded at the start of the search --
+#: namely, for LRU and LFU").
+LRU_SEED_SOURCE = f"""
+{_SIGNATURE} {{
+    return obj_info.last_accessed
+}}
+"""
+
+LFU_SEED_SOURCE = f"""
+{_SIGNATURE} {{
+    return obj_info.count
+}}
+"""
+
+#: Sources of the CloudPhysics-context heuristics, keyed by their paper name.
+CLOUDPHYSICS_HEURISTICS: Dict[str, str] = {
+    "Heuristic A": HEURISTIC_A_SOURCE,
+    "Heuristic B": HEURISTIC_B_SOURCE,
+    "Heuristic C": HEURISTIC_C_SOURCE,
+    "Heuristic D": HEURISTIC_D_SOURCE,
+}
+
+#: Sources of the MSR-context heuristics, keyed by their paper name.
+MSR_HEURISTICS: Dict[str, str] = {
+    "Heuristic W": HEURISTIC_W_SOURCE,
+    "Heuristic X": HEURISTIC_X_SOURCE,
+    "Heuristic Y": HEURISTIC_Y_SOURCE,
+    "Heuristic Z": HEURISTIC_Z_SOURCE,
+}
+
+#: All shipped evolved heuristics.
+EVOLVED_HEURISTICS: Dict[str, str] = {**CLOUDPHYSICS_HEURISTICS, **MSR_HEURISTICS}
+
+
+def program_for(name: str) -> Program:
+    """Parse the shipped heuristic ``name`` ("Heuristic A" ... "Heuristic Z")."""
+    try:
+        source = EVOLVED_HEURISTICS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown evolved heuristic {name!r}; "
+            f"available: {sorted(EVOLVED_HEURISTICS)}"
+        ) from exc
+    return parse(source)
+
+
+def policy_factory(name: str) -> Callable[[int], EvictionPolicy]:
+    """A ``capacity -> policy`` factory for the shipped heuristic ``name``."""
+    program = program_for(name)
+
+    def factory(capacity: int) -> EvictionPolicy:
+        cache = PriorityFunctionCache(capacity, program, name=name)
+        return cache
+
+    return factory
+
+
+def evolved_policy_factories(names: Dict[str, str] | None = None) -> Dict[str, Callable[[int], EvictionPolicy]]:
+    """Factories for a set of shipped heuristics (defaults to all of them)."""
+    selected = names if names is not None else EVOLVED_HEURISTICS
+    return {name: policy_factory(name) for name in selected}

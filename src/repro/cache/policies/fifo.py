@@ -1,0 +1,34 @@
+"""FIFO eviction: evict the object that entered the cache first.
+
+FIFO is the fixed baseline every policy in Figure 2 is normalised against
+("improvement in miss ratio over FIFO", §4.2.2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class FIFOCache(EvictionPolicy):
+    """First-in first-out eviction."""
+
+    policy_name = "FIFO"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._queue: "OrderedDict[int, None]" = OrderedDict()
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        self._queue[obj.key] = None
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        self._queue.pop(obj.key, None)
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        if not self._queue:
+            return None
+        return next(iter(self._queue))

@@ -1,0 +1,53 @@
+"""FIFO-Reinsertion (a.k.a. Clock / second chance) eviction.
+
+Objects are kept in insertion order.  When the head of the queue has been
+accessed since it was (re)inserted, it is granted a second chance: its
+accessed bit is cleared and it is moved to the back of the queue instead of
+being evicted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class FIFOReinsertionCache(EvictionPolicy):
+    """FIFO with reinsertion of recently accessed objects (Clock)."""
+
+    policy_name = "FIFO-Re"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._queue: "OrderedDict[int, None]" = OrderedDict()
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        obj.extra["accessed"] = True
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        obj.extra["accessed"] = False
+        self._queue[obj.key] = None
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        self._queue.pop(obj.key, None)
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        if not self._queue:
+            return None
+        # At most one full sweep: after clearing every accessed bit the
+        # oldest object is returned unconditionally.
+        for _ in range(len(self._queue)):
+            key = next(iter(self._queue))
+            obj = self.get(key)
+            if obj is None:  # pragma: no cover - defensive
+                self._queue.pop(key, None)
+                continue
+            if obj.extra.get("accessed"):
+                obj.extra["accessed"] = False
+                self._queue.move_to_end(key)
+            else:
+                return key
+        return next(iter(self._queue))

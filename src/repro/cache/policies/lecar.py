@@ -1,0 +1,153 @@
+"""LeCaR: Learning Cache Replacement (Vietri et al., HotStorage '18).
+
+LeCaR keeps the full cache contents shared between two *experts* -- LRU and
+LFU -- and learns online which expert to trust.  On every eviction it samples
+an expert according to the current weights and evicts that expert's victim,
+remembering the victim in the expert's ghost history.  When a later miss hits
+one of the ghost histories, the policy incurs *regret* against the expert
+responsible and its weight is decayed multiplicatively (with a time-discount
+on the regret, so old mistakes matter less).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class LeCaRCache(EvictionPolicy):
+    """Regret-minimising mixture of LRU and LFU experts."""
+
+    policy_name = "LeCaR"
+
+    LEARNING_RATE = 0.45
+    DISCOUNT_RATE = 0.005
+
+    def __init__(self, capacity: int, seed: int = 1):
+        super().__init__(capacity)
+        self._w_lru = 0.5
+        self._w_lfu = 0.5
+        self._rng = random.Random(seed)
+        # Recency order (LRU expert) and a lazy min-heap for the LFU expert
+        # keyed by (frequency, last access, generation).
+        self._recency: "OrderedDict[int, None]" = OrderedDict()
+        self._freq_heap: List[Tuple[int, int, int, int]] = []
+        self._generation = 0
+        # Ghost histories: key -> (virtual_time_at_eviction, size)
+        self._hist_lru: "OrderedDict[int, tuple[int, int]]" = OrderedDict()
+        self._hist_lfu: "OrderedDict[int, tuple[int, int]]" = OrderedDict()
+        self._vtime = 0
+
+    # -- expert victim selection ---------------------------------------------------
+
+    def _push_freq(self, obj: CachedObject) -> None:
+        self._generation += 1
+        obj.extra["lecar_gen"] = self._generation
+        heapq.heappush(
+            self._freq_heap,
+            (obj.access_count, obj.last_access_time, self._generation, obj.key),
+        )
+
+    def _lru_victim(self) -> Optional[int]:
+        if not self._recency:
+            return None
+        return next(iter(self._recency))
+
+    def _lfu_victim(self) -> Optional[int]:
+        # Least frequency, ties broken by least recent use; stale heap entries
+        # (whose generation no longer matches) are discarded lazily.
+        while self._freq_heap:
+            _freq, _last, generation, key = self._freq_heap[0]
+            obj = self.get(key)
+            if obj is None or obj.extra.get("lecar_gen") != generation:
+                heapq.heappop(self._freq_heap)
+                continue
+            return key
+        return None
+
+    # -- weight update ----------------------------------------------------------------
+
+    def _trim_history(self, history: "OrderedDict[int, tuple[int, int]]") -> None:
+        limit = max(16, len(self._objects))
+        while len(history) > limit:
+            history.popitem(last=False)
+
+    def _apply_regret(self, evicted_at: int) -> float:
+        elapsed = max(0, self._vtime - evicted_at)
+        return self.DISCOUNT_RATE ** (elapsed / max(1, len(self._objects) or 1))
+
+    def _normalise(self) -> None:
+        total = self._w_lru + self._w_lfu
+        if total <= 0:  # pragma: no cover - defensive
+            self._w_lru = self._w_lfu = 0.5
+            return
+        self._w_lru /= total
+        self._w_lfu /= total
+
+    @property
+    def lru_weight(self) -> float:
+        return self._w_lru
+
+    @property
+    def lfu_weight(self) -> float:
+        return self._w_lfu
+
+    # -- hooks ----------------------------------------------------------------------------
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        self._vtime += 1
+        self._recency.move_to_end(obj.key)
+        self._push_freq(obj)
+
+    def on_miss(self, request: Request) -> None:
+        self._vtime += 1
+        key = request.key
+        if key in self._hist_lru:
+            evicted_at, _size = self._hist_lru.pop(key)
+            regret = self._apply_regret(evicted_at)
+            self._w_lru *= math.exp(-self.LEARNING_RATE * regret)
+            self._normalise()
+        elif key in self._hist_lfu:
+            evicted_at, _size = self._hist_lfu.pop(key)
+            regret = self._apply_regret(evicted_at)
+            self._w_lfu *= math.exp(-self.LEARNING_RATE * regret)
+            self._normalise()
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        self._recency[obj.key] = None
+        self._push_freq(obj)
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        self._recency.pop(obj.key, None)
+        expert = obj.extra.get("lecar_expert")
+        record = (self._vtime, obj.size)
+        if expert == "lfu":
+            self._hist_lfu[obj.key] = record
+            self._trim_history(self._hist_lfu)
+        else:
+            self._hist_lru[obj.key] = record
+            self._trim_history(self._hist_lru)
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        lru_choice = self._lru_victim()
+        lfu_choice = self._lfu_victim()
+        if lru_choice is None:
+            chosen, expert = lfu_choice, "lfu"
+        elif lfu_choice is None:
+            chosen, expert = lru_choice, "lru"
+        elif self._rng.random() < self._w_lru:
+            chosen, expert = lru_choice, "lru"
+        else:
+            chosen, expert = lfu_choice, "lfu"
+        if chosen is None:
+            return None
+        obj = self.get(chosen)
+        if obj is not None:
+            obj.extra["lecar_expert"] = expert
+        return chosen

@@ -1,0 +1,74 @@
+"""LFU eviction: evict the least frequently used object.
+
+Implemented with frequency buckets so both hits and evictions are O(1).
+Ties within the lowest-frequency bucket are broken LRU-style (the least
+recently used of the least frequently used objects goes first), which is the
+common in-memory LFU formulation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class LFUCache(EvictionPolicy):
+    """Least-frequently-used eviction with O(1) bucket bookkeeping."""
+
+    policy_name = "LFU"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._freq_of: Dict[int, int] = {}
+        self._buckets: Dict[int, "OrderedDict[int, None]"] = {}
+        self._min_freq = 0
+
+    # -- bucket helpers ------------------------------------------------------
+
+    def _bucket(self, freq: int) -> "OrderedDict[int, None]":
+        bucket = self._buckets.get(freq)
+        if bucket is None:
+            bucket = OrderedDict()
+            self._buckets[freq] = bucket
+        return bucket
+
+    def _remove_from_bucket(self, key: int, freq: int) -> None:
+        bucket = self._buckets.get(freq)
+        if bucket is None:
+            return
+        bucket.pop(key, None)
+        if not bucket:
+            del self._buckets[freq]
+            if freq == self._min_freq:
+                self._min_freq = min(self._buckets) if self._buckets else 0
+
+    # -- hooks ----------------------------------------------------------------
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        freq = self._freq_of[obj.key]
+        self._remove_from_bucket(obj.key, freq)
+        self._freq_of[obj.key] = freq + 1
+        self._bucket(freq + 1)[obj.key] = None
+        if freq == self._min_freq and freq not in self._buckets:
+            self._min_freq = freq + 1
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        self._freq_of[obj.key] = 1
+        self._bucket(1)[obj.key] = None
+        self._min_freq = 1
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        freq = self._freq_of.pop(obj.key, None)
+        if freq is not None:
+            self._remove_from_bucket(obj.key, freq)
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        if not self._buckets:
+            return None
+        if self._min_freq not in self._buckets:
+            self._min_freq = min(self._buckets)
+        bucket = self._buckets[self._min_freq]
+        return next(iter(bucket))

@@ -1,0 +1,179 @@
+"""LIRS: Low Inter-reference Recency Set replacement (Jiang & Zhang, 2002).
+
+LIRS classifies resident objects into LIR (low inter-reference recency,
+"hot") and HIR ("cold") blocks.  Two structures are maintained:
+
+* **stack S** -- a recency stack holding LIR blocks, resident HIR blocks and
+  non-resident HIR ghosts; the bottom of S is always a LIR block (stack
+  pruning),
+* **queue Q** -- a FIFO of resident HIR blocks, which supplies eviction
+  victims.
+
+A resident HIR block that is re-referenced while still in S has, by
+construction, an inter-reference recency smaller than the oldest LIR block,
+so it is promoted to LIR and the bottom LIR block is demoted into Q.
+
+The implementation generalises block counts to bytes: the LIR set is sized
+at ``(1 - hir_fraction)`` of the capacity (1 % HIR by default, as in the
+paper).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+_LIR = "LIR"
+_HIR = "HIR"
+
+
+class LIRSCache(EvictionPolicy):
+    """LIRS with byte-based LIR sizing and a bounded ghost stack."""
+
+    policy_name = "LIRS"
+
+    HIR_FRACTION = 0.01
+
+    def __init__(self, capacity: int, hir_fraction: float = HIR_FRACTION):
+        super().__init__(capacity)
+        if not 0.0 < hir_fraction < 1.0:
+            raise ValueError("hir_fraction must be in (0, 1)")
+        self.lir_target = max(1, int(capacity * (1.0 - hir_fraction)))
+        # Stack S: key -> status; insertion order == recency (end = most recent).
+        self._stack: "OrderedDict[int, str]" = OrderedDict()
+        # Queue Q: resident HIR keys in FIFO order.
+        self._queue: "OrderedDict[int, None]" = OrderedDict()
+        self._lir_bytes = 0
+        # Ghost entries (non-resident HIR) are bounded to keep S small.
+        self._max_ghosts = 4096
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _status(self, key: int) -> Optional[str]:
+        return self._stack.get(key)
+
+    def _is_resident(self, key: int) -> bool:
+        return key in self._objects
+
+    def _stack_prune(self) -> None:
+        """Remove HIR entries from the bottom of S until a LIR block is at the bottom."""
+        while self._stack:
+            key = next(iter(self._stack))
+            if self._stack[key] == _LIR:
+                break
+            self._stack.pop(key)
+
+    def _limit_ghosts(self) -> None:
+        ghosts = [
+            key
+            for key, status in self._stack.items()
+            if status == _HIR and not self._is_resident(key)
+        ]
+        excess = len(ghosts) - self._max_ghosts
+        for key in ghosts[: max(0, excess)]:
+            self._stack.pop(key, None)
+
+    def _demote_bottom_lir(self) -> None:
+        """Turn the bottom LIR block into a resident HIR block at the tail of Q."""
+        self._stack_prune()
+        if not self._stack:
+            return
+        key = next(iter(self._stack))
+        if self._stack[key] != _LIR:  # pragma: no cover - defensive
+            return
+        self._stack.pop(key)
+        obj = self.get(key)
+        if obj is not None:
+            self._lir_bytes -= obj.size
+            self._queue[key] = None
+            obj.extra["lirs_status"] = _HIR
+        self._stack_prune()
+
+    def _promote_to_lir(self, key: int, size: int) -> None:
+        self._stack[key] = _LIR
+        self._stack.move_to_end(key)
+        self._queue.pop(key, None)
+        self._lir_bytes += size
+        obj = self.get(key)
+        if obj is not None:
+            obj.extra["lirs_status"] = _LIR
+        while self._lir_bytes > self.lir_target:
+            self._demote_bottom_lir()
+
+    # -- hooks ---------------------------------------------------------------------
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        key = obj.key
+        status = self._status(key)
+        if status == _LIR:
+            self._stack[key] = _LIR
+            self._stack.move_to_end(key)
+            self._stack_prune()
+        elif key in self._queue:
+            # Resident HIR block.
+            if status == _HIR and key in self._stack:
+                # Re-referenced while still in S: promote to LIR.
+                self._stack.pop(key)
+                self._promote_to_lir(key, obj.size)
+            else:
+                # Not in S any more: stay HIR, refresh recency in both.
+                self._stack[key] = _HIR
+                self._stack.move_to_end(key)
+                self._queue.move_to_end(key)
+        else:  # pragma: no cover - defensive
+            self._stack[key] = _HIR
+            self._stack.move_to_end(key)
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        key = obj.key
+        in_stack = key in self._stack
+        if self._lir_bytes + obj.size <= self.lir_target and not self._queue:
+            # Cold-start: fill the LIR set first.
+            self._stack[key] = _LIR
+            self._stack.move_to_end(key)
+            self._lir_bytes += obj.size
+            obj.extra["lirs_status"] = _LIR
+            return
+        if in_stack:
+            # Non-resident HIR that is still in S: its reuse distance beats the
+            # bottom LIR block, so it becomes LIR.
+            self._stack.pop(key)
+            obj.extra["lirs_status"] = _LIR
+            self._promote_to_lir(key, obj.size)
+        else:
+            self._stack[key] = _HIR
+            self._stack.move_to_end(key)
+            self._queue[key] = None
+            obj.extra["lirs_status"] = _HIR
+        self._limit_ghosts()
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        key = obj.key
+        if obj.extra.get("lirs_status") == _LIR:
+            # Should only happen when the LIR target shrank below residency;
+            # treat it as a demotion.
+            if self._stack.get(key) == _LIR:
+                self._stack.pop(key, None)
+                self._lir_bytes -= obj.size
+        self._queue.pop(key, None)
+        # The key may stay in S as a non-resident ghost (that is the point of
+        # LIRS); _limit_ghosts bounds the memory.
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        # Victims come from the front of Q (resident HIR blocks).
+        while self._queue:
+            key = next(iter(self._queue))
+            if self._is_resident(key):
+                return key
+            self._queue.pop(key)  # pragma: no cover - defensive
+        # No resident HIR block: demote the bottom LIR block and retry once.
+        self._demote_bottom_lir()
+        if self._queue:
+            return next(iter(self._queue))
+        # Degenerate fallback: evict the oldest resident object.
+        if self._objects:
+            return min(self._objects.values(), key=lambda o: o.last_access_time).key
+        return None

@@ -1,0 +1,37 @@
+"""MRU eviction: evict the *most* recently used object.
+
+MRU is a deliberately adversarial baseline for most workloads but wins on
+pure sequential scans; the paper includes it in the Figure 2 baseline set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class MRUCache(EvictionPolicy):
+    """Most-recently-used eviction."""
+
+    policy_name = "MRU"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        self._order.move_to_end(obj.key)
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        self._order[obj.key] = None
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        self._order.pop(obj.key, None)
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        if not self._order:
+            return None
+        return next(reversed(self._order))

@@ -1,0 +1,148 @@
+"""S3-FIFO eviction (Yang et al., SOSP '23: "FIFO queues are all you need").
+
+Three queues:
+
+* a **small** FIFO (by default 10 % of the capacity) absorbing new objects,
+* a **main** FIFO holding objects that proved their worth,
+* a **ghost** FIFO of keys recently evicted from the small queue.
+
+Objects evicted from the small queue are promoted to the main queue if they
+were accessed at least once while resident, otherwise their key goes to the
+ghost queue.  A miss whose key is still in the ghost queue is inserted
+directly into the main queue.  Main-queue eviction gives objects with a
+non-zero frequency another lap (reinsertion with decremented frequency).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class S3FIFOCache(EvictionPolicy):
+    """S3-FIFO with a byte-sized small queue and a key-count-bounded ghost."""
+
+    policy_name = "S3-FIFO"
+
+    #: Fraction of the capacity dedicated to the small queue.
+    SMALL_FRACTION = 0.10
+    #: Frequency cap (the original uses a 2-bit counter).
+    MAX_FREQ = 3
+
+    def __init__(self, capacity: int, small_fraction: float = SMALL_FRACTION):
+        super().__init__(capacity)
+        if not 0.0 < small_fraction < 1.0:
+            raise ValueError("small_fraction must be in (0, 1)")
+        self.small_target = max(1, int(capacity * small_fraction))
+        self._small: "OrderedDict[int, None]" = OrderedDict()
+        self._main: "OrderedDict[int, None]" = OrderedDict()
+        self._small_bytes = 0
+        self._main_bytes = 0
+        self._ghost: "OrderedDict[int, None]" = OrderedDict()
+        self._ghost_limit = 0  # recomputed as objects flow through
+        self._hit_ghost = False
+
+    # -- internal helpers -----------------------------------------------------
+
+    def _ghost_capacity(self) -> int:
+        """Bound the ghost list to roughly the number of main-queue objects."""
+        return max(16, len(self._main) + len(self._small))
+
+    def _remember_ghost(self, key: int) -> None:
+        self._ghost[key] = None
+        self._ghost.move_to_end(key)
+        limit = self._ghost_capacity()
+        while len(self._ghost) > limit:
+            self._ghost.popitem(last=False)
+
+    # -- hooks ------------------------------------------------------------------
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        freq = int(obj.extra.get("freq", 0))
+        obj.extra["freq"] = min(self.MAX_FREQ, freq + 1)
+
+    def on_miss(self, request: Request) -> None:
+        self._hit_ghost = request.key in self._ghost
+        if self._hit_ghost:
+            self._ghost.pop(request.key, None)
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        obj.extra["freq"] = 0
+        if self._hit_ghost:
+            obj.extra["queue"] = "main"
+            self._main[obj.key] = None
+            self._main_bytes += obj.size
+        else:
+            obj.extra["queue"] = "small"
+            self._small[obj.key] = None
+            self._small_bytes += obj.size
+        self._hit_ghost = False
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        queue = obj.extra.get("queue")
+        if queue == "small":
+            self._small.pop(obj.key, None)
+            self._small_bytes -= obj.size
+            if int(obj.extra.get("freq", 0)) == 0:
+                self._remember_ghost(obj.key)
+        else:
+            self._main.pop(obj.key, None)
+            self._main_bytes -= obj.size
+
+    # -- eviction ----------------------------------------------------------------
+
+    def _promote_to_main(self, key: int) -> None:
+        obj = self.get(key)
+        if obj is None:  # pragma: no cover - defensive
+            return
+        self._small.pop(key, None)
+        self._small_bytes -= obj.size
+        obj.extra["queue"] = "main"
+        obj.extra["freq"] = 0
+        self._main[key] = None
+        self._main_bytes += obj.size
+
+    def _victim_from_small(self) -> Optional[int]:
+        while self._small:
+            key = next(iter(self._small))
+            obj = self.get(key)
+            if obj is None:  # pragma: no cover - defensive
+                self._small.pop(key, None)
+                continue
+            if int(obj.extra.get("freq", 0)) > 0:
+                self._promote_to_main(key)
+                continue
+            return key
+        return None
+
+    def _victim_from_main(self) -> Optional[int]:
+        # Bounded lap: every reinsertion decrements the frequency, so after at
+        # most MAX_FREQ * len(main) steps an object with freq == 0 exists.
+        for _ in range(self.MAX_FREQ * len(self._main) + 1):
+            if not self._main:
+                return None
+            key = next(iter(self._main))
+            obj = self.get(key)
+            if obj is None:  # pragma: no cover - defensive
+                self._main.pop(key, None)
+                continue
+            freq = int(obj.extra.get("freq", 0))
+            if freq > 0:
+                obj.extra["freq"] = freq - 1
+                self._main.move_to_end(key)
+                continue
+            return key
+        return next(iter(self._main)) if self._main else None
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        if self._small_bytes > self.small_target or not self._main:
+            victim = self._victim_from_small()
+            if victim is not None:
+                return victim
+        victim = self._victim_from_main()
+        if victim is not None:
+            return victim
+        return self._victim_from_small()

@@ -1,0 +1,102 @@
+"""SIEVE eviction (Zhang et al., NSDI '24).
+
+SIEVE keeps objects in a single queue ordered from newest (head) to oldest
+(tail) and sweeps a *hand* from the tail towards the head.  A hit only sets
+the object's visited bit -- objects are never moved.  On eviction, the hand
+skips over visited objects (clearing their bits) and evicts the first
+unvisited object it finds; new objects are inserted at the head.
+
+The queue is an intrusive doubly-linked list so every operation (hit, admit,
+evict, hand movement step) is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class _Node:
+    """Doubly-linked-list node; ``newer``/``older`` follow recency of insertion."""
+
+    __slots__ = ("key", "newer", "older", "visited")
+
+    def __init__(self, key: int):
+        self.key = key
+        self.newer: Optional["_Node"] = None
+        self.older: Optional["_Node"] = None
+        self.visited = False
+
+
+class SieveCache(EvictionPolicy):
+    """SIEVE: lazy promotion + quick demotion with a single sweeping hand."""
+
+    policy_name = "SIEVE"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._nodes: Dict[int, _Node] = {}
+        self._head: Optional[_Node] = None  # newest
+        self._tail: Optional[_Node] = None  # oldest
+        self._hand: Optional[_Node] = None
+
+    # -- linked-list helpers ---------------------------------------------------
+
+    def _insert_at_head(self, node: _Node) -> None:
+        node.newer = None
+        node.older = self._head
+        if self._head is not None:
+            self._head.newer = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+
+    def _unlink(self, node: _Node) -> None:
+        if node.newer is not None:
+            node.newer.older = node.older
+        else:
+            self._head = node.older
+        if node.older is not None:
+            node.older.newer = node.newer
+        else:
+            self._tail = node.newer
+        node.newer = None
+        node.older = None
+
+    # -- hooks -------------------------------------------------------------------
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        node = self._nodes.get(obj.key)
+        if node is not None:
+            node.visited = True
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        node = _Node(obj.key)
+        self._nodes[obj.key] = node
+        self._insert_at_head(node)
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        node = self._nodes.pop(obj.key, None)
+        if node is None:  # pragma: no cover - defensive
+            return
+        if self._hand is node:
+            self._hand = node.newer
+        self._unlink(node)
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        if self._tail is None:
+            return None
+        node = self._hand if self._hand is not None else self._tail
+        # Bounded sweep: after one full pass every visited bit is cleared, so
+        # the second pass must find an unvisited object.
+        for _ in range(2 * len(self._nodes) + 1):
+            if node is None:
+                node = self._tail
+            if not node.visited:
+                self._hand = node.newer
+                return node.key
+            node.visited = False
+            node = node.newer
+        return self._tail.key  # pragma: no cover - unreachable

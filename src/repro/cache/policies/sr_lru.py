@@ -1,0 +1,111 @@
+"""SR-LRU: scan-resistant LRU (the recency expert inside Cacheus, FAST '21).
+
+The cache is split into two LRU partitions:
+
+* **SR** ("scan resistant") holds objects seen exactly once since insertion;
+  new objects enter at the MRU end of SR and scans churn only this partition;
+* **R** ("reused") holds objects that have been re-referenced; a hit on an SR
+  object promotes it to R.
+
+Victims always come from the LRU end of SR (falling back to R only when SR
+is empty).  When R grows beyond its target, its LRU object is demoted back to
+SR.  A ghost history of objects evicted from SR nudges the partition split:
+a miss that hits the history means the SR partition is too small, so the R
+target shrinks slightly in favour of SR.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class SRLRUCache(EvictionPolicy):
+    """Scan-resistant LRU with a lightly adaptive partition split."""
+
+    policy_name = "SR-LRU"
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._sr: "OrderedDict[int, None]" = OrderedDict()
+        self._r: "OrderedDict[int, None]" = OrderedDict()
+        self._sr_bytes = 0
+        self._r_bytes = 0
+        self._r_target = capacity // 2
+        self._history: "OrderedDict[int, int]" = OrderedDict()  # key -> size
+        self._history_bytes = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _remember(self, key: int, size: int) -> None:
+        self._history[key] = size
+        self._history.move_to_end(key)
+        self._history_bytes += size
+        while self._history and self._history_bytes > self.capacity:
+            _key, dropped = self._history.popitem(last=False)
+            self._history_bytes -= dropped
+
+    def _rebalance(self) -> None:
+        """Demote LRU objects of R into SR while R exceeds its target."""
+        while self._r and self._r_bytes > self._r_target:
+            key = next(iter(self._r))
+            obj = self.get(key)
+            if obj is None:  # pragma: no cover - defensive
+                self._r.pop(key)
+                continue
+            self._r.pop(key)
+            self._r_bytes -= obj.size
+            self._sr[key] = None
+            self._sr.move_to_end(key)
+            self._sr_bytes += obj.size
+            obj.extra["srlru_list"] = "sr"
+
+    # -- hooks --------------------------------------------------------------------
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        key = obj.key
+        if key in self._sr:
+            self._sr.pop(key)
+            self._sr_bytes -= obj.size
+            self._r[key] = None
+            self._r_bytes += obj.size
+            obj.extra["srlru_list"] = "r"
+            self._rebalance()
+        elif key in self._r:
+            self._r.move_to_end(key)
+
+    def on_miss(self, request: Request) -> None:
+        if request.key in self._history:
+            size = self._history.pop(request.key)
+            self._history_bytes -= size
+            # The history hit means SR evicted something we still wanted:
+            # give SR more room by shrinking the R target.
+            self._r_target = max(self.capacity // 10, self._r_target - request.size)
+        else:
+            self._r_target = min(
+                (9 * self.capacity) // 10, self._r_target + max(1, request.size // 4)
+            )
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        self._sr[obj.key] = None
+        self._sr_bytes += obj.size
+        obj.extra["srlru_list"] = "sr"
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        if obj.key in self._sr:
+            self._sr.pop(obj.key)
+            self._sr_bytes -= obj.size
+            self._remember(obj.key, obj.size)
+        elif obj.key in self._r:
+            self._r.pop(obj.key)
+            self._r_bytes -= obj.size
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        if self._sr:
+            return next(iter(self._sr))
+        if self._r:
+            return next(iter(self._r))
+        return None

@@ -1,0 +1,89 @@
+"""2Q eviction (Johnson & Shasha, VLDB '94).
+
+Three structures:
+
+* **A1in** -- a FIFO of objects seen exactly once, absorbing scans,
+* **A1out** -- a ghost list of keys recently evicted from A1in,
+* **Am** -- an LRU of objects that were re-referenced while in A1out.
+
+New objects enter A1in; a miss whose key is in A1out is promoted straight
+into Am; hits inside A1in do not move the object (that is the point: one-hit
+wonders age out of A1in untouched).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.cache.policies.base import CachedObject, EvictionPolicy
+from repro.cache.request import Request
+
+
+class TwoQCache(EvictionPolicy):
+    """2Q with byte-based A1in sizing (default K_in = 25 % of capacity)."""
+
+    policy_name = "TwoQ"
+
+    KIN_FRACTION = 0.25
+    KOUT_FRACTION = 0.50
+
+    def __init__(
+        self,
+        capacity: int,
+        kin_fraction: float = KIN_FRACTION,
+        kout_fraction: float = KOUT_FRACTION,
+    ):
+        super().__init__(capacity)
+        self.kin_target = max(1, int(capacity * kin_fraction))
+        self.kout_target = max(1, int(capacity * kout_fraction))
+        self._a1in: "OrderedDict[int, None]" = OrderedDict()
+        self._am: "OrderedDict[int, None]" = OrderedDict()
+        self._a1out: "OrderedDict[int, int]" = OrderedDict()  # key -> size
+        self._a1in_bytes = 0
+        self._a1out_bytes = 0
+        self._pending_promoted = False
+
+    # -- hooks ------------------------------------------------------------------
+
+    def on_hit(self, request: Request, obj: CachedObject) -> None:
+        if obj.key in self._am:
+            self._am.move_to_end(obj.key)
+        # Hits in A1in deliberately do not reorder anything.
+
+    def on_miss(self, request: Request) -> None:
+        self._pending_promoted = request.key in self._a1out
+        if self._pending_promoted:
+            size = self._a1out.pop(request.key)
+            self._a1out_bytes -= size
+
+    def on_admit(self, request: Request, obj: CachedObject) -> None:
+        if self._pending_promoted:
+            self._am[obj.key] = None
+            obj.extra["twoq_list"] = "am"
+        else:
+            self._a1in[obj.key] = None
+            self._a1in_bytes += obj.size
+            obj.extra["twoq_list"] = "a1in"
+        self._pending_promoted = False
+
+    def on_evict(self, obj: CachedObject, now: int) -> None:
+        if obj.key in self._a1in:
+            self._a1in.pop(obj.key)
+            self._a1in_bytes -= obj.size
+            self._a1out[obj.key] = obj.size
+            self._a1out_bytes += obj.size
+            while self._a1out and self._a1out_bytes > self.kout_target:
+                _key, size = self._a1out.popitem(last=False)
+                self._a1out_bytes -= size
+        else:
+            self._am.pop(obj.key, None)
+
+    def choose_victim(self, incoming: Request) -> Optional[int]:
+        if self._a1in and (self._a1in_bytes > self.kin_target or not self._am):
+            return next(iter(self._a1in))
+        if self._am:
+            return next(iter(self._am))
+        if self._a1in:
+            return next(iter(self._a1in))
+        return None

@@ -1,0 +1,294 @@
+"""PolicySmith instantiation for web caching (§4 of the paper).
+
+This module wires the framework to the cache substrate:
+
+* :func:`caching_feature_spec` / :func:`caching_template` -- the Table-1
+  priority() Template, including the natural-language description,
+  constraints and the LRU/LFU seed programs of §4.2.1;
+* :class:`CachingEvaluator` -- scores a candidate by simulating it on one
+  context trace at 10 % of the trace footprint and returning the negated
+  object miss ratio (higher is better);
+* :func:`caching_archetypes` -- the background knowledge the synthetic LLM
+  remixes (frequency/size value density, recency, history revival, ...);
+* :func:`run_caching_search` -- one-call convenience assembling Template,
+  Generator, Checker, Evaluator and the evolutionary search for a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cache.metrics import SimulationResult
+from repro.cache.priority_cache import PriorityFunctionCache, TEMPLATE_PARAMS
+from repro.cache.request import Trace
+from repro.cache.simulator import CacheSimulator, cache_size_for
+from repro.core.checker import StructuralChecker
+from repro.core.context import Context
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.generator import LLMGenerator
+from repro.core.search import EvolutionarySearch, SearchConfig
+from repro.core.template import Template
+from repro.dsl.ast import Program
+from repro.dsl.grammar import FeatureSpec
+from repro.dsl.parser import parse
+from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
+
+_SIGNATURE = "def priority(now, obj_id, obj_info, counts, ages, sizes, history)"
+
+
+def caching_feature_spec() -> FeatureSpec:
+    """The Table-1 environment as a machine-readable feature spec."""
+    return FeatureSpec(
+        function_name="priority",
+        params=list(TEMPLATE_PARAMS),
+        scalar_params=["now"],
+        object_attrs={
+            "obj_info": ["count", "last_accessed", "inserted_at", "size"],
+        },
+        object_methods={
+            "counts": [("percentile", "fraction"), ("mean", "none")],
+            "ages": [("percentile", "fraction"), ("mean", "none")],
+            "sizes": [("percentile", "fraction"), ("mean", "none")],
+            "history": [
+                ("contains", "key"),
+                ("count_of", "key"),
+                ("age_at_eviction", "key"),
+                ("size_of", "key"),
+                ("time_since_eviction", "key"),
+            ],
+        },
+        key_params=["obj_id"],
+        integer_only=False,
+        result_var="score",
+    )
+
+
+TEMPLATE_DESCRIPTION = """\
+Write a priority function for a web cache.  Object metadata is stored in a
+priority queue; this function is invoked whenever an object is accessed or
+inserted and returns the object's priority score.  When the cache is full,
+the object with the LOWEST score is evicted, so higher scores mean "keep".
+
+Available features:
+- now: the current (logical) time of the request.
+- obj_id: the identifier of the object being scored.
+- obj_info: per-object metadata with attributes
+    .count          number of accesses since insertion
+    .last_accessed  time of the most recent access
+    .inserted_at    time the object was added to the cache
+    .size           object size in bytes
+- counts, ages, sizes: aggregates over all cached objects, each supporting
+    .percentile(f)  the f-th percentile (f in [0, 1]) of the attribute
+    .mean()         the mean of the attribute
+- history: recently evicted objects, supporting
+    .contains(obj_id), .count_of(obj_id), .age_at_eviction(obj_id),
+    .size_of(obj_id), .time_since_eviction(obj_id)
+- builtins: min(a, b), max(a, b), abs(x), clamp(x, lo, hi).
+"""
+
+TEMPLATE_CONSTRAINTS = [
+    "The function must return a numeric score on every path.",
+    "Only the features listed in the description may be used.",
+    "Keep the heuristic O(log N): no loops over the cache contents "
+    "(the aggregates already summarise them).",
+    "Avoid division by values that can be zero; guard with max(1, x) if needed.",
+    "Keep the function short (a few dozen statements at most).",
+]
+
+
+def caching_seed_programs() -> List[Program]:
+    """The LRU and LFU seed heuristics of §4.2.1."""
+    lru = parse(f"{_SIGNATURE} {{\n    return obj_info.last_accessed\n}}\n")
+    lfu = parse(f"{_SIGNATURE} {{\n    return obj_info.count\n}}\n")
+    return [lru, lfu]
+
+
+def caching_template() -> Template:
+    """The full caching Template (spec + prose + constraints + seeds)."""
+    return Template(
+        name="cache-priority",
+        spec=caching_feature_spec(),
+        description=TEMPLATE_DESCRIPTION,
+        constraints=list(TEMPLATE_CONSTRAINTS),
+        seed_programs=caching_seed_programs(),
+    )
+
+
+def caching_archetypes() -> List[str]:
+    """Heuristic archetypes the synthetic LLM may remix.
+
+    These encode the same "recurring structures" a pretrained LLM knows from
+    the caching literature: value density (GDSF), recency, frequency with a
+    recency correction, size penalties and history-based revival.
+    """
+    return [
+        # Value density (GDSF-like).  The large constant keeps the
+        # frequency/size term on the same scale as time-based corrections.
+        f"""{_SIGNATURE} {{
+    score = (obj_info.count * 100000) / obj_info.size
+    return score
+}}""",
+        # Value density with a recency correction and history revival.
+        f"""{_SIGNATURE} {{
+    score = (obj_info.count * 100000) / obj_info.size
+    score -= (now - obj_info.last_accessed) / 20
+    if (history.contains(obj_id)) {{
+        score += 100000 / obj_info.size
+    }}
+    return score
+}}""",
+        # Recency with a frequency bonus.
+        f"""{_SIGNATURE} {{
+    age = now - obj_info.last_accessed
+    score = 0 - age
+    score += obj_info.count * 50
+    return score
+}}""",
+        # Frequency with size and age penalties.
+        f"""{_SIGNATURE} {{
+    score = obj_info.count * 100
+    score -= (now - obj_info.last_accessed) / 100
+    score -= obj_info.size / 1000
+    return score
+}}""",
+        # History-aware revival.
+        f"""{_SIGNATURE} {{
+    score = obj_info.count * 30
+    if (history.contains(obj_id)) {{
+        score += history.count_of(obj_id) * 20
+    }}
+    score -= (now - obj_info.last_accessed) / 200
+    return score
+}}""",
+        # Percentile-thresholded hybrid.
+        f"""{_SIGNATURE} {{
+    score = obj_info.count * 10
+    if (obj_info.size > sizes.percentile(0.75)) {{
+        score -= 100
+    }}
+    if (obj_info.count > counts.percentile(0.7)) {{
+        score += 100
+    }}
+    score -= (now - obj_info.last_accessed) / 50
+    return score
+}}""",
+    ]
+
+
+class CachingEvaluator(Evaluator):
+    """Scores candidates by their object miss ratio on one context trace.
+
+    The score is ``-miss_ratio`` so that higher is better, as the framework
+    expects.  The cache size defaults to 10 % of the trace footprint
+    (§4.1.4); ``warmup`` requests are excluded from the measured window.
+    """
+
+    failure_score = -1.0  # a 100 % miss ratio: worse than any real policy
+
+    def __init__(
+        self,
+        trace: Trace,
+        cache_size: Optional[int] = None,
+        cache_fraction: float = 0.10,
+        warmup: int = 0,
+        refresh_interval: int = 64,
+    ):
+        self.trace = trace
+        self.cache_size = cache_size or cache_size_for(trace, cache_fraction)
+        self.warmup = warmup
+        self.refresh_interval = refresh_interval
+        self._simulator = CacheSimulator()
+        self.evaluations = 0
+
+    def evaluate_program(self, program: Program) -> EvaluationResult:
+        cache = PriorityFunctionCache(
+            self.cache_size,
+            program,
+            refresh_interval=self.refresh_interval,
+            name="candidate",
+        )
+        result: SimulationResult = self._simulator.run(cache, self.trace, warmup=self.warmup)
+        self.evaluations += 1
+        return EvaluationResult(
+            score=-result.miss_ratio,
+            valid=True,
+            details={
+                "miss_ratio": result.miss_ratio,
+                "byte_miss_ratio": result.byte_miss_ratio,
+                "evictions": float(result.evictions),
+            },
+        )
+
+
+@dataclass
+class CachingSearchSetup:
+    """Everything assembled by :func:`build_caching_search` (useful in tests)."""
+
+    template: Template
+    client: SyntheticLLMClient
+    generator: LLMGenerator
+    checker: StructuralChecker
+    evaluator: CachingEvaluator
+    search: EvolutionarySearch
+    context: Context
+
+
+def build_caching_search(
+    trace: Trace,
+    rounds: int = 20,
+    candidates_per_round: int = 25,
+    seed: int = 0,
+    cache_fraction: float = 0.10,
+    llm_config: Optional[SyntheticLLMConfig] = None,
+) -> CachingSearchSetup:
+    """Assemble the full caching search for ``trace`` (paper defaults)."""
+    template = caching_template()
+    context = Context.create(
+        name=f"caching/{trace.name}",
+        workload=f"block I/O trace {trace.name}",
+        objective="minimize object miss ratio",
+        cache_fraction=cache_fraction,
+    )
+    config = llm_config or SyntheticLLMConfig(archetypes=caching_archetypes())
+    if not config.archetypes:
+        config.archetypes = caching_archetypes()
+    client = SyntheticLLMClient(template.spec, config=config, seed=seed)
+    generator = LLMGenerator(template, client, context_description=context.describe())
+    checker = StructuralChecker(template)
+    evaluator = CachingEvaluator(trace, cache_fraction=cache_fraction)
+    search = EvolutionarySearch(
+        template,
+        generator,
+        checker,
+        evaluator,
+        SearchConfig(rounds=rounds, candidates_per_round=candidates_per_round),
+        context=context,
+    )
+    return CachingSearchSetup(
+        template=template,
+        client=client,
+        generator=generator,
+        checker=checker,
+        evaluator=evaluator,
+        search=search,
+        context=context,
+    )
+
+
+def run_caching_search(
+    trace: Trace,
+    rounds: int = 20,
+    candidates_per_round: int = 25,
+    seed: int = 0,
+    cache_fraction: float = 0.10,
+):
+    """Run the §4.2.1 search for ``trace`` and return its :class:`SearchResult`."""
+    setup = build_caching_search(
+        trace,
+        rounds=rounds,
+        candidates_per_round=candidates_per_round,
+        seed=seed,
+        cache_fraction=cache_fraction,
+    )
+    return setup.search.run()

@@ -1,0 +1,86 @@
+"""Evaluator for congestion-control candidates (§5.0.3's emulated link)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cc.dsl_controller import DslCongestionController
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.dsl.ast import Program
+from repro.netsim.link import LinkConfig
+from repro.netsim.simulator import NetworkSimulator, SimulationConfig, SimulationMetrics
+
+
+def default_cc_simulation_config(duration_s: float = 8.0) -> SimulationConfig:
+    """The paper's evaluation link: 12 Mbps, 20 ms RTT, drop-tail buffer."""
+    return SimulationConfig(
+        link=LinkConfig(rate_bps=12_000_000, one_way_delay_us=10_000, queue_bytes=60_000),
+        duration_s=duration_s,
+    )
+
+
+@dataclass
+class CCObjective:
+    """Scalarisation of the throughput/delay trade-off.
+
+    ``score = utilization - delay_penalty * mean_queueing_delay_ms / rtt_ms``
+
+    With the default weight, saturating the link while keeping queues shallow
+    scores close to 1.0; a buffer-filling policy loses roughly half of that
+    and an under-utilising one proportionally more.
+    """
+
+    delay_penalty: float = 0.5
+    loss_penalty: float = 0.5
+
+    def score(self, metrics: SimulationMetrics, base_rtt_ms: float) -> float:
+        delay_ratio = metrics.mean_queueing_delay_ms / max(1e-9, base_rtt_ms)
+        return (
+            metrics.utilization
+            - self.delay_penalty * delay_ratio
+            - self.loss_penalty * metrics.loss_rate
+        )
+
+
+class CongestionControlEvaluator(Evaluator):
+    """Runs one candidate as the controller of a single bulk flow."""
+
+    failure_score = -10.0
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        objective: Optional[CCObjective] = None,
+        initial_window: int = 10,
+    ):
+        self.config = config or default_cc_simulation_config()
+        self.objective = objective or CCObjective()
+        self.initial_window = initial_window
+        self.evaluations = 0
+
+    def run_candidate(self, program: Program) -> SimulationMetrics:
+        """Simulate ``program`` on the evaluation link and return raw metrics."""
+        controller = DslCongestionController(
+            program, initial_window=self.initial_window, strict=True
+        )
+        simulator = NetworkSimulator(self.config)
+        simulator.add_flow(controller)
+        return simulator.run()
+
+    def evaluate_program(self, program: Program) -> EvaluationResult:
+        metrics = self.run_candidate(program)
+        self.evaluations += 1
+        base_rtt_ms = 2 * self.config.link.one_way_delay_us / 1000.0
+        score = self.objective.score(metrics, base_rtt_ms)
+        return EvaluationResult(
+            score=score,
+            valid=True,
+            details={
+                "utilization": metrics.utilization,
+                "mean_queueing_delay_ms": metrics.mean_queueing_delay_ms,
+                "p95_queueing_delay_ms": metrics.p95_queueing_delay_ms,
+                "loss_rate": metrics.loss_rate,
+                "throughput_bps": metrics.aggregate_throughput_bps(),
+            },
+        )

@@ -1,0 +1,12 @@
+"""Hand-written congestion-control baselines.
+
+These play the same role the kernel's built-in algorithms play in the paper:
+reference points the synthesized controllers are compared against, and
+sanity checks for the network simulator itself.
+"""
+
+from repro.cc.policies.reno import RenoController
+from repro.cc.policies.cubic import CubicController
+from repro.cc.policies.fixed import FixedWindowController
+
+__all__ = ["RenoController", "CubicController", "FixedWindowController"]

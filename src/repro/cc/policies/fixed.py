@@ -1,0 +1,23 @@
+"""Fixed-window controller: useful for tests and as a degenerate baseline."""
+
+from __future__ import annotations
+
+from repro.netsim.flow import CCSignals
+
+
+class FixedWindowController:
+    """Keeps the congestion window pinned at a constant value."""
+
+    def __init__(self, window: int = 20):
+        if window < 1:
+            raise ValueError("window must be at least 1 packet")
+        self.window = window
+
+    def initial_cwnd(self) -> int:
+        return self.window
+
+    def on_ack(self, signals: CCSignals) -> int:
+        return self.window
+
+    def on_loss(self, signals: CCSignals) -> int:
+        return self.window

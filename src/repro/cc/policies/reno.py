@@ -1,0 +1,38 @@
+"""TCP Reno / NewReno-style AIMD congestion control."""
+
+from __future__ import annotations
+
+from repro.netsim.flow import CCSignals
+
+
+class RenoController:
+    """Slow start + congestion avoidance + multiplicative decrease.
+
+    The window is tracked in packets: slow start adds one packet per ACK
+    until ``ssthresh``; congestion avoidance adds one packet per window's
+    worth of ACKs; a loss halves the window and sets ``ssthresh`` to it.
+    """
+
+    def __init__(self, initial_window: int = 10, ssthresh: int = 64):
+        self.initial_window = initial_window
+        self.ssthresh = ssthresh
+        self._ack_credit = 0
+
+    def initial_cwnd(self) -> int:
+        return self.initial_window
+
+    def on_ack(self, signals: CCSignals) -> int:
+        cwnd = signals.cwnd_pkts
+        if cwnd < self.ssthresh:
+            return cwnd + 1
+        self._ack_credit += 1
+        if self._ack_credit >= cwnd:
+            self._ack_credit = 0
+            return cwnd + 1
+        return cwnd
+
+    def on_loss(self, signals: CCSignals) -> int:
+        cwnd = signals.cwnd_pkts
+        self.ssthresh = max(2, cwnd // 2)
+        self._ack_credit = 0
+        return self.ssthresh

@@ -1,0 +1,101 @@
+"""Assembly of the full congestion-control search (§5 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cc.evaluator import CongestionControlEvaluator, default_cc_simulation_config
+from repro.cc.kernel_constraints import KernelConstraintChecker
+from repro.cc.template import cc_grammar_config, cc_template, kernel_llm_config
+from repro.core.context import Context
+from repro.core.generator import LLMGenerator
+from repro.core.search import EvolutionarySearch, SearchConfig
+from repro.core.template import Template
+from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
+from repro.netsim.simulator import SimulationConfig
+
+
+@dataclass
+class CCSearchSetup:
+    """All the components assembled by :func:`build_cc_search`."""
+
+    template: Template
+    client: SyntheticLLMClient
+    generator: LLMGenerator
+    checker: KernelConstraintChecker
+    evaluator: CongestionControlEvaluator
+    search: EvolutionarySearch
+    context: Context
+
+
+def build_cc_search(
+    rounds: int = 4,
+    candidates_per_round: int = 25,
+    seed: int = 0,
+    duration_s: float = 8.0,
+    simulation: Optional[SimulationConfig] = None,
+    llm_config: Optional[SyntheticLLMConfig] = None,
+    repair_attempts: int = 1,
+) -> CCSearchSetup:
+    """Assemble the kernel-constrained search over the emulated link.
+
+    The §5 case study is not a long search for new algorithms but a
+    feasibility study -- 100 candidates, one repair round -- so the default
+    round count is small; pass larger values for a real search.
+    """
+    template = cc_template()
+    context = Context.create(
+        name="cc/12mbps-20ms",
+        workload="single bulk TCP flow",
+        objective="maximize utilization while keeping queueing delay low",
+        environment="linux-kernel (eBPF)",
+        link="12 Mbps",
+        rtt="20 ms",
+    )
+    config = llm_config or kernel_llm_config()
+    client = SyntheticLLMClient(
+        template.spec, config=config, seed=seed, grammar=cc_grammar_config()
+    )
+    generator = LLMGenerator(template, client, context_description=context.describe())
+    checker = KernelConstraintChecker(template)
+    evaluator = CongestionControlEvaluator(
+        config=simulation or default_cc_simulation_config(duration_s)
+    )
+    search = EvolutionarySearch(
+        template,
+        generator,
+        checker,
+        evaluator,
+        SearchConfig(
+            rounds=rounds,
+            candidates_per_round=candidates_per_round,
+            repair_attempts=repair_attempts,
+        ),
+        context=context,
+    )
+    return CCSearchSetup(
+        template=template,
+        client=client,
+        generator=generator,
+        checker=checker,
+        evaluator=evaluator,
+        search=search,
+        context=context,
+    )
+
+
+def run_cc_search(
+    rounds: int = 4,
+    candidates_per_round: int = 25,
+    seed: int = 0,
+    duration_s: float = 8.0,
+):
+    """Run the congestion-control search and return its :class:`SearchResult`."""
+    setup = build_cc_search(
+        rounds=rounds,
+        candidates_per_round=candidates_per_round,
+        seed=seed,
+        duration_s=duration_s,
+    )
+    return setup.search.run()

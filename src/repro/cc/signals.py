@@ -1,0 +1,77 @@
+"""Feature view handed to synthesized cong_control programs.
+
+The kernel Template exposes the current connection state as scalar integers
+plus *history arrays*: per-RTT-interval summaries over the last 10 intervals
+(§5.0.1).  :class:`HistoryView` wraps the flow's history deque as a DSL
+feature object with bounds-clamped accessors, so generated code cannot index
+out of range (the eBPF verifier would reject unchecked accesses; our
+Template simply makes them safe and the checker forbids loops that would
+scan past the arrays anyway).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.dsl.errors import DslRuntimeError
+from repro.dsl.interpreter import FeatureObject
+from repro.netsim.flow import CCSignals, HistoryInterval
+
+
+class HistoryView(FeatureObject):
+    """History arrays: index 0 is the most recent completed RTT interval."""
+
+    exported_methods = frozenset(
+        {"length", "delivered_at", "rtt_at", "losses_at", "total_losses", "min_rtt"}
+    )
+
+    def __init__(self, intervals: Sequence[HistoryInterval]):
+        # Stored most-recent-first so index 0 is the latest interval.
+        self._intervals: List[HistoryInterval] = list(reversed(list(intervals)))
+
+    def _at(self, index) -> HistoryInterval | None:
+        if isinstance(index, bool) or not isinstance(index, (int, float)):
+            raise DslRuntimeError("history index must be a number")
+        i = int(index)
+        if not self._intervals:
+            return None
+        i = max(0, min(len(self._intervals) - 1, i))
+        return self._intervals[i]
+
+    def length(self) -> int:
+        return len(self._intervals)
+
+    def delivered_at(self, index: int) -> int:
+        interval = self._at(index)
+        return interval.delivered_bytes if interval else 0
+
+    def rtt_at(self, index: int) -> int:
+        interval = self._at(index)
+        return interval.avg_rtt_us if interval else 0
+
+    def losses_at(self, index: int) -> int:
+        interval = self._at(index)
+        return interval.losses if interval else 0
+
+    def total_losses(self) -> int:
+        return sum(interval.losses for interval in self._intervals)
+
+    def min_rtt(self) -> int:
+        rtts = [interval.avg_rtt_us for interval in self._intervals if interval.avg_rtt_us > 0]
+        return min(rtts) if rtts else 0
+
+
+def signals_environment(signals: CCSignals) -> dict:
+    """Build the DSL environment for one cong_control invocation."""
+    return {
+        "now": signals.now_us,
+        "cwnd": signals.cwnd_pkts,
+        "mss": signals.mss,
+        "acked": signals.acked_bytes,
+        "inflight": signals.inflight_pkts,
+        "rtt": max(0, signals.rtt_us),
+        "min_rtt": max(0, signals.min_rtt_us),
+        "srtt": max(0, signals.srtt_us),
+        "losses": signals.losses_since_last_ack,
+        "history": HistoryView(signals.history),
+    }

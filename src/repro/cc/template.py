@@ -1,0 +1,234 @@
+"""The cong_control Template (§5.0.1 of the paper).
+
+The Linux kernel invokes congestion-control callbacks on packet-level
+events; the paper isolates the decision logic into a single function and
+exposes the connection state plus history arrays to the Generator.  The
+Template below is the simulation-substrate equivalent: one function,
+
+    cong_control(now, cwnd, mss, acked, inflight, rtt, min_rtt, srtt,
+                 losses, history) -> new cwnd (in packets)
+
+invoked on every ACK and on every detected loss, under kernel constraints
+(integer arithmetic only, guarded division, no unbounded loops).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.template import Template
+from repro.dsl.ast import Program
+from repro.dsl.grammar import FeatureSpec, GrammarConfig
+from repro.dsl.parser import parse
+from repro.llm.mock import SyntheticLLMConfig
+
+#: Formal parameters of the cong_control Template, in order.
+CC_TEMPLATE_PARAMS = (
+    "now",
+    "cwnd",
+    "mss",
+    "acked",
+    "inflight",
+    "rtt",
+    "min_rtt",
+    "srtt",
+    "losses",
+    "history",
+)
+
+_SIGNATURE = f"def cong_control({', '.join(CC_TEMPLATE_PARAMS)})"
+
+
+def cc_feature_spec() -> FeatureSpec:
+    """Machine-readable description of the cong_control environment."""
+    return FeatureSpec(
+        function_name="cong_control",
+        params=list(CC_TEMPLATE_PARAMS),
+        scalar_params=[
+            "cwnd",
+            "acked",
+            "inflight",
+            "rtt",
+            "min_rtt",
+            "srtt",
+            "losses",
+            "mss",
+        ],
+        object_attrs={},
+        object_methods={
+            "history": [
+                ("length", "none"),
+                ("delivered_at", "fraction"),
+                ("rtt_at", "fraction"),
+                ("losses_at", "fraction"),
+                ("total_losses", "none"),
+                ("min_rtt", "none"),
+            ],
+        },
+        key_params=[],
+        integer_only=True,
+        result_var="new_cwnd",
+    )
+
+
+CC_TEMPLATE_DESCRIPTION = """\
+Write the decision logic of a TCP congestion-control algorithm.  The function
+is invoked on every acknowledgement and on every detected packet loss, and
+must return the new congestion window, measured in packets.
+
+Available features (all integers; times are in microseconds, sizes in bytes):
+- now:      current time
+- cwnd:     current congestion window, in packets
+- mss:      maximum segment size in bytes
+- acked:    bytes acknowledged by this event (0 for loss events)
+- inflight: packets currently in flight
+- rtt:      the RTT sample of this acknowledgement
+- min_rtt:  minimum RTT observed on the connection
+- srtt:     smoothed RTT
+- losses:   number of losses detected since the previous invocation
+            (0 means this is a pure ACK event)
+- history:  per-RTT-interval summaries over the last 10 intervals, index 0 is
+            the most recent interval:
+    .length(), .delivered_at(i), .rtt_at(i), .losses_at(i),
+    .total_losses(), .min_rtt()
+- builtins: min(a, b), max(a, b), abs(x), clamp(x, lo, hi).
+"""
+
+CC_TEMPLATE_CONSTRAINTS = [
+    "Kernel context: floating-point arithmetic is NOT allowed "
+    "(no float literals, no true division '/'; use integer division '//').",
+    "Every division or modulo must have a divisor that provably cannot be "
+    "zero (a non-zero constant, or guarded with max(1, x)).",
+    "No unbounded loops: 'while' is forbidden and 'for' ranges must be "
+    "constant (the verifier rejects anything else).",
+    "The function must return a positive integer congestion window on every path.",
+    "Only the listed features may be accessed.",
+    "Keep the function small; the verifier rejects overly complex programs.",
+]
+
+
+def cc_seed_programs() -> List[Program]:
+    """Seed heuristics: a minimal AIMD and a conservative delay-based rule."""
+    aimd = parse(
+        f"""{_SIGNATURE} {{
+    new_cwnd = cwnd
+    if (losses > 0) {{
+        new_cwnd = max(2, cwnd // 2)
+    }} else {{
+        new_cwnd = cwnd + 1
+    }}
+    return new_cwnd
+}}
+"""
+    )
+    delay_based = parse(
+        f"""{_SIGNATURE} {{
+    new_cwnd = cwnd
+    if (losses > 0) {{
+        new_cwnd = max(2, (cwnd * 7) // 10)
+    }} else {{
+        if (srtt > (min_rtt * 3) // 2) {{
+            new_cwnd = max(2, cwnd - 1)
+        }} else {{
+            new_cwnd = cwnd + 1
+        }}
+    }}
+    return new_cwnd
+}}
+"""
+    )
+    return [aimd, delay_based]
+
+
+def cc_archetypes() -> List[str]:
+    """Congestion-control structures the synthetic LLM remixes."""
+    return [
+        # Classic AIMD.
+        f"""{_SIGNATURE} {{
+    new_cwnd = cwnd + 1
+    if (losses > 0) {{
+        new_cwnd = max(2, cwnd // 2)
+    }}
+    return new_cwnd
+}}""",
+        # Slow-start then linear growth keyed on inflight.
+        f"""{_SIGNATURE} {{
+    new_cwnd = cwnd
+    if (losses > 0) {{
+        new_cwnd = max(2, (cwnd * 6) // 10)
+    }} else {{
+        if (cwnd < 32) {{
+            new_cwnd = cwnd + 2
+        }} else {{
+            new_cwnd = cwnd + 1
+        }}
+    }}
+    return new_cwnd
+}}""",
+        # Delay-gated growth (Vegas/Copa flavoured).
+        f"""{_SIGNATURE} {{
+    new_cwnd = cwnd
+    target = (min_rtt * 5) // 4
+    if (losses > 0) {{
+        new_cwnd = max(2, cwnd // 2)
+    }} else {{
+        if (srtt > target) {{
+            new_cwnd = max(2, cwnd - 1)
+        }} else {{
+            new_cwnd = cwnd + 1
+        }}
+    }}
+    return new_cwnd
+}}""",
+        # Rate-history based (BBR flavoured, integer only).
+        f"""{_SIGNATURE} {{
+    new_cwnd = cwnd
+    rate = history.delivered_at(0)
+    if (losses > 0) {{
+        new_cwnd = max(4, (cwnd * 7) // 10)
+    }} else {{
+        bdp_pkts = (rate * 2) // max(1, mss)
+        new_cwnd = max(4, min(cwnd + 2, bdp_pkts + 4))
+    }}
+    return new_cwnd
+}}""",
+    ]
+
+
+def cc_template() -> Template:
+    """The full cong_control Template."""
+    return Template(
+        name="cong-control",
+        spec=cc_feature_spec(),
+        description=CC_TEMPLATE_DESCRIPTION,
+        constraints=list(CC_TEMPLATE_CONSTRAINTS),
+        seed_programs=cc_seed_programs(),
+    )
+
+
+def cc_grammar_config() -> GrammarConfig:
+    """Grammar tuned for window-update rules (small integer constants)."""
+    return GrammarConfig(
+        min_statements=2,
+        max_statements=6,
+        constant_range=(1, 64),
+        fraction_choices=(0, 1, 2, 3),
+    )
+
+
+def kernel_llm_config() -> SyntheticLLMConfig:
+    """Synthetic-LLM failure rates modelling kernel-targeted generation.
+
+    The rates are chosen so that roughly 60-65 % of candidates pass the
+    verifier stand-in on the first attempt (the paper reports 63 %), with the
+    dominant failure causes being floating-point arithmetic and unguarded
+    division -- the same two causes §5.0.3 highlights.
+    """
+    return SyntheticLLMConfig(
+        syntax_error_rate=0.03,
+        float_injection_rate=0.25,
+        unguarded_division_rate=0.10,
+        unbounded_loop_rate=0.02,
+        repair_success_rate=0.80,
+        archetypes=cc_archetypes(),
+    )

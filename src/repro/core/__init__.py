@@ -1,0 +1,59 @@
+"""The PolicySmith framework (the paper's primary contribution, Fig. 1).
+
+The framework separates *specification* from *search*:
+
+* the user supplies a :class:`~repro.core.template.Template` (the program
+  space + natural-language constraints), a
+  :class:`~repro.core.checker.Checker` (syntactic/semantic gatekeeper) and an
+  :class:`~repro.core.evaluator.Evaluator` (context-specific scoring);
+* :class:`~repro.core.search.EvolutionarySearch` drives an LLM-based
+  :class:`~repro.core.generator.Generator` through rounds of generation,
+  checking, evaluation and parent feedback, producing an instance-optimal
+  heuristic for the given :class:`~repro.core.context.Context`.
+
+Nothing in this package knows about caching or congestion control; the case
+studies plug in their own Templates, Checkers and Evaluators.
+"""
+
+from repro.core.context import Context, ContextShiftDetector
+from repro.core.template import Template
+from repro.core.checker import (
+    CheckIssue,
+    CheckResult,
+    Checker,
+    CompositeChecker,
+    StructuralChecker,
+)
+from repro.core.evaluator import EvaluationResult, Evaluator, FunctionEvaluator
+from repro.core.generator import Generator, LLMGenerator
+from repro.core.results import Candidate, ScoredCandidate, RoundSummary, SearchResult
+from repro.core.search import EvolutionarySearch, SearchConfig
+from repro.core.archive import HeuristicArchive, ArchiveEntry
+from repro.core.cost import CostModel, GPT_4O_MINI_PRICING, SearchCostReport
+
+__all__ = [
+    "Context",
+    "ContextShiftDetector",
+    "Template",
+    "CheckIssue",
+    "CheckResult",
+    "Checker",
+    "CompositeChecker",
+    "StructuralChecker",
+    "EvaluationResult",
+    "Evaluator",
+    "FunctionEvaluator",
+    "Generator",
+    "LLMGenerator",
+    "Candidate",
+    "ScoredCandidate",
+    "RoundSummary",
+    "SearchResult",
+    "EvolutionarySearch",
+    "SearchConfig",
+    "HeuristicArchive",
+    "ArchiveEntry",
+    "CostModel",
+    "GPT_4O_MINI_PRICING",
+    "SearchCostReport",
+]

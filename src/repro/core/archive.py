@@ -1,0 +1,113 @@
+"""Heuristic archive: the growing library of synthesized policies (§3.1.2).
+
+Over time PolicySmith builds a library of heuristics, one (or more) per
+context, that a runtime adaptation system can choose from.  The archive is a
+small persistent store keyed by context name; entries carry the heuristic
+source, its score, and free-form metadata (which trace it was tuned on, the
+search configuration, ...).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.context import Context
+from repro.core.results import ScoredCandidate
+
+
+@dataclass
+class ArchiveEntry:
+    """One archived heuristic."""
+
+    context_name: str
+    name: str
+    source: str
+    score: float
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArchiveEntry":
+        return cls(
+            context_name=data["context_name"],
+            name=data["name"],
+            source=data["source"],
+            score=float(data["score"]),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+class HeuristicArchive:
+    """In-memory archive with JSON persistence."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, List[ArchiveEntry]] = {}
+
+    # -- mutation -------------------------------------------------------------------
+
+    def add(self, entry: ArchiveEntry) -> None:
+        self._entries.setdefault(entry.context_name, []).append(entry)
+
+    def add_candidate(
+        self,
+        context: Context,
+        candidate: ScoredCandidate,
+        name: Optional[str] = None,
+        **metadata: str,
+    ) -> ArchiveEntry:
+        """Archive a search winner under ``context``."""
+        entry = ArchiveEntry(
+            context_name=context.name,
+            name=name or candidate.candidate.candidate_id,
+            source=candidate.source,
+            score=candidate.score,
+            metadata={k: str(v) for k, v in metadata.items()},
+        )
+        self.add(entry)
+        return entry
+
+    # -- queries ---------------------------------------------------------------------
+
+    def contexts(self) -> List[str]:
+        return sorted(self._entries)
+
+    def entries_for(self, context_name: str) -> List[ArchiveEntry]:
+        return list(self._entries.get(context_name, []))
+
+    def best_for(self, context_name: str) -> Optional[ArchiveEntry]:
+        entries = self._entries.get(context_name)
+        if not entries:
+            return None
+        return max(entries, key=lambda e: e.score)
+
+    def all_entries(self) -> List[ArchiveEntry]:
+        return [entry for entries in self._entries.values() for entry in entries]
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._entries.values())
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save(self, path: Path | str) -> None:
+        path = Path(path)
+        payload = {
+            "version": 1,
+            "entries": [entry.to_dict() for entry in self.all_entries()],
+        }
+        path.write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load(cls, path: Path | str) -> "HeuristicArchive":
+        path = Path(path)
+        payload = json.loads(path.read_text())
+        if payload.get("version") != 1:
+            raise ValueError(f"unsupported archive version in {path}")
+        archive = cls()
+        for raw in payload.get("entries", []):
+            archive.add(ArchiveEntry.from_dict(raw))
+        return archive

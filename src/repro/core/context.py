@@ -1,0 +1,149 @@
+"""Deployment contexts and context-shift detection (§3.1 of the paper).
+
+A *context* is the combination of workload, hardware/environment and
+objective a heuristic is specialised for.  PolicySmith synthesises one
+heuristic per context; re-synthesis is triggered either explicitly (a known
+hardware or workload change, §3.1.1) or implicitly, when lightweight
+monitoring detects that the performance of the deployed heuristic has
+drifted (§3.1.2).
+
+The paper leaves runtime adaptation to prior work; this module provides the
+minimal pieces it assumes exist: a context descriptor and a simple
+guardrail-style drift detector over a performance metric stream that can be
+used to trigger re-synthesis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Context:
+    """Identifies the deployment context a heuristic is synthesised for.
+
+    Attributes
+    ----------
+    name:
+        Short identifier, e.g. ``"cloudphysics/w89@10%"``.
+    workload:
+        Description of the workload (trace name, application class, ...).
+    objective:
+        What the Evaluator optimises, e.g. ``"minimize object miss ratio"``.
+    environment:
+        Hardware / deployment environment, e.g. ``"generic"``, ``"linux-kernel"``.
+    parameters:
+        Free-form parameters that complete the context (cache size, link
+        rate, ...).  Kept as strings so the context is hashable and can be
+        used as an archive key.
+    """
+
+    name: str
+    workload: str
+    objective: str
+    environment: str = "generic"
+    parameters: tuple = field(default_factory=tuple)
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        workload: str,
+        objective: str,
+        environment: str = "generic",
+        **parameters: object,
+    ) -> "Context":
+        """Convenience constructor turning keyword parameters into the tuple form."""
+        items = tuple(sorted((k, str(v)) for k, v in parameters.items()))
+        return cls(
+            name=name,
+            workload=workload,
+            objective=objective,
+            environment=environment,
+            parameters=items,
+        )
+
+    def parameter(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        for k, v in self.parameters:
+            if k == key:
+                return v
+        return default
+
+    def describe(self) -> str:
+        """One-line human-readable description used in prompts and reports."""
+        params = ", ".join(f"{k}={v}" for k, v in self.parameters)
+        parts = [f"workload: {self.workload}", f"objective: {self.objective}"]
+        if self.environment != "generic":
+            parts.append(f"environment: {self.environment}")
+        if params:
+            parts.append(params)
+        return "; ".join(parts)
+
+
+class ContextShiftDetector:
+    """Detects implicit context shifts from a stream of performance samples.
+
+    The detector compares the mean of a short recent window against the mean
+    of a longer reference window; when the relative degradation exceeds
+    ``threshold`` for ``patience`` consecutive samples, a shift is declared.
+    Being intentionally simple, it models the "lightweight monitoring
+    infrastructure (guardrails)" the paper assumes rather than contributes.
+
+    ``higher_is_better`` selects the degradation direction: hit rate is
+    better when higher, miss ratio or latency when lower.
+    """
+
+    def __init__(
+        self,
+        window: int = 50,
+        reference_window: int = 500,
+        threshold: float = 0.15,
+        patience: int = 3,
+        higher_is_better: bool = True,
+    ):
+        if window <= 0 or reference_window <= 0:
+            raise ValueError("window sizes must be positive")
+        if reference_window < window:
+            raise ValueError("reference_window must be at least window")
+        self.window = window
+        self.reference_window = reference_window
+        self.threshold = threshold
+        self.patience = patience
+        self.higher_is_better = higher_is_better
+        self._recent: Deque[float] = deque(maxlen=window)
+        self._reference: Deque[float] = deque(maxlen=reference_window)
+        self._strikes = 0
+        self.shifts_detected = 0
+
+    def observe(self, value: float) -> bool:
+        """Feed one metric sample; returns True when a shift is declared.
+
+        After a detection the windows are reset so that the new behaviour
+        becomes the reference (the caller is expected to trigger
+        re-synthesis and keep running the old heuristic meanwhile, §3.1.2).
+        """
+        self._reference.append(value)
+        self._recent.append(value)
+        if len(self._reference) < self.reference_window:
+            return False
+        reference_mean = sum(self._reference) / len(self._reference)
+        recent_mean = sum(self._recent) / len(self._recent)
+        if reference_mean == 0:
+            degradation = 0.0
+        elif self.higher_is_better:
+            degradation = (reference_mean - recent_mean) / abs(reference_mean)
+        else:
+            degradation = (recent_mean - reference_mean) / abs(reference_mean)
+        if degradation > self.threshold:
+            self._strikes += 1
+        else:
+            self._strikes = 0
+        if self._strikes >= self.patience:
+            self.shifts_detected += 1
+            self._strikes = 0
+            self._recent.clear()
+            self._reference.clear()
+            return True
+        return False

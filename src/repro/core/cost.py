@@ -1,0 +1,86 @@
+"""Cost accounting for search runs (§4.2.6 of the paper).
+
+The paper reports, for the heuristic-A search: 5.5 CPU-hours of candidate
+evaluation, 800k input tokens, 300k output tokens, and roughly $7 of OpenAI
+API spend across the eight runs.  This module provides the price sheet and
+the aggregation used by :mod:`repro.experiments.cost_accounting` to produce
+the same row for our runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-token pricing of an LLM API (USD per million tokens)."""
+
+    model: str
+    usd_per_million_input: float
+    usd_per_million_output: float
+
+    def cost(self, prompt_tokens: int, completion_tokens: int) -> float:
+        return (
+            prompt_tokens * self.usd_per_million_input
+            + completion_tokens * self.usd_per_million_output
+        ) / 1_000_000.0
+
+
+#: GPT-4o-mini public pricing at the time of the paper ($0.15 / $0.60 per 1M).
+GPT_4O_MINI_PRICING = CostModel(
+    model="gpt-4o-mini",
+    usd_per_million_input=0.15,
+    usd_per_million_output=0.60,
+)
+
+
+@dataclass
+class SearchCostReport:
+    """Aggregated cost of one or more search runs."""
+
+    runs: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    evaluation_cpu_seconds: float = 0.0
+    cost_model: CostModel = GPT_4O_MINI_PRICING
+    per_run: List[Dict[str, float]] = field(default_factory=list)
+
+    def add_run(
+        self,
+        name: str,
+        prompt_tokens: int,
+        completion_tokens: int,
+        evaluation_cpu_seconds: float,
+    ) -> None:
+        self.runs += 1
+        self.prompt_tokens += prompt_tokens
+        self.completion_tokens += completion_tokens
+        self.evaluation_cpu_seconds += evaluation_cpu_seconds
+        self.per_run.append(
+            {
+                "name": name,
+                "prompt_tokens": prompt_tokens,
+                "completion_tokens": completion_tokens,
+                "evaluation_cpu_seconds": evaluation_cpu_seconds,
+                "cost_usd": self.cost_model.cost(prompt_tokens, completion_tokens),
+            }
+        )
+
+    @property
+    def total_cost_usd(self) -> float:
+        return self.cost_model.cost(self.prompt_tokens, self.completion_tokens)
+
+    @property
+    def evaluation_cpu_hours(self) -> float:
+        return self.evaluation_cpu_seconds / 3600.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "runs": self.runs,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "evaluation_cpu_hours": self.evaluation_cpu_hours,
+            "total_cost_usd": self.total_cost_usd,
+        }

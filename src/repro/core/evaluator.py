@@ -1,0 +1,75 @@
+"""Evaluators: context-specific scoring of candidate heuristics.
+
+An Evaluator runs a candidate in the deployment context (a trace through the
+cache simulator, an emulated link in the network simulator, ...) and returns
+a single numeric score -- *higher is better* by convention, so miss ratios
+and delays are negated by the case-study evaluators.
+
+Evaluators must be robust to arbitrarily broken candidates: a candidate that
+raises at runtime is reported as invalid with the failure message rather
+than crashing the search.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.dsl.ast import Program
+from repro.dsl.errors import DslError
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one candidate in one context."""
+
+    score: float
+    valid: bool = True
+    error: Optional[str] = None
+    wall_time_s: float = 0.0
+    details: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def failure(cls, error: str, score: float = float("-inf")) -> "EvaluationResult":
+        return cls(score=score, valid=False, error=error)
+
+
+class Evaluator(ABC):
+    """Base class: implement :meth:`evaluate_program`, get robustness for free."""
+
+    #: Score assigned to candidates that crash during evaluation.
+    failure_score: float = float("-inf")
+
+    @abstractmethod
+    def evaluate_program(self, program: Program) -> EvaluationResult:
+        """Score ``program``; may raise -- :meth:`evaluate` handles errors."""
+
+    def evaluate(self, program: Program) -> EvaluationResult:
+        """Score ``program``, converting runtime failures into invalid results."""
+        start = time.perf_counter()
+        try:
+            result = self.evaluate_program(program)
+        except DslError as exc:
+            result = EvaluationResult.failure(f"runtime error: {exc}", self.failure_score)
+        except (ValueError, TypeError, ZeroDivisionError, OverflowError) as exc:
+            result = EvaluationResult.failure(f"{type(exc).__name__}: {exc}", self.failure_score)
+        result.wall_time_s = time.perf_counter() - start
+        return result
+
+
+class FunctionEvaluator(Evaluator):
+    """Wrap a plain scoring function ``program -> float`` as an Evaluator.
+
+    Useful for tests and for simple objectives where building a dedicated
+    Evaluator class would be ceremony.
+    """
+
+    def __init__(self, fn: Callable[[Program], float], name: str = "function"):
+        self._fn = fn
+        self.name = name
+
+    def evaluate_program(self, program: Program) -> EvaluationResult:
+        score = float(self._fn(program))
+        return EvaluationResult(score=score, valid=True)

@@ -1,0 +1,122 @@
+"""Result records produced by the evolutionary search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.checker import CheckIssue
+from repro.core.evaluator import EvaluationResult
+from repro.dsl.ast import Program
+from repro.dsl.codegen import to_source
+
+
+@dataclass
+class Candidate:
+    """One candidate heuristic emitted by the Generator."""
+
+    candidate_id: str
+    source: str
+    round_index: int
+    parent_ids: List[str] = field(default_factory=list)
+    repaired: bool = False
+    origin: str = "generated"  # "seed" | "generated" | "repaired"
+
+
+@dataclass
+class ScoredCandidate:
+    """A candidate together with its check and evaluation outcomes."""
+
+    candidate: Candidate
+    program: Optional[Program] = None
+    check_ok: bool = False
+    check_issues: List[CheckIssue] = field(default_factory=list)
+    evaluation: Optional[EvaluationResult] = None
+
+    @property
+    def valid(self) -> bool:
+        return self.check_ok and self.evaluation is not None and self.evaluation.valid
+
+    @property
+    def score(self) -> float:
+        if self.evaluation is None:
+            return float("-inf")
+        return self.evaluation.score
+
+    @property
+    def source(self) -> str:
+        if self.program is not None:
+            return to_source(self.program)
+        return self.candidate.source
+
+
+@dataclass
+class RoundSummary:
+    """Aggregates for one round of the search (used in reports and tests)."""
+
+    round_index: int
+    generated: int = 0
+    passed_check: int = 0
+    passed_after_repair: int = 0
+    evaluated: int = 0
+    best_score: float = float("-inf")
+    best_overall_score: float = float("-inf")
+    failure_codes: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SearchResult:
+    """Everything a search run produced."""
+
+    best: Optional[ScoredCandidate]
+    candidates: List[ScoredCandidate]
+    rounds: List[RoundSummary]
+    context_name: str = ""
+    template_name: str = ""
+    total_candidates: int = 0
+    wall_time_s: float = 0.0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    estimated_cost_usd: float = 0.0
+
+    def best_source(self) -> str:
+        if self.best is None:
+            raise ValueError("the search produced no valid candidate")
+        return self.best.source
+
+    def best_program(self) -> Program:
+        if self.best is None or self.best.program is None:
+            raise ValueError("the search produced no valid candidate")
+        return self.best.program
+
+    def valid_candidates(self) -> List[ScoredCandidate]:
+        return [c for c in self.candidates if c.valid]
+
+    def first_pass_check_rate(self) -> float:
+        """Fraction of non-seed candidates that passed the Checker unaided
+        (candidates that only passed after a repair round do not count)."""
+        generated = [
+            c for c in self.candidates if c.candidate.origin == "generated"
+        ]
+        if not generated:
+            return 0.0
+        passed = sum(
+            1 for c in generated if c.check_ok and not c.candidate.repaired
+        )
+        return passed / len(generated)
+
+    def repaired_check_rate(self) -> float:
+        """Fraction of non-seed candidates that passed only after repair."""
+        generated = [
+            c for c in self.candidates if c.candidate.origin == "generated"
+        ]
+        if not generated:
+            return 0.0
+        repaired = sum(
+            1 for c in generated if c.check_ok and c.candidate.repaired
+        )
+        return repaired / len(generated)
+
+    def score_trajectory(self) -> List[float]:
+        """Best-so-far score after each round (the search learning curve)."""
+        return [r.best_overall_score for r in self.rounds]

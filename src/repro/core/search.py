@@ -1,0 +1,198 @@
+"""The PolicySmith evolutionary search loop (§3 and Fig. 1 of the paper).
+
+Each round, the Generator proposes a batch of candidate heuristics given the
+best-performing heuristics found so far as worked examples.  Every candidate
+is validated by the Checker (with one optional repair attempt driven by the
+Checker's feedback), evaluated by the context-specific Evaluator, and added
+to the population.  After the configured number of rounds, the
+highest-scoring valid candidate is the synthesized heuristic for the
+context.
+
+The paper's caching methodology (§4.2.1) corresponds to
+``SearchConfig(rounds=20, candidates_per_round=25, top_k_parents=2)`` seeded
+with LRU and LFU.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.checker import Checker
+from repro.core.context import Context
+from repro.core.cost import GPT_4O_MINI_PRICING, CostModel
+from repro.core.evaluator import Evaluator
+from repro.core.generator import Generator
+from repro.core.results import Candidate, RoundSummary, ScoredCandidate, SearchResult
+from repro.core.template import Template
+from repro.dsl.codegen import to_source
+
+
+@dataclass
+class SearchConfig:
+    """Tunables of the evolutionary search."""
+
+    rounds: int = 20
+    candidates_per_round: int = 25
+    top_k_parents: int = 2
+    repair_attempts: int = 1
+    include_seeds: bool = True
+    cost_model: CostModel = GPT_4O_MINI_PRICING
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if self.candidates_per_round <= 0:
+            raise ValueError("candidates_per_round must be positive")
+        if self.top_k_parents <= 0:
+            raise ValueError("top_k_parents must be positive")
+        if self.repair_attempts < 0:
+            raise ValueError("repair_attempts cannot be negative")
+
+
+class EvolutionarySearch:
+    """Wires Template, Generator, Checker and Evaluator into the search loop."""
+
+    def __init__(
+        self,
+        template: Template,
+        generator: Generator,
+        checker: Checker,
+        evaluator: Evaluator,
+        config: Optional[SearchConfig] = None,
+        context: Optional[Context] = None,
+    ):
+        self.template = template
+        self.generator = generator
+        self.checker = checker
+        self.evaluator = evaluator
+        self.config = config or SearchConfig()
+        self.context = context
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self) -> SearchResult:
+        """Execute the search and return every candidate plus the winner."""
+        start = time.perf_counter()
+        population: List[ScoredCandidate] = []
+        rounds: List[RoundSummary] = []
+        counter = 0
+
+        if self.config.include_seeds:
+            for program in self.template.seed_programs:
+                counter += 1
+                candidate = Candidate(
+                    candidate_id=f"seed-{counter}",
+                    source=to_source(program),
+                    round_index=0,
+                    origin="seed",
+                )
+                population.append(self._check_and_evaluate(candidate))
+
+        for round_index in range(1, self.config.rounds + 1):
+            summary = self._run_round(round_index, population, counter)
+            counter += summary.generated
+            rounds.append(summary)
+
+        best = self._best_of(population)
+        result = SearchResult(
+            best=best,
+            candidates=population,
+            rounds=rounds,
+            context_name=self.context.name if self.context else "",
+            template_name=self.template.name,
+            total_candidates=len(population),
+            wall_time_s=time.perf_counter() - start,
+        )
+        usage = getattr(self.generator, "usage", None)
+        if usage is not None:
+            result.prompt_tokens = usage.prompt_tokens
+            result.completion_tokens = usage.completion_tokens
+            result.estimated_cost_usd = self.config.cost_model.cost(
+                usage.prompt_tokens, usage.completion_tokens
+            )
+        return result
+
+    # -- internals -------------------------------------------------------------------
+
+    def _parents_of(self, population: List[ScoredCandidate]) -> List[tuple]:
+        """The top-k valid candidates across *all* previous rounds (§4.2.1)."""
+        valid = [c for c in population if c.valid]
+        valid.sort(key=lambda c: c.score, reverse=True)
+        return [(c.source, c.score) for c in valid[: self.config.top_k_parents]]
+
+    def _best_of(self, population: List[ScoredCandidate]) -> Optional[ScoredCandidate]:
+        valid = [c for c in population if c.valid]
+        if not valid:
+            return None
+        return max(valid, key=lambda c: c.score)
+
+    def _run_round(
+        self,
+        round_index: int,
+        population: List[ScoredCandidate],
+        id_offset: int,
+    ) -> RoundSummary:
+        summary = RoundSummary(round_index=round_index)
+        parents = self._parents_of(population)
+        parent_ids = [c.candidate.candidate_id for c in population if c.valid][
+            : self.config.top_k_parents
+        ]
+        sources = self.generator.generate(parents, self.config.candidates_per_round)
+        summary.generated = len(sources)
+
+        for offset, source in enumerate(sources, start=1):
+            candidate = Candidate(
+                candidate_id=f"r{round_index}-c{id_offset + offset}",
+                source=source,
+                round_index=round_index,
+                parent_ids=list(parent_ids),
+            )
+            scored = self._check_and_evaluate(candidate)
+            if scored.check_ok and not scored.candidate.repaired:
+                summary.passed_check += 1
+            elif scored.check_ok and scored.candidate.repaired:
+                summary.passed_after_repair += 1
+            else:
+                for issue in scored.check_issues:
+                    summary.failure_codes[issue.code] = (
+                        summary.failure_codes.get(issue.code, 0) + 1
+                    )
+            if scored.evaluation is not None:
+                summary.evaluated += 1
+                if scored.valid and scored.score > summary.best_score:
+                    summary.best_score = scored.score
+            population.append(scored)
+
+        best = self._best_of(population)
+        summary.best_overall_score = best.score if best else float("-inf")
+        return summary
+
+    def _check_and_evaluate(self, candidate: Candidate) -> ScoredCandidate:
+        check = self.checker.check(candidate.source)
+        issues = list(check.issues)
+        if not check.ok and self.config.repair_attempts > 0:
+            repaired_source = None
+            for _attempt in range(self.config.repair_attempts):
+                repaired_source = self.generator.repair(candidate.source, check.feedback)
+                if repaired_source is None:
+                    break
+                recheck = self.checker.check(repaired_source)
+                if recheck.ok:
+                    candidate.source = repaired_source
+                    candidate.repaired = True
+                    candidate.origin = "generated"
+                    check = recheck
+                    break
+                check = recheck
+                issues.extend(recheck.issues)
+        scored = ScoredCandidate(
+            candidate=candidate,
+            program=check.program if check.ok else None,
+            check_ok=check.ok,
+            check_issues=issues if not check.ok else [],
+        )
+        if check.ok and check.program is not None:
+            scored.evaluation = self.evaluator.evaluate(check.program)
+        return scored

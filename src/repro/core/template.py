@@ -1,0 +1,87 @@
+"""Templates: the user-authored specification of the program search space.
+
+A Template bundles everything the Generator needs to know about *what* to
+synthesize (§3 of the paper):
+
+* the function signature / feature environment (a
+  :class:`~repro.dsl.grammar.FeatureSpec`),
+* a natural-language description of the interface and available features,
+* natural-language *constraints* (allowed constructs, complexity bounds,
+  kernel restrictions, ...),
+* seed example programs (LRU and LFU for the caching case study, §4.2.1).
+
+The Template is also what determines how demanding the Checker must be: the
+caching Template only needs structural checks, while the kernel Template
+(:mod:`repro.cc.template`) pairs with the kernel-constraint checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.dsl.ast import Program
+from repro.dsl.codegen import to_source
+from repro.dsl.grammar import FeatureSpec
+
+
+@dataclass
+class Template:
+    """Specification of the heuristic search space.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"cache-priority"`` or ``"cong-control"``.
+    spec:
+        The machine-readable feature environment (signature, feature objects,
+        methods) the DSL grammar and the synthetic generator sample from.
+    description:
+        Natural-language description of the interface -- what the function
+        must compute and which features it may read (Table 1 in the paper).
+    constraints:
+        Natural-language constraints ("no floating point", "O(log N)",
+        "no unbounded loops", ...).  They are included in prompts verbatim and
+        enforced mechanically by the paired Checker.
+    seed_programs:
+        Example programs included in the first prompt and used as the initial
+        parent set of the evolutionary search.
+    """
+
+    name: str
+    spec: FeatureSpec
+    description: str
+    constraints: List[str] = field(default_factory=list)
+    seed_programs: List[Program] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.spec.params:
+            raise ValueError("a Template's FeatureSpec must declare parameters")
+        for program in self.seed_programs:
+            if list(program.params) != list(self.spec.params):
+                raise ValueError(
+                    f"seed program {program.name!r} does not match the template "
+                    f"signature {self.spec.params}"
+                )
+
+    @property
+    def function_name(self) -> str:
+        return self.spec.function_name
+
+    @property
+    def params(self) -> Sequence[str]:
+        return tuple(self.spec.params)
+
+    def signature(self) -> str:
+        """The function signature line, as shown to the Generator."""
+        return f"def {self.spec.function_name}({', '.join(self.spec.params)})"
+
+    def seeds_as_source(self) -> List[str]:
+        """Seed programs rendered as DSL source text."""
+        return [to_source(program) for program in self.seed_programs]
+
+    def constraint_text(self) -> str:
+        """Constraints as a numbered list (used in prompts and reports)."""
+        if not self.constraints:
+            return "(no additional constraints)"
+        return "\n".join(f"{i + 1}. {c}" for i, c in enumerate(self.constraints))

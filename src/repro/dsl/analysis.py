@@ -1,0 +1,163 @@
+"""Static analysis over candidate programs.
+
+The facts gathered here feed two consumers:
+
+* **Checkers** -- the caching Checker verifies the program is well-formed
+  (has a return, references only known features); the kernel-constraint
+  Checker (our eBPF-verifier stand-in, :mod:`repro.cc.kernel_constraints`)
+  additionally rejects floating point, unchecked division, and loops that
+  cannot be proven bounded, which the paper reports as the dominant causes
+  of verifier failures (§5.0.3).
+* **Experiments** -- complexity and feature-usage statistics of discovered
+  heuristics (the paper discusses Listing 1's structure in §4.2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.dsl.ast import (
+    Attribute,
+    BinOp,
+    Call,
+    ForRange,
+    Name,
+    Number,
+    Program,
+    Return,
+    While,
+)
+
+
+@dataclass
+class DivisionSite:
+    """One division or modulo in the program.
+
+    ``checked`` is True when the divisor is a non-zero numeric literal --
+    i.e. the division can be statically proven safe.  Divisions by arbitrary
+    expressions are reported as unchecked; the kernel checker rejects them
+    (the paper lists "missing checks for division by zero" among the most
+    common failures).
+    """
+
+    op: str
+    checked: bool
+    divisor_repr: str
+
+
+@dataclass
+class ProgramFacts:
+    """Everything the checkers need to know about a candidate, in one pass."""
+
+    has_return: bool
+    return_count: int
+    uses_float_literal: bool
+    uses_true_division: bool
+    division_sites: List[DivisionSite] = field(default_factory=list)
+    while_loop_count: int = 0
+    for_loop_count: int = 0
+    unbounded_for_count: int = 0
+    attributes_read: Set[Tuple[str, str]] = field(default_factory=set)
+    methods_called: Set[Tuple[str, str]] = field(default_factory=set)
+    names_read: Set[str] = field(default_factory=set)
+    free_names: List[str] = field(default_factory=list)
+    node_count: int = 0
+    max_expression_depth: int = 0
+
+    @property
+    def uses_float_arithmetic(self) -> bool:
+        """True if the candidate relies on floating point anywhere."""
+        return self.uses_float_literal or self.uses_true_division
+
+    @property
+    def has_unchecked_division(self) -> bool:
+        return any(not site.checked for site in self.division_sites)
+
+    @property
+    def has_potentially_unbounded_loop(self) -> bool:
+        return self.while_loop_count > 0 or self.unbounded_for_count > 0
+
+    def feature_attributes(self) -> Set[str]:
+        """Attribute names read across all feature objects (e.g. ``count``)."""
+        return {attr for _obj, attr in self.attributes_read}
+
+
+def _expression_depth(node) -> int:
+    children = list(node.children())
+    if not children:
+        return 1
+    return 1 + max(_expression_depth(child) for child in children)
+
+
+def analyze(program: Program) -> ProgramFacts:
+    """Compute :class:`ProgramFacts` for ``program`` in a single AST walk."""
+    facts = ProgramFacts(
+        has_return=False,
+        return_count=0,
+        uses_float_literal=False,
+        uses_true_division=False,
+    )
+    facts.node_count = program.size()
+    facts.free_names = list(program.free_names())
+
+    for node in program.walk():
+        if isinstance(node, Return):
+            facts.has_return = True
+            facts.return_count += 1
+        elif isinstance(node, Number):
+            if node.is_float():
+                facts.uses_float_literal = True
+        elif isinstance(node, Name):
+            facts.names_read.add(node.id)
+        elif isinstance(node, While):
+            facts.while_loop_count += 1
+        elif isinstance(node, ForRange):
+            facts.for_loop_count += 1
+            if not isinstance(node.limit, Number):
+                facts.unbounded_for_count += 1
+        elif isinstance(node, Attribute):
+            base = node.value
+            base_name = base.id if isinstance(base, Name) else "<expr>"
+            facts.attributes_read.add((base_name, node.attr))
+        elif isinstance(node, Call):
+            func = node.func
+            if isinstance(func, Attribute):
+                base = func.value
+                base_name = base.id if isinstance(base, Name) else "<expr>"
+                facts.methods_called.add((base_name, func.attr))
+                # A method call is not an attribute *read*; remove the entry
+                # the Attribute branch will add when it visits func.
+            elif isinstance(func, Name):
+                facts.methods_called.add(("<builtin>", func.id))
+        elif isinstance(node, BinOp):
+            if node.op == "/":
+                facts.uses_true_division = True
+            if node.op in ("/", "//", "%"):
+                divisor = node.right
+                checked = isinstance(divisor, Number) and divisor.value != 0
+                facts.division_sites.append(
+                    DivisionSite(
+                        op=node.op,
+                        checked=checked,
+                        divisor_repr=_brief_repr(divisor),
+                    )
+                )
+        depth = _expression_depth(node)
+        if depth > facts.max_expression_depth:
+            facts.max_expression_depth = depth
+
+    # Method calls also show up as attribute reads because Call.func is an
+    # Attribute node; strip them so "attributes_read" means data accesses.
+    facts.attributes_read -= facts.methods_called
+    return facts
+
+
+def _brief_repr(node) -> str:
+    """A short human-readable rendering of an expression for diagnostics."""
+    from repro.dsl.codegen import expr_to_source
+
+    text = expr_to_source(node)
+    if len(text) > 40:
+        text = text[:37] + "..."
+    return text

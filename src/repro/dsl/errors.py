@@ -1,0 +1,64 @@
+"""Exception hierarchy for the heuristic DSL.
+
+Every error raised while handling generated code derives from
+:class:`DslError` so callers (the Checker and Evaluator) can distinguish
+"the candidate is broken" from genuine bugs in the framework.
+"""
+
+from __future__ import annotations
+
+
+class DslError(Exception):
+    """Base class for all DSL-related failures."""
+
+
+class DslSyntaxError(DslError):
+    """Raised when candidate text cannot be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token, when known.  They are kept
+        on the exception so the Checker can hand structured feedback back to
+        the Generator (mimicking a compiler's stderr).
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}"
+            if column is not None:
+                location += f", column {column}"
+            location += ")"
+        super().__init__(f"{message}{location}")
+
+
+class DslRuntimeError(DslError):
+    """Raised when a candidate fails while being interpreted.
+
+    Examples: division by zero, reference to an unknown feature, calling an
+    unknown method on a feature object.
+    """
+
+
+class DslTimeoutError(DslRuntimeError):
+    """Raised when a candidate exceeds its interpretation step budget.
+
+    Generated code may contain loops; the interpreter enforces a step budget
+    so a pathological candidate cannot stall the whole search.
+    """
+
+
+class DslConstraintError(DslError):
+    """Raised (or collected) when a candidate violates Template constraints.
+
+    The kernel-constraint checker reports violations with this type, carrying
+    a machine-readable ``code`` (e.g. ``"float-arith"``) alongside the human
+    readable message so tests and experiments can aggregate failure causes.
+    """
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        super().__init__(message)

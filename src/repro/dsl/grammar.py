@@ -1,0 +1,244 @@
+"""Grammar-based random program generation.
+
+The synthetic LLM (``repro.llm.mock``) needs a way to produce *fresh*
+candidate heuristics that look like plausible expert code: score
+accumulation, feature comparisons against aggregate percentiles, history
+bonuses, and so on.  This module samples such programs from a weighted
+grammar parameterised by a :class:`FeatureSpec` -- the same information the
+Template exposes in its prompt (Table 1 for caching, the cong_control signal
+list for congestion control).
+
+All sampling takes an explicit ``random.Random`` instance so searches are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dsl.ast import (
+    Assign,
+    Attribute,
+    AugAssign,
+    BinOp,
+    Call,
+    Compare,
+    Expr,
+    If,
+    Name,
+    Number,
+    Program,
+    Return,
+    Stmt,
+    Ternary,
+    UnaryOp,
+)
+
+
+@dataclass
+class FeatureSpec:
+    """Describes the environment available to generated code.
+
+    Attributes
+    ----------
+    function_name:
+        Name of the synthesized function (``priority``, ``cong_control``).
+    params:
+        Formal parameter names, in signature order.
+    scalar_params:
+        Parameters that are plain numbers (e.g. ``now``, ``cwnd``) and can be
+        used directly in arithmetic.
+    object_attrs:
+        ``{param_name: [attr, ...]}`` numeric attributes readable on feature
+        objects (e.g. ``obj_info`` -> ``count``, ``size``).
+    object_methods:
+        ``{param_name: [(method, arg_kind), ...]}`` callable methods.
+        ``arg_kind`` is one of ``"none"``, ``"fraction"`` (a percentile in
+        [0, 1]), or ``"key"`` (an opaque id parameter, e.g. ``obj_id``).
+    key_params:
+        Parameters usable as ``"key"`` arguments.
+    integer_only:
+        When True the grammar avoids float literals and true division so the
+        output has a chance of passing the kernel-constraint checker.  (The
+        synthetic LLM deliberately does *not* always set this, mirroring how
+        real LLMs emit floating point in kernel code.)
+    """
+
+    function_name: str
+    params: List[str]
+    scalar_params: List[str] = field(default_factory=list)
+    object_attrs: Dict[str, List[str]] = field(default_factory=dict)
+    object_methods: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+    key_params: List[str] = field(default_factory=list)
+    integer_only: bool = False
+    result_var: str = "score"
+
+    def numeric_sources(self) -> List[Tuple[str, Optional[str]]]:
+        """All (param, attr) pairs that evaluate to a number.
+
+        ``attr`` is ``None`` for scalar parameters.
+        """
+        sources: List[Tuple[str, Optional[str]]] = [(p, None) for p in self.scalar_params]
+        for param, attrs in self.object_attrs.items():
+            sources.extend((param, attr) for attr in attrs)
+        return sources
+
+
+@dataclass
+class GrammarConfig:
+    """Tunables for random program sampling."""
+
+    min_statements: int = 3
+    max_statements: int = 10
+    max_depth: int = 3
+    if_probability: float = 0.35
+    ternary_probability: float = 0.2
+    history_probability: float = 0.3
+    constant_range: Tuple[int, int] = (1, 500)
+    fraction_choices: Sequence[float] = (0.1, 0.25, 0.5, 0.7, 0.75, 0.9, 0.95)
+
+
+def _constant(rng: random.Random, spec: FeatureSpec, config: GrammarConfig) -> Number:
+    lo, hi = config.constant_range
+    value = rng.randint(lo, hi)
+    if not spec.integer_only and rng.random() < 0.15:
+        return Number(value=float(value))
+    return Number(value=value)
+
+
+def _numeric_atom(rng: random.Random, spec: FeatureSpec, config: GrammarConfig) -> Expr:
+    """A leaf numeric expression: a feature read, aggregate call, or constant."""
+    roll = rng.random()
+    sources = spec.numeric_sources()
+    if roll < 0.55 and sources:
+        param, attr = rng.choice(sources)
+        if attr is None:
+            return Name(id=param)
+        return Attribute(value=Name(id=param), attr=attr)
+    if roll < 0.75:
+        call = _aggregate_call(rng, spec, config)
+        if call is not None:
+            return call
+    return _constant(rng, spec, config)
+
+
+def _aggregate_call(
+    rng: random.Random, spec: FeatureSpec, config: GrammarConfig
+) -> Optional[Expr]:
+    """A call like ``sizes.percentile(0.75)`` or ``history.count_of(obj_id)``."""
+    candidates: List[Tuple[str, str, str]] = []
+    for param, methods in spec.object_methods.items():
+        for method, arg_kind in methods:
+            candidates.append((param, method, arg_kind))
+    if not candidates:
+        return None
+    param, method, arg_kind = rng.choice(candidates)
+    args: List[Expr] = []
+    if arg_kind == "fraction":
+        fraction = rng.choice(list(config.fraction_choices))
+        if isinstance(fraction, int) or float(fraction).is_integer():
+            # Integer choices (e.g. history indices) are used verbatim.
+            args = [Number(value=int(fraction))]
+        elif spec.integer_only:
+            # Express the percentile as an integer percentage to stay float-free.
+            args = [Number(value=int(round(fraction * 100)))]
+        else:
+            args = [Number(value=fraction)]
+    elif arg_kind == "key":
+        if not spec.key_params:
+            return None
+        args = [Name(id=rng.choice(spec.key_params))]
+    return Call(func=Attribute(value=Name(id=param), attr=method), args=args)
+
+
+def _numeric_expr(
+    rng: random.Random, spec: FeatureSpec, config: GrammarConfig, depth: int = 0
+) -> Expr:
+    """A numeric expression of bounded depth."""
+    if depth >= config.max_depth or rng.random() < 0.4:
+        return _numeric_atom(rng, spec, config)
+    op = rng.choice(["+", "-", "*", "/", "//"])
+    if spec.integer_only and op == "/":
+        op = "//"
+    left = _numeric_expr(rng, spec, config, depth + 1)
+    right: Expr
+    if op in ("/", "//"):
+        # Divide by constants so candidates are usually well-formed; the
+        # synthetic LLM injects unguarded divisions separately when it wants
+        # to model hallucination.
+        right = Number(value=rng.choice([2, 4, 8, 10, 50, 100, 150, 300, 500]))
+    else:
+        right = _numeric_expr(rng, spec, config, depth + 1)
+    expr: Expr = BinOp(op=op, left=left, right=right)
+    if rng.random() < 0.1:
+        expr = UnaryOp(op="-", operand=expr)
+    return expr
+
+
+def _condition(rng: random.Random, spec: FeatureSpec, config: GrammarConfig) -> Expr:
+    """A boolean condition comparing a feature to a threshold or aggregate."""
+    left = _numeric_atom(rng, spec, config)
+    roll = rng.random()
+    if roll < 0.45:
+        right: Expr = _constant(rng, spec, config)
+    elif roll < 0.8:
+        right = _aggregate_call(rng, spec, config) or _constant(rng, spec, config)
+    else:
+        right = _numeric_atom(rng, spec, config)
+    op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+    return Compare(op=op, left=left, right=right)
+
+
+def _score_update(rng: random.Random, spec: FeatureSpec, config: GrammarConfig) -> Stmt:
+    """A statement that nudges the result variable."""
+    result = Name(id=spec.result_var)
+    roll = rng.random()
+    if roll < config.if_probability:
+        then_update = AugAssign(
+            target=result,
+            op=rng.choice(["+", "-"]),
+            value=_constant(rng, spec, config),
+        )
+        else_update = AugAssign(
+            target=result,
+            op=rng.choice(["+", "-"]),
+            value=_constant(rng, spec, config),
+        )
+        orelse: List[Stmt] = [else_update] if rng.random() < 0.5 else []
+        return If(condition=_condition(rng, spec, config), body=[then_update], orelse=orelse)
+    if roll < config.if_probability + config.ternary_probability:
+        value = Ternary(
+            condition=_condition(rng, spec, config),
+            if_true=_constant(rng, spec, config),
+            if_false=UnaryOp(op="-", operand=_constant(rng, spec, config)),
+        )
+        return AugAssign(target=result, op="+", value=value)
+    op = rng.choice(["+", "-", "+", "-", "*"])
+    return AugAssign(target=result, op=op, value=_numeric_expr(rng, spec, config))
+
+
+def random_program(
+    spec: FeatureSpec,
+    rng: random.Random,
+    config: Optional[GrammarConfig] = None,
+) -> Program:
+    """Sample a plausible candidate heuristic for ``spec``.
+
+    The shape mirrors discovered heuristics in the paper: initialise a score
+    from a weighted feature, apply a handful of conditional adjustments, and
+    return the score.
+    """
+    config = config or GrammarConfig()
+    statements: List[Stmt] = []
+
+    seed_expr = _numeric_expr(rng, spec, config)
+    statements.append(Assign(target=Name(id=spec.result_var), value=seed_expr))
+
+    count = rng.randint(config.min_statements, config.max_statements)
+    for _ in range(count):
+        statements.append(_score_update(rng, spec, config))
+
+    statements.append(Return(value=Name(id=spec.result_var)))
+    return Program(name=spec.function_name, params=list(spec.params), body=statements)

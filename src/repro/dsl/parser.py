@@ -1,0 +1,445 @@
+"""Tokenizer and recursive-descent parser for the heuristic DSL.
+
+Surface syntax (a deliberately small C/Python hybrid, close to the paper's
+Listing 1)::
+
+    def priority(now, obj_id, obj_info, counts, ages, sizes, history) {
+        score = obj_info.count * 20
+        age = now - obj_info.last_accessed
+        score -= age / 300
+        if (history.contains(obj_id)) {
+            score += history.count_of(obj_id) * 15
+        } else {
+            score -= 40
+        }
+        score += (obj_info.count > counts.percentile(0.7)) ? 50 : -5
+        return score
+    }
+
+Statements are separated by newlines or semicolons; blocks use braces.
+``parse`` returns a :class:`repro.dsl.ast.Program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dsl.ast import (
+    Assign,
+    Attribute,
+    AugAssign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Expr,
+    ForRange,
+    If,
+    Name,
+    Number,
+    Program,
+    Return,
+    Stmt,
+    Ternary,
+    UnaryOp,
+    While,
+)
+from repro.dsl.errors import DslSyntaxError
+
+KEYWORDS = {
+    "def",
+    "if",
+    "else",
+    "for",
+    "while",
+    "in",
+    "range",
+    "return",
+    "and",
+    "or",
+    "not",
+    "true",
+    "false",
+}
+
+_TWO_CHAR_OPS = ("<=", ">=", "==", "!=", "+=", "-=", "*=", "//", "/=", "%=")
+_THREE_CHAR_OPS = ("//=",)
+_SINGLE_CHAR_OPS = "+-*/%<>=?:,.(){};"
+
+
+@dataclass
+class Token:
+    """A lexical token with its source position (1-based)."""
+
+    kind: str  # "number" | "name" | "keyword" | "op" | "newline" | "eof"
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ``source`` into tokens, raising :class:`DslSyntaxError` on junk."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    def add(kind: str, text: str) -> None:
+        tokens.append(Token(kind, text, line, column))
+
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            add("newline", "\n")
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < length and source[i] != "\n":
+                i += 1
+                column += 1
+            continue
+        if ch == "/" and i + 1 < length and source[i + 1] == "/" and (
+            i + 2 >= length or not source[i + 2] == "="
+        ):
+            # Could be a comment ("// text") or integer division ("a // b").
+            # Heuristic: it is a comment if the previous meaningful token is
+            # not something an expression could continue from.
+            prev = tokens[-1] if tokens else None
+            expression_tail = prev is not None and (
+                prev.kind in ("number", "name")
+                or (prev.kind == "op" and prev.text in (")",))
+            )
+            if not expression_tail:
+                while i < length and source[i] != "\n":
+                    i += 1
+                    column += 1
+                continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and source[i + 1].isdigit()):
+            start = i
+            start_col = column
+            seen_dot = False
+            while i < length and (source[i].isdigit() or (source[i] == "." and not seen_dot)):
+                if source[i] == ".":
+                    # Do not absorb the dot of an attribute access like "1 .foo"
+                    if i + 1 >= length or not source[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            text = source[start:i]
+            tokens.append(Token("number", text, line, start_col))
+            column = start_col + len(text)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = column
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line, start_col))
+            column = start_col + len(text)
+            continue
+        matched = None
+        for op in _THREE_CHAR_OPS:
+            if source.startswith(op, i):
+                matched = op
+                break
+        if matched is None:
+            for op in _TWO_CHAR_OPS:
+                if source.startswith(op, i):
+                    matched = op
+                    break
+        if matched is None and ch in _SINGLE_CHAR_OPS:
+            matched = ch
+        if matched is None:
+            raise DslSyntaxError(f"unexpected character {ch!r}", line, column)
+        add("op", matched)
+        i += len(matched)
+        column += len(matched)
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        token = self._peek()
+        expected = text if text is not None else kind
+        raise DslSyntaxError(
+            f"expected {expected!r} but found {token.text or token.kind!r}",
+            token.line,
+            token.column,
+        )
+
+    def _skip_separators(self) -> None:
+        while self._check("newline") or self._check("op", ";"):
+            self._advance()
+
+    # -- entry point --------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        self._skip_separators()
+        self._expect("keyword", "def")
+        name = self._expect("name").text
+        self._expect("op", "(")
+        params: List[str] = []
+        if not self._check("op", ")"):
+            params.append(self._expect("name").text)
+            while self._match("op", ","):
+                self._skip_separators()
+                params.append(self._expect("name").text)
+        self._expect("op", ")")
+        self._skip_separators()
+        body = self._parse_block()
+        self._skip_separators()
+        token = self._peek()
+        if token.kind != "eof":
+            raise DslSyntaxError(
+                f"unexpected trailing input {token.text!r}", token.line, token.column
+            )
+        return Program(name=name, params=params, body=body)
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_block(self) -> List[Stmt]:
+        self._expect("op", "{")
+        statements: List[Stmt] = []
+        self._skip_separators()
+        while not self._check("op", "}"):
+            statements.append(self._parse_statement())
+            self._skip_separators()
+        self._expect("op", "}")
+        return statements
+
+    def _parse_statement(self) -> Stmt:
+        if self._check("keyword", "return"):
+            self._advance()
+            return Return(value=self._parse_expression())
+        if self._check("keyword", "if"):
+            return self._parse_if()
+        if self._check("keyword", "for"):
+            return self._parse_for()
+        if self._check("keyword", "while"):
+            return self._parse_while()
+        if self._check("name"):
+            nxt = self._peek(1)
+            if nxt.kind == "op" and nxt.text in ("=", "+=", "-=", "*=", "/=", "//=", "%="):
+                target = Name(id=self._advance().text)
+                op_token = self._advance()
+                value = self._parse_expression()
+                if op_token.text == "=":
+                    return Assign(target=target, value=value)
+                return AugAssign(target=target, op=op_token.text[:-1], value=value)
+        token = self._peek()
+        raise DslSyntaxError(
+            f"expected a statement but found {token.text or token.kind!r}",
+            token.line,
+            token.column,
+        )
+
+    def _parse_if(self) -> If:
+        self._expect("keyword", "if")
+        self._expect("op", "(")
+        condition = self._parse_expression()
+        self._expect("op", ")")
+        self._skip_separators()
+        body = self._parse_block()
+        orelse: List[Stmt] = []
+        checkpoint = self._pos
+        self._skip_separators()
+        if self._check("keyword", "else"):
+            self._advance()
+            self._skip_separators()
+            if self._check("keyword", "if"):
+                orelse = [self._parse_if()]
+            else:
+                orelse = self._parse_block()
+        else:
+            self._pos = checkpoint
+        return If(condition=condition, body=body, orelse=orelse)
+
+    def _parse_for(self) -> ForRange:
+        self._expect("keyword", "for")
+        self._expect("op", "(")
+        var = Name(id=self._expect("name").text)
+        self._expect("keyword", "in")
+        self._expect("keyword", "range")
+        self._expect("op", "(")
+        limit = self._parse_expression()
+        self._expect("op", ")")
+        self._expect("op", ")")
+        self._skip_separators()
+        body = self._parse_block()
+        return ForRange(var=var, limit=limit, body=body)
+
+    def _parse_while(self) -> While:
+        self._expect("keyword", "while")
+        self._expect("op", "(")
+        condition = self._parse_expression()
+        self._expect("op", ")")
+        self._skip_separators()
+        body = self._parse_block()
+        return While(condition=condition, body=body)
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expression(self) -> Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> Expr:
+        condition = self._parse_or()
+        if self._match("op", "?"):
+            if_true = self._parse_ternary()
+            self._expect("op", ":")
+            if_false = self._parse_ternary()
+            return Ternary(condition=condition, if_true=if_true, if_false=if_false)
+        return condition
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        values = [left]
+        while self._check("keyword", "or"):
+            self._advance()
+            values.append(self._parse_and())
+        if len(values) == 1:
+            return left
+        return BoolOp(op="or", values=values)
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        values = [left]
+        while self._check("keyword", "and"):
+            self._advance()
+            values.append(self._parse_not())
+        if len(values) == 1:
+            return left
+        return BoolOp(op="and", values=values)
+
+    def _parse_not(self) -> Expr:
+        if self._check("keyword", "not"):
+            self._advance()
+            return UnaryOp(op="not", operand=self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        if self._peek().kind == "op" and self._peek().text in ("<", "<=", ">", ">=", "==", "!="):
+            op = self._advance().text
+            right = self._parse_additive()
+            return Compare(op=op, left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._peek().kind == "op" and self._peek().text in ("+", "-"):
+            op = self._advance().text
+            right = self._parse_multiplicative()
+            left = BinOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._peek().kind == "op" and self._peek().text in ("*", "/", "//", "%"):
+            op = self._advance().text
+            right = self._parse_unary()
+            left = BinOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._check("op", "-"):
+            self._advance()
+            return UnaryOp(op="-", operand=self._parse_unary())
+        if self._check("op", "+"):
+            self._advance()
+            return self._parse_unary()
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._match("op", "."):
+                attr = self._expect("name").text
+                expr = Attribute(value=expr, attr=attr)
+            elif self._check("op", "("):
+                self._advance()
+                args: List[Expr] = []
+                self._skip_separators()
+                if not self._check("op", ")"):
+                    args.append(self._parse_expression())
+                    while self._match("op", ","):
+                        self._skip_separators()
+                        args.append(self._parse_expression())
+                self._expect("op", ")")
+                expr = Call(func=expr, args=args)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            if "." in token.text:
+                return Number(value=float(token.text))
+            return Number(value=int(token.text))
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self._advance()
+            return Number(value=1 if token.text == "true" else 0)
+        if token.kind == "name":
+            self._advance()
+            return Name(id=token.text)
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect("op", ")")
+            return expr
+        raise DslSyntaxError(
+            f"expected an expression but found {token.text or token.kind!r}",
+            token.line,
+            token.column,
+        )
+
+
+def parse(source: str) -> Program:
+    """Parse DSL source text into a :class:`Program`.
+
+    Raises :class:`DslSyntaxError` with line/column information on failure,
+    which the Checker surfaces back to the Generator as feedback.
+    """
+    tokens = tokenize(source)
+    return _Parser(tokens).parse_program()

@@ -1,0 +1,44 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes a ``run_*`` function returning plain data structures
+plus a ``main()`` entry point that prints the same rows/series the paper
+reports.  See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+recorded paper-vs-measured outcomes.
+
+Quick map:
+
+========================  =====================================================
+Paper artefact            Module
+========================  =====================================================
+Figure 2a / 2b            :mod:`repro.experiments.figure2`
+Table 2                   :mod:`repro.experiments.table2`
+§4.2.1 search (1 trace)   :mod:`repro.experiments.search_caching`
+§4.2.6 cost accounting    :mod:`repro.experiments.cost_accounting`
+§5.0.3 compile rates      :mod:`repro.experiments.cc_compilation`
+§5.0.3 behaviour spread   :mod:`repro.experiments.cc_behaviour`
+Ablations (design §4)     :mod:`repro.experiments.ablations`
+========================  =====================================================
+"""
+
+from repro.experiments.corpus import CorpusEvaluation, evaluate_corpus
+from repro.experiments.figure2 import Figure2Row, run_figure2
+from repro.experiments.table2 import Table2Entry, run_table2
+from repro.experiments.search_caching import run_search_experiment
+from repro.experiments.cc_compilation import CompilationReport, run_cc_compilation
+from repro.experiments.cc_behaviour import BehaviourReport, run_cc_behaviour
+from repro.experiments.cost_accounting import run_cost_accounting
+
+__all__ = [
+    "CorpusEvaluation",
+    "evaluate_corpus",
+    "Figure2Row",
+    "run_figure2",
+    "Table2Entry",
+    "run_table2",
+    "run_search_experiment",
+    "CompilationReport",
+    "run_cc_compilation",
+    "BehaviourReport",
+    "run_cc_behaviour",
+    "run_cost_accounting",
+]

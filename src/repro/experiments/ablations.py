@@ -1,0 +1,208 @@
+"""Ablations of the search-design choices called out in DESIGN.md.
+
+Three ablations, each answering "did this design choice matter?":
+
+* **parent feedback** -- the evolutionary loop feeds the best candidates
+  back as examples (§3); the ablation generates every round from scratch.
+* **checker repair** -- the Checker's structured feedback drives one repair
+  attempt (§3, §5.0.3); the ablation discards rejected candidates.
+* **feature richness** -- the Table-1 aggregates and history features
+  (§4.1.1 discusses the template-design trade-off); the ablation restricts
+  the Template to per-object features only.
+
+Run as a script::
+
+    python -m repro.experiments.ablations --rounds 4 --candidates 10
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.search import (
+    CachingEvaluator,
+    caching_archetypes,
+    caching_seed_programs,
+    caching_template,
+)
+from repro.core.checker import StructuralChecker
+from repro.core.generator import LLMGenerator
+from repro.core.search import EvolutionarySearch, SearchConfig
+from repro.core.template import Template
+from repro.dsl.grammar import FeatureSpec
+from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
+from repro.traces import cloudphysics_trace
+
+
+@dataclass
+class AblationResult:
+    """Best miss ratio achieved by one search variant."""
+
+    name: str
+    best_miss_ratio: float
+    valid_candidates: int
+    total_candidates: int
+
+
+def _restricted_template() -> Template:
+    """The Template with only per-object features (no aggregates, no history)."""
+    full = caching_template()
+    spec = FeatureSpec(
+        function_name=full.spec.function_name,
+        params=list(full.spec.params),
+        scalar_params=list(full.spec.scalar_params),
+        object_attrs={"obj_info": list(full.spec.object_attrs["obj_info"])},
+        object_methods={},
+        key_params=list(full.spec.key_params),
+        integer_only=False,
+        result_var="score",
+    )
+    return Template(
+        name="cache-priority-objonly",
+        spec=spec,
+        description=full.description,
+        constraints=list(full.constraints),
+        seed_programs=caching_seed_programs(),
+    )
+
+
+def _run_variant(
+    name: str,
+    template: Template,
+    trace,
+    rounds: int,
+    candidates_per_round: int,
+    seed: int,
+    top_k_parents: int,
+    repair_attempts: int,
+    archetypes: Optional[List[str]],
+) -> AblationResult:
+    config = SyntheticLLMConfig(archetypes=archetypes or [])
+    client = SyntheticLLMClient(template.spec, config=config, seed=seed)
+    generator = LLMGenerator(template, client)
+    checker = StructuralChecker(template)
+    evaluator = CachingEvaluator(trace)
+    search = EvolutionarySearch(
+        template,
+        generator,
+        checker,
+        evaluator,
+        SearchConfig(
+            rounds=rounds,
+            candidates_per_round=candidates_per_round,
+            top_k_parents=top_k_parents,
+            repair_attempts=repair_attempts,
+        ),
+    )
+    result = search.run()
+    best_miss = -result.best.score if result.best is not None else 1.0
+    return AblationResult(
+        name=name,
+        best_miss_ratio=best_miss,
+        valid_candidates=len(result.valid_candidates()),
+        total_candidates=result.total_candidates,
+    )
+
+
+def run_ablations(
+    trace_index: int = 89,
+    num_requests: int = 3000,
+    rounds: int = 4,
+    candidates_per_round: int = 10,
+    seed: int = 0,
+) -> List[AblationResult]:
+    """Run the full search and its three ablated variants on one trace."""
+    trace = cloudphysics_trace(trace_index, num_requests=num_requests)
+    full_template = caching_template()
+    archetypes = caching_archetypes()
+    variants = [
+        ("full", full_template, 2, 1, archetypes),
+        ("no-parent-feedback", full_template, 0, 1, archetypes),
+        ("no-repair", full_template, 2, 0, archetypes),
+        ("object-features-only", _restricted_template(), 2, 1, None),
+    ]
+    results: List[AblationResult] = []
+    for name, template, top_k, repairs, arch in variants:
+        # top_k_parents must stay >= 1 for the search config; "no parent
+        # feedback" is modelled by not passing any examples (top_k=1 but the
+        # generator gets an empty parent list when include_seeds is False).
+        if top_k == 0:
+            config = SearchConfig(
+                rounds=rounds,
+                candidates_per_round=candidates_per_round,
+                top_k_parents=1,
+                repair_attempts=repairs,
+                include_seeds=False,
+            )
+            client = SyntheticLLMClient(
+                template.spec, config=SyntheticLLMConfig(archetypes=arch or []), seed=seed
+            )
+            generator = LLMGenerator(template, client)
+            search = EvolutionarySearch(
+                template,
+                generator,
+                StructuralChecker(template),
+                CachingEvaluator(trace),
+                config,
+            )
+            result = search.run()
+            best_miss = -result.best.score if result.best is not None else 1.0
+            results.append(
+                AblationResult(
+                    name=name,
+                    best_miss_ratio=best_miss,
+                    valid_candidates=len(result.valid_candidates()),
+                    total_candidates=result.total_candidates,
+                )
+            )
+        else:
+            results.append(
+                _run_variant(
+                    name,
+                    template,
+                    trace,
+                    rounds,
+                    candidates_per_round,
+                    seed,
+                    top_k,
+                    repairs,
+                    arch,
+                )
+            )
+    return results
+
+
+def format_ablations(results: List[AblationResult]) -> str:
+    lines = [
+        "Search ablations (lower best-miss-ratio is better)",
+        f"{'variant':<24} {'best miss':>10} {'valid':>7} {'total':>7}",
+    ]
+    for result in results:
+        lines.append(
+            f"{result.name:<24} {result.best_miss_ratio:>10.4f} "
+            f"{result.valid_candidates:>7} {result.total_candidates:>7}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", type=int, default=89)
+    parser.add_argument("--requests", type=int, default=3000)
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--candidates", type=int, default=10)
+    args = parser.parse_args(argv)
+
+    results = run_ablations(
+        trace_index=args.trace,
+        num_requests=args.requests,
+        rounds=args.rounds,
+        candidates_per_round=args.candidates,
+    )
+    print(format_ablations(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""§4.2.6 computational cost of the search.
+
+The paper reports, for the search that produced Heuristic A: 5.5 CPU-hours
+of candidate evaluation, ~800k input tokens and ~300k output tokens with
+GPT-4o-mini, and roughly $7 total for the eight runs of §4.
+
+This module runs one or more (scaled-down) searches and produces the same
+accounting row: evaluation CPU time, prompt/completion tokens, and the cost
+those tokens would incur at GPT-4o-mini prices.
+
+Run as a script::
+
+    python -m repro.experiments.cost_accounting --rounds 4 --candidates 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional
+
+from repro.cache.search import build_caching_search
+from repro.core.cost import GPT_4O_MINI_PRICING, SearchCostReport
+from repro.traces import cloudphysics_trace
+
+
+def run_cost_accounting(
+    trace_indices: Optional[List[int]] = None,
+    rounds: int = 4,
+    candidates_per_round: int = 10,
+    num_requests: int = 3000,
+    seed: int = 0,
+) -> SearchCostReport:
+    """Run one search per trace index and aggregate the cost report."""
+    indices = trace_indices if trace_indices is not None else [89]
+    report = SearchCostReport(cost_model=GPT_4O_MINI_PRICING)
+    for index in indices:
+        trace = cloudphysics_trace(index, num_requests=num_requests)
+        setup = build_caching_search(
+            trace, rounds=rounds, candidates_per_round=candidates_per_round, seed=seed
+        )
+        start = time.process_time()
+        result = setup.search.run()
+        cpu_seconds = time.process_time() - start
+        report.add_run(
+            name=f"cloudphysics/{trace.name}",
+            prompt_tokens=result.prompt_tokens,
+            completion_tokens=result.completion_tokens,
+            evaluation_cpu_seconds=cpu_seconds,
+        )
+    return report
+
+
+def format_cost_report(report: SearchCostReport) -> str:
+    lines = [
+        "Search cost accounting (GPT-4o-mini price sheet: "
+        f"${report.cost_model.usd_per_million_input}/M input, "
+        f"${report.cost_model.usd_per_million_output}/M output)",
+        f"{'run':<24} {'prompt tok':>12} {'completion tok':>15} {'cpu s':>8} {'cost $':>9}",
+    ]
+    for run in report.per_run:
+        lines.append(
+            f"{run['name']:<24} {run['prompt_tokens']:>12,} "
+            f"{run['completion_tokens']:>15,} {run['evaluation_cpu_seconds']:>8.1f} "
+            f"{run['cost_usd']:>9.4f}"
+        )
+    lines.append(
+        f"{'TOTAL':<24} {report.prompt_tokens:>12,} {report.completion_tokens:>15,} "
+        f"{report.evaluation_cpu_seconds:>8.1f} {report.total_cost_usd:>9.4f}"
+    )
+    lines.append(
+        f"evaluation CPU-hours: {report.evaluation_cpu_hours:.3f}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traces", type=int, nargs="*", default=[89])
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument("--candidates", type=int, default=10)
+    parser.add_argument("--requests", type=int, default=3000)
+    args = parser.parse_args(argv)
+
+    report = run_cost_accounting(
+        trace_indices=args.traces,
+        rounds=args.rounds,
+        candidates_per_round=args.candidates,
+        num_requests=args.requests,
+    )
+    print(format_cost_report(report))
+
+
+if __name__ == "__main__":
+    main()

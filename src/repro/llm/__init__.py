@@ -1,0 +1,30 @@
+"""LLM layer: client protocol, prompts, token accounting and the offline
+synthetic generator.
+
+The paper drives GPT-4o-mini through the OpenAI API.  This reproduction has
+no network access, so :class:`~repro.llm.mock.SyntheticLLMClient` stands in:
+it consumes the very same prompts (Template description, constraints, parent
+examples, checker feedback), produces candidate programs by remixing the
+parents and sampling the Template grammar, injects realistic failure modes
+(float arithmetic in kernel code, unguarded division, syntax slips), and
+meters token usage against the GPT-4o-mini price sheet.  Any client
+implementing :class:`~repro.llm.client.LLMClient` -- e.g. a real OpenAI or
+Anthropic client -- can be swapped in without touching the framework.
+"""
+
+from repro.llm.client import ChatMessage, CompletionResponse, LLMClient
+from repro.llm.tokens import UsageTracker, count_tokens
+from repro.llm.prompts import PromptBuilder, extract_code_blocks
+from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
+
+__all__ = [
+    "ChatMessage",
+    "CompletionResponse",
+    "LLMClient",
+    "UsageTracker",
+    "count_tokens",
+    "PromptBuilder",
+    "extract_code_blocks",
+    "SyntheticLLMClient",
+    "SyntheticLLMConfig",
+]

@@ -1,0 +1,51 @@
+"""LLM client protocol and message types.
+
+The protocol is deliberately minimal -- chat messages in, text completions
+out, with token counts attached -- so that the framework does not care
+whether the completions come from the offline synthetic generator, the
+OpenAI API, or anything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol, Sequence
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One chat message.  ``role`` is ``"system"``, ``"user"`` or ``"assistant"``."""
+
+    role: str
+    content: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ("system", "user", "assistant"):
+            raise ValueError(f"unsupported chat role {self.role!r}")
+
+
+@dataclass
+class CompletionResponse:
+    """One completion returned by a client."""
+
+    text: str
+    prompt_tokens: int
+    completion_tokens: int
+    model: str
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+class LLMClient(Protocol):
+    """Anything that can produce completions for a chat prompt."""
+
+    #: Model identifier reported in responses / cost accounting.
+    model: str
+
+    def complete(
+        self, messages: Sequence[ChatMessage], n: int = 1, temperature: float = 1.0
+    ) -> List[CompletionResponse]:
+        """Return ``n`` independent completions for the same prompt."""
+        ...  # pragma: no cover - protocol

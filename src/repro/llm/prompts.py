@@ -1,0 +1,122 @@
+"""Prompt construction and response parsing.
+
+The prompt format mirrors the paper's description (§4.2.1): the Generator is
+given a natural-language description of the Template interface and available
+features, the function signature, the constraints, the best-performing
+heuristics found so far as worked examples, and -- for repair attempts --
+the Checker's error output ("stderr").
+
+Candidate programs travel in fenced code blocks, so the response parser is a
+simple, robust fence extractor.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.template import Template
+from repro.llm.client import ChatMessage
+
+_FENCE_RE = re.compile(r"```(?:[a-zA-Z0-9_+-]*)\n(.*?)```", re.DOTALL)
+
+
+def extract_code_blocks(text: str) -> List[str]:
+    """Return the contents of every fenced code block in ``text``.
+
+    If no fence is present but the text looks like a bare DSL program
+    (starts with ``def``), the whole text is returned as a single block --
+    LLMs do occasionally skip the fences.
+    """
+    blocks = [match.group(1).strip() for match in _FENCE_RE.finditer(text)]
+    if blocks:
+        return blocks
+    stripped = text.strip()
+    if stripped.startswith("def "):
+        return [stripped]
+    return []
+
+
+class PromptBuilder:
+    """Builds the system / user messages for generation and repair."""
+
+    def __init__(self, template: Template, context_description: str = ""):
+        self.template = template
+        self.context_description = context_description
+
+    # -- prompt pieces -----------------------------------------------------------
+
+    def system_message(self) -> ChatMessage:
+        lines = [
+            "You are an expert systems developer synthesizing policy heuristics.",
+            f"You are writing the body of `{self.template.signature()}`.",
+            "",
+            "Interface description:",
+            self.template.description.strip(),
+            "",
+            "Constraints (the checker rejects violations):",
+            self.template.constraint_text(),
+            "",
+            "Respond with each candidate as a complete function definition in a",
+            "fenced code block.  Do not include commentary inside the code blocks.",
+        ]
+        if self.context_description:
+            lines.insert(2, f"Deployment context: {self.context_description}")
+        return ChatMessage(role="system", content="\n".join(lines))
+
+    def generation_message(
+        self,
+        parents: Sequence[Tuple[str, float]],
+        num_candidates: int,
+    ) -> ChatMessage:
+        """The per-round user message.
+
+        ``parents`` is a list of ``(source, score)`` pairs -- the
+        best-performing heuristics so far, shown as worked examples exactly as
+        the paper's search loop does.
+        """
+        lines = [
+            f"Propose {num_candidates} new candidate heuristics.",
+            "Each candidate must be a complete function in its own code block.",
+            "Aim to improve on the examples below; vary the structure, the",
+            "features used and the constants rather than repeating them.",
+            "",
+        ]
+        if parents:
+            lines.append("Best-performing heuristics so far (higher score is better):")
+            for index, (source, score) in enumerate(parents, start=1):
+                lines.append(f"Example {index} (score {score:.6g}):")
+                lines.append("```")
+                lines.append(source.strip())
+                lines.append("```")
+                lines.append("")
+        else:
+            lines.append("No examples are available yet; start from first principles.")
+        return ChatMessage(role="user", content="\n".join(lines))
+
+    def repair_message(self, source: str, feedback: str) -> ChatMessage:
+        """Message asking the Generator to fix a rejected candidate."""
+        content = "\n".join(
+            [
+                "The following candidate was rejected by the checker.",
+                "```",
+                source.strip(),
+                "```",
+                "Checker output:",
+                feedback.strip() or "(no details)",
+                "",
+                "Return a corrected version of this candidate in a single code block.",
+                "Fix only what the checker complained about; keep the heuristic's intent.",
+            ]
+        )
+        return ChatMessage(role="user", content=content)
+
+    # -- convenience ---------------------------------------------------------------
+
+    def generation_prompt(
+        self, parents: Sequence[Tuple[str, float]], num_candidates: int
+    ) -> List[ChatMessage]:
+        return [self.system_message(), self.generation_message(parents, num_candidates)]
+
+    def repair_prompt(self, source: str, feedback: str) -> List[ChatMessage]:
+        return [self.system_message(), self.repair_message(source, feedback)]

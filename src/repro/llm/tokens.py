@@ -1,0 +1,51 @@
+"""Token counting and usage tracking.
+
+Without a real tokenizer available offline, tokens are estimated with the
+standard rule of thumb for code-heavy English text: roughly one token per
+four characters, floored by the word count (code tokenises close to one
+token per symbol/word).  The estimate only needs to be stable and in the
+right ballpark for the §4.2.6 cost-accounting reproduction.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+_WORD_RE = re.compile(r"\S+")
+
+
+def count_tokens(text: str) -> int:
+    """Deterministic token estimate for ``text``."""
+    if not text:
+        return 0
+    words = len(_WORD_RE.findall(text))
+    by_chars = len(text) // 4
+    return max(words, by_chars)
+
+
+@dataclass
+class UsageTracker:
+    """Accumulates prompt/completion token usage across calls."""
+
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    calls: int = 0
+    per_call: List[tuple] = field(default_factory=list)
+
+    def record(self, prompt_tokens: int, completion_tokens: int) -> None:
+        self.prompt_tokens += prompt_tokens
+        self.completion_tokens += completion_tokens
+        self.calls += 1
+        self.per_call.append((prompt_tokens, completion_tokens))
+
+    def record_texts(self, prompts: Iterable[str], completions: Iterable[str]) -> None:
+        self.record(
+            sum(count_tokens(p) for p in prompts),
+            sum(count_tokens(c) for c in completions),
+        )
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens

@@ -1,0 +1,64 @@
+"""Event queue for the discrete-event network simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+#: An event callback takes the current simulation time (microseconds).
+EventCallback = Callable[[int], None]
+
+
+class EventQueue:
+    """Min-heap of timestamped events with stable FIFO ordering for ties."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, EventCallback]] = []
+        self._counter = itertools.count()
+        self.now = 0
+        self.processed = 0
+
+    def schedule(self, time_us: int, callback: EventCallback) -> None:
+        """Schedule ``callback`` to run at ``time_us`` (>= now)."""
+        if time_us < self.now:
+            raise ValueError(
+                f"cannot schedule an event in the past ({time_us} < {self.now})"
+            )
+        heapq.heappush(self._heap, (int(time_us), next(self._counter), callback))
+
+    def schedule_after(self, delay_us: int, callback: EventCallback) -> None:
+        """Schedule ``callback`` ``delay_us`` after the current time."""
+        self.schedule(self.now + max(0, int(delay_us)), callback)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def empty(self) -> bool:
+        return not self._heap
+
+    def step(self) -> bool:
+        """Run the earliest event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        time_us, _seq, callback = heapq.heappop(self._heap)
+        self.now = time_us
+        callback(time_us)
+        self.processed += 1
+        return True
+
+    def run_until(self, end_time_us: int, max_events: Optional[int] = None) -> int:
+        """Process events up to (and including) ``end_time_us``.
+
+        Returns the number of events processed.  ``max_events`` is a safety
+        valve against runaway schedules (e.g. a broken controller flooding
+        the link with zero-length timers).
+        """
+        processed = 0
+        while self._heap and self._heap[0][0] <= end_time_us:
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        self.now = max(self.now, end_time_us)
+        return processed

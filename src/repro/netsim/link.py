@@ -1,0 +1,172 @@
+"""Bottleneck link with a drop-tail queue.
+
+The link models what Mahimahi's ``mm-link`` emulates for the paper's §5
+experiments: a fixed-rate bottleneck (12 Mbps), a one-way propagation delay
+(10 ms each way for a 20 ms RTT), and a finite FIFO buffer that drops
+arriving packets when full.
+
+Serialisation is modelled exactly: each packet occupies the transmitter for
+``size * 8 / rate`` seconds, and the queueing delay of a packet is the time
+between its arrival and the moment it starts being serialised.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from repro.netsim.events import EventQueue
+from repro.netsim.packet import Packet
+
+#: Callback invoked when a packet pops out of the far end of the link.
+DeliveryCallback = Callable[[Packet, int], None]
+#: Callback invoked when the queue drops a packet.
+DropCallback = Callable[[Packet, int], None]
+
+
+@dataclass
+class LinkConfig:
+    """Static parameters of a bottleneck link."""
+
+    rate_bps: int = 12_000_000          # 12 Mbps, as in §5.0.3
+    one_way_delay_us: int = 10_000      # 10 ms each way -> 20 ms RTT
+    queue_bytes: int = 60_000           # ~1.6 bandwidth-delay products
+
+    def serialization_us(self, size_bytes: int) -> int:
+        """Time to clock ``size_bytes`` onto the wire, in microseconds."""
+        return int(round(size_bytes * 8 * 1_000_000 / self.rate_bps))
+
+    def bdp_bytes(self, rtt_us: Optional[int] = None) -> int:
+        """Bandwidth-delay product for ``rtt_us`` (defaults to 2x one-way delay)."""
+        rtt = rtt_us if rtt_us is not None else 2 * self.one_way_delay_us
+        return int(self.rate_bps * rtt / 8 / 1_000_000)
+
+
+@dataclass
+class LinkStats:
+    """Counters accumulated by a link over a run."""
+
+    enqueued_packets: int = 0
+    delivered_packets: int = 0
+    dropped_packets: int = 0
+    delivered_bytes: int = 0
+    dropped_bytes: int = 0
+    queueing_delays_us: List[int] = field(default_factory=list)
+    busy_us: int = 0
+
+    def mean_queueing_delay_ms(self) -> float:
+        if not self.queueing_delays_us:
+            return 0.0
+        return sum(self.queueing_delays_us) / len(self.queueing_delays_us) / 1000.0
+
+    def p95_queueing_delay_ms(self) -> float:
+        if not self.queueing_delays_us:
+            return 0.0
+        ordered = sorted(self.queueing_delays_us)
+        index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+        return ordered[index] / 1000.0
+
+    def utilization(self, rate_bps: int, duration_us: int) -> float:
+        if duration_us <= 0:
+            return 0.0
+        capacity_bytes = rate_bps * duration_us / 8 / 1_000_000
+        if capacity_bytes <= 0:
+            return 0.0
+        return min(1.0, self.delivered_bytes / capacity_bytes)
+
+    def loss_rate(self) -> float:
+        total = self.enqueued_packets + self.dropped_packets
+        if total == 0:
+            return 0.0
+        return self.dropped_packets / total
+
+
+class DropTailLink:
+    """FIFO bottleneck link bound to an :class:`EventQueue`."""
+
+    def __init__(
+        self,
+        events: EventQueue,
+        config: Optional[LinkConfig] = None,
+        on_delivery: Optional[DeliveryCallback] = None,
+        on_drop: Optional[DropCallback] = None,
+        name: str = "bottleneck",
+    ):
+        self.events = events
+        self.config = config or LinkConfig()
+        self.name = name
+        self.stats = LinkStats()
+        self._on_delivery = on_delivery
+        self._on_drop = on_drop
+        self._queue: Deque[Packet] = deque()
+        self._queued_bytes = 0
+        self._transmitting = False
+
+    # -- wiring -------------------------------------------------------------------
+
+    def set_delivery_callback(self, callback: DeliveryCallback) -> None:
+        self._on_delivery = callback
+
+    def set_drop_callback(self, callback: DropCallback) -> None:
+        self._on_drop = callback
+
+    # -- inspection ----------------------------------------------------------------
+
+    @property
+    def queued_bytes(self) -> int:
+        return self._queued_bytes
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    # -- datapath --------------------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link at the current simulation time.
+
+        Returns False (and reports a drop) if the buffer cannot hold it.
+        """
+        now = self.events.now
+        if self._queued_bytes + packet.size > self.config.queue_bytes:
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            if self._on_drop is not None:
+                self._on_drop(packet, now)
+            return False
+        packet.enqueued_at = now
+        self._queue.append(packet)
+        self._queued_bytes += packet.size
+        self.stats.enqueued_packets += 1
+        if not self._transmitting:
+            self._start_transmission()
+        return True
+
+    def _start_transmission(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        packet = self._queue[0]
+        packet.dequeued_at = self.events.now
+        serialization = self.config.serialization_us(packet.size)
+        self.stats.busy_us += serialization
+        self.events.schedule_after(
+            serialization, lambda _now, p=packet: self._finish_transmission(p)
+        )
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self._queue.popleft()
+        self._queued_bytes -= packet.size
+        self.stats.queueing_delays_us.append(packet.queueing_delay_us())
+        self.events.schedule_after(
+            self.config.one_way_delay_us, lambda now, p=packet: self._deliver(p, now)
+        )
+        self._start_transmission()
+
+    def _deliver(self, packet: Packet, now: int) -> None:
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bytes += packet.size
+        if self._on_delivery is not None:
+            self._on_delivery(packet, now)

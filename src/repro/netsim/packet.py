@@ -1,0 +1,48 @@
+"""Packets exchanged between flows and links."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Packet:
+    """A data packet (or its acknowledgement).
+
+    Attributes
+    ----------
+    flow_id:
+        Which flow the packet belongs to (links are shared).
+    sequence:
+        Per-flow sequence number of the data packet.
+    size:
+        Payload + header size in bytes (ACKs are small but not free).
+    sent_at:
+        Time the packet left the sender, in microseconds.
+    is_ack:
+        True for acknowledgements travelling back to the sender.
+    enqueued_at / dequeued_at:
+        Set by the link; their difference is the packet's queueing delay.
+    retransmission:
+        True when this packet is a retransmission of a lost sequence.
+    """
+
+    flow_id: int
+    sequence: int
+    size: int
+    sent_at: int
+    is_ack: bool = False
+    enqueued_at: int = 0
+    dequeued_at: int = 0
+    retransmission: bool = False
+
+    def queueing_delay_us(self) -> int:
+        """Time spent waiting in the bottleneck queue (microseconds)."""
+        return max(0, self.dequeued_at - self.enqueued_at)
+
+
+#: Conventional Ethernet-ish maximum segment size used by the flows.
+DEFAULT_MSS = 1448
+
+#: Size of an acknowledgement packet in bytes.
+ACK_SIZE = 64

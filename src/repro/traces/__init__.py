@@ -1,0 +1,32 @@
+"""Synthetic workload generators standing in for the paper's trace datasets.
+
+The paper evaluates on two real block-I/O corpora -- CloudPhysics (105
+week-long VM traces) and MSR Cambridge (14 production-server traces) --
+which cannot be redistributed here.  This package generates synthetic
+corpora with the structural properties those datasets are known for and that
+the paper's results depend on: Zipfian object popularity, strong temporal
+locality (churn), one-touch scan phases, heterogeneous object sizes, and --
+crucially for instance-optimality experiments -- *diversity across traces*
+within a corpus, so that different traces favour different eviction
+policies.
+
+See DESIGN.md ("Substitutions") for the full rationale.
+"""
+
+from repro.traces.synthetic import (
+    SyntheticWorkloadConfig,
+    generate_trace,
+    zipf_weights,
+)
+from repro.traces.cloudphysics import cloudphysics_corpus, cloudphysics_trace
+from repro.traces.msr import msr_corpus, msr_trace
+
+__all__ = [
+    "SyntheticWorkloadConfig",
+    "generate_trace",
+    "zipf_weights",
+    "cloudphysics_corpus",
+    "cloudphysics_trace",
+    "msr_corpus",
+    "msr_trace",
+]

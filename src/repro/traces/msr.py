@@ -1,0 +1,110 @@
+"""MSR-Cambridge-like corpus: 14 production-server traces (synthetic).
+
+The real MSR Cambridge dataset (Narayanan et al., 2008) contains traces from
+enterprise servers -- file servers, web proxies, source-control, printing --
+each with a distinctive access pattern.  The synthetic stand-ins below give
+each of the 14 traces a named server role with a hand-picked workload
+archetype (rather than purely random parameters as in the CloudPhysics
+corpus), which mirrors how the real MSR volumes differ from one another in
+kind rather than degree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.request import Trace
+from repro.traces.synthetic import SyntheticWorkloadConfig, generate_trace
+
+CORPUS_SEED = 77_414
+
+#: (name, archetype) pairs for the 14 servers, loosely following the real
+#: dataset's volume names.
+SERVER_ROLES: Tuple[Tuple[str, str], ...] = (
+    ("proj", "churn"),
+    ("prxy", "zipf"),
+    ("src1", "churn"),
+    ("src2", "mixed"),
+    ("stg", "scan"),
+    ("ts", "zipf"),
+    ("usr", "mixed"),
+    ("wdev", "churn"),
+    ("web", "zipf"),
+    ("hm", "mixed"),
+    ("mds", "scan"),
+    ("prn", "scan"),
+    ("rsrch", "zipf"),
+    ("proxy2", "churn"),
+)
+
+NUM_TRACES = len(SERVER_ROLES)
+
+_ARCHETYPE_WEIGHTS: Dict[str, Tuple[float, float, float, float]] = {
+    "zipf": (0.70, 0.12, 0.06, 0.12),
+    "churn": (0.22, 0.58, 0.06, 0.14),
+    "scan": (0.28, 0.14, 0.48, 0.10),
+    "mixed": (0.42, 0.26, 0.18, 0.14),
+}
+
+
+def msr_config(
+    index: int,
+    num_requests: int = 8000,
+    num_objects: int = 2000,
+    corpus_seed: int = CORPUS_SEED,
+) -> SyntheticWorkloadConfig:
+    """Workload parameters for MSR-like trace ``index`` (1-based)."""
+    if not 1 <= index <= NUM_TRACES:
+        raise ValueError(f"MSR trace index must be in [1, {NUM_TRACES}]")
+    name, archetype = SERVER_ROLES[index - 1]
+    rng = np.random.default_rng(corpus_seed + index)
+    zipf_w, churn_w, scan_w, recent_w = _ARCHETYPE_WEIGHTS[archetype]
+    jitter = rng.uniform(0.9, 1.1, size=4)
+
+    return SyntheticWorkloadConfig(
+        name=f"msr-{name}",
+        num_requests=num_requests,
+        num_objects=int(num_objects * rng.uniform(0.8, 1.3)),
+        seed=int(rng.integers(0, 2**31 - 1)),
+        zipf_weight=float(zipf_w * jitter[0]),
+        churn_weight=float(churn_w * jitter[1]),
+        scan_weight=float(scan_w * jitter[2]),
+        recent_weight=float(recent_w * jitter[3]),
+        zipf_alpha=float(rng.uniform(0.75, 1.25)),
+        working_set_fraction=float(rng.uniform(0.05, 0.12)),
+        working_set_period=int(rng.integers(1000, 3000)),
+        scan_length=int(rng.integers(80, 300)),
+        reuse_distance_scale=float(rng.uniform(40, 150)),
+        size_log_mean=float(rng.uniform(8.8, 10.0)),
+        size_log_sigma=float(rng.uniform(0.7, 1.3)),
+    )
+
+
+def msr_trace(
+    index: int,
+    num_requests: int = 8000,
+    num_objects: int = 2000,
+    corpus_seed: int = CORPUS_SEED,
+) -> Trace:
+    """Generate MSR-like trace ``index`` (1-based, deterministic)."""
+    return generate_trace(msr_config(index, num_requests, num_objects, corpus_seed))
+
+
+def msr_corpus(
+    count: Optional[int] = None,
+    num_requests: int = 8000,
+    num_objects: int = 2000,
+    corpus_seed: int = CORPUS_SEED,
+) -> Iterator[Trace]:
+    """Yield the corpus (all 14 traces by default, or the first ``count``)."""
+    total = NUM_TRACES if count is None else min(count, NUM_TRACES)
+    for index in range(1, total + 1):
+        yield msr_trace(index, num_requests, num_objects, corpus_seed)
+
+
+def trace_names(count: Optional[int] = None) -> List[str]:
+    """Names of the corpus traces in order."""
+    total = NUM_TRACES if count is None else min(count, NUM_TRACES)
+    return [f"msr-{SERVER_ROLES[i][0]}" for i in range(total)]

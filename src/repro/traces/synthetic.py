@@ -1,0 +1,163 @@
+"""Core synthetic block-I/O workload generator.
+
+The generator composes four request sources, mixed per-request according to
+configurable weights:
+
+* **zipf** -- accesses drawn from a static Zipf popularity distribution over
+  the object universe (classic skewed reuse);
+* **churn** -- accesses concentrated on a *working set* window that slowly
+  rotates through the universe, producing the "mostly repeated objects"
+  behaviour Cacheus calls churn workloads;
+* **scan** -- sequential one-touch sweeps over ranges of cold objects
+  ("mostly new objects" / scan workloads);
+* **recent** -- re-references of recently requested objects with a
+  heavy-tailed reuse distance, adding short-term temporal locality.
+
+Object sizes follow a quantised log-normal distribution (block I/O sizes
+cluster around a few KiB with a heavy tail), fixed per object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.request import Request, Trace
+
+
+def zipf_weights(num_objects: int, alpha: float) -> np.ndarray:
+    """Normalised Zipf(alpha) probabilities over ranks 1..num_objects."""
+    if num_objects <= 0:
+        raise ValueError("num_objects must be positive")
+    ranks = np.arange(1, num_objects + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    return weights / weights.sum()
+
+
+@dataclass
+class SyntheticWorkloadConfig:
+    """Parameters of one synthetic trace.
+
+    The defaults produce a laptop-scale trace (a few thousand requests) so
+    that the full Figure 2 sweep over ~120 traces remains tractable; the
+    structure, not the absolute length, is what the experiments need.
+    """
+
+    name: str = "synthetic"
+    num_requests: int = 6000
+    num_objects: int = 1500
+    seed: int = 0
+
+    # Mixture weights (normalised internally).
+    zipf_weight: float = 0.45
+    churn_weight: float = 0.30
+    scan_weight: float = 0.15
+    recent_weight: float = 0.10
+
+    # Source-specific knobs.
+    zipf_alpha: float = 0.9
+    working_set_fraction: float = 0.08
+    working_set_period: int = 1500
+    scan_length: int = 120
+    reuse_distance_scale: float = 80.0
+
+    # Object sizes (bytes): quantised log-normal.
+    size_log_mean: float = 9.2   # ~10 KiB median
+    size_log_sigma: float = 1.1
+    size_block: int = 512
+    max_size: int = 1 << 22      # 4 MiB cap
+
+    # Timestamp model: mean gap between requests (exponential).
+    mean_interarrival: float = 10.0
+
+    def mixture(self) -> np.ndarray:
+        weights = np.array(
+            [self.zipf_weight, self.churn_weight, self.scan_weight, self.recent_weight],
+            dtype=np.float64,
+        )
+        if weights.sum() <= 0:
+            raise ValueError("at least one mixture weight must be positive")
+        if (weights < 0).any():
+            raise ValueError("mixture weights must be non-negative")
+        return weights / weights.sum()
+
+    def validate(self) -> None:
+        if self.num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        if self.num_objects <= 0:
+            raise ValueError("num_objects must be positive")
+        if not 0 < self.working_set_fraction <= 1:
+            raise ValueError("working_set_fraction must be in (0, 1]")
+        if self.scan_length <= 0:
+            raise ValueError("scan_length must be positive")
+        self.mixture()
+
+
+def _object_sizes(config: SyntheticWorkloadConfig, rng: np.random.Generator) -> np.ndarray:
+    """Per-object sizes, fixed for the duration of the trace."""
+    raw = rng.lognormal(config.size_log_mean, config.size_log_sigma, config.num_objects)
+    sizes = np.ceil(raw / config.size_block) * config.size_block
+    sizes = np.clip(sizes, config.size_block, config.max_size)
+    return sizes.astype(np.int64)
+
+
+def generate_trace(config: SyntheticWorkloadConfig) -> Trace:
+    """Generate a :class:`Trace` according to ``config`` (deterministic per seed)."""
+    config.validate()
+    rng = np.random.default_rng(config.seed)
+
+    num_objects = config.num_objects
+    sizes = _object_sizes(config, rng)
+    zipf_probabilities = zipf_weights(num_objects, config.zipf_alpha)
+    # Shuffle the rank->object mapping so that object ids carry no meaning.
+    popularity_order = rng.permutation(num_objects)
+
+    mixture = config.mixture()
+    source_choices = rng.choice(4, size=config.num_requests, p=mixture)
+    zipf_draws = rng.choice(num_objects, size=config.num_requests, p=zipf_probabilities)
+    uniform_draws = rng.random(config.num_requests)
+    gaps = rng.exponential(config.mean_interarrival, config.num_requests)
+
+    working_set_size = max(8, int(num_objects * config.working_set_fraction))
+    scan_cursor = 0
+    scan_remaining = 0
+    recent_keys: List[int] = []
+
+    requests: List[Request] = []
+    timestamp = 0.0
+    for i in range(config.num_requests):
+        timestamp += gaps[i]
+        source = source_choices[i]
+
+        if source == 0:  # zipf
+            obj = int(popularity_order[zipf_draws[i]])
+        elif source == 1:  # churn: rotating working-set window
+            window_start = (i // config.working_set_period) * (working_set_size // 2)
+            offset = int(uniform_draws[i] * working_set_size)
+            obj = int((window_start + offset) % num_objects)
+        elif source == 2:  # scan: sequential one-touch sweep
+            if scan_remaining <= 0:
+                scan_remaining = config.scan_length
+                scan_cursor = int(uniform_draws[i] * num_objects)
+            obj = int(scan_cursor % num_objects)
+            scan_cursor += 1
+            scan_remaining -= 1
+        else:  # recent: heavy-tailed reuse of a recently requested object
+            if recent_keys:
+                distance = int(rng.exponential(config.reuse_distance_scale))
+                distance = min(distance, len(recent_keys) - 1)
+                obj = recent_keys[-1 - distance]
+            else:
+                obj = int(popularity_order[zipf_draws[i]])
+
+        recent_keys.append(obj)
+        if len(recent_keys) > 4096:
+            del recent_keys[:2048]
+
+        requests.append(
+            Request(timestamp=int(timestamp), key=obj, size=int(sizes[obj]))
+        )
+
+    return Trace(requests, name=config.name)

@@ -1,0 +1,132 @@
+"""Tests of the Table-1 feature view (per-object, aggregates, history)."""
+
+import pytest
+
+from repro.cache.features import (
+    EvictionHistory,
+    FeatureAggregates,
+    ObjectInfoView,
+)
+from repro.cache.policies.base import CachedObject
+from repro.dsl.errors import DslRuntimeError
+
+
+def make_object(key=1, size=100, insert=10, last=50, count=3):
+    return CachedObject(
+        key=key, size=size, insert_time=insert, last_access_time=last, access_count=count
+    )
+
+
+# -- ObjectInfoView -------------------------------------------------------------
+
+
+def test_object_info_view_mirrors_cached_object():
+    view = ObjectInfoView(make_object(key=9, size=256, insert=5, last=42, count=7))
+    assert view.count == 7
+    assert view.last_accessed == 42
+    assert view.inserted_at == 5
+    assert view.size == 256
+
+
+def test_object_info_view_dsl_access_control():
+    view = ObjectInfoView(make_object())
+    assert view.dsl_getattr("count") == 3
+    with pytest.raises(DslRuntimeError):
+        view.dsl_getattr("secret")
+    with pytest.raises(DslRuntimeError):
+        view.dsl_call("count", [])
+
+
+# -- FeatureAggregates ------------------------------------------------------------
+
+
+def test_aggregates_percentile_nearest_rank():
+    agg = FeatureAggregates([10, 20, 30, 40, 50])
+    assert agg.percentile(0.0) == 10
+    assert agg.percentile(0.5) == 30
+    assert agg.percentile(1.0) == 50
+    assert agg.percentile(0.75) == 40
+
+
+def test_aggregates_percentile_accepts_percent_form():
+    agg = FeatureAggregates([10, 20, 30, 40, 50])
+    assert agg.percentile(75) == agg.percentile(0.75)
+
+
+def test_aggregates_summary_stats():
+    agg = FeatureAggregates([4, 2, 8])
+    assert agg.mean() == pytest.approx(14 / 3)
+    assert agg.minimum() == 2
+    assert agg.maximum() == 8
+    assert agg.count() == 3
+
+
+def test_aggregates_empty_behaviour():
+    agg = FeatureAggregates()
+    assert agg.percentile(0.5) == 0.0
+    assert agg.mean() == 0.0
+    assert agg.minimum() == 0.0
+    assert agg.maximum() == 0.0
+    assert agg.count() == 0
+
+
+def test_aggregates_update_replaces_snapshot():
+    agg = FeatureAggregates([1, 2, 3])
+    agg.update([100, 200])
+    assert agg.maximum() == 200
+    assert agg.count() == 2
+
+
+def test_aggregates_rejects_non_numeric_percentile():
+    agg = FeatureAggregates([1, 2, 3])
+    with pytest.raises(DslRuntimeError):
+        agg.percentile("high")
+
+
+# -- EvictionHistory ------------------------------------------------------------------
+
+
+def test_history_records_eviction_metadata():
+    history = EvictionHistory(max_entries=10)
+    history.record(make_object(key=5, last=40, count=4, size=123), now=100)
+    history.set_now(150)
+    assert history.contains(5)
+    assert history.count_of(5) == 4
+    assert history.age_at_eviction(5) == 60
+    assert history.size_of(5) == 123
+    assert history.time_since_eviction(5) == 50
+    assert history.length() == 1
+
+
+def test_history_misses_return_neutral_values():
+    history = EvictionHistory()
+    assert not history.contains(99)
+    assert history.count_of(99) == 0
+    assert history.age_at_eviction(99) == 0
+    assert history.size_of(99) == 0
+    assert history.time_since_eviction(99) == 0
+
+
+def test_history_bounded_by_max_entries():
+    history = EvictionHistory(max_entries=3)
+    for key in range(6):
+        history.record(make_object(key=key), now=100 + key)
+    assert history.length() == 3
+    assert not history.contains(0)
+    assert history.contains(5)
+
+
+def test_history_rerecord_moves_to_front():
+    history = EvictionHistory(max_entries=2)
+    history.record(make_object(key=1), now=10)
+    history.record(make_object(key=2), now=20)
+    history.record(make_object(key=1, count=9), now=30)   # re-evicted later
+    history.record(make_object(key=3), now=40)
+    assert history.contains(1)
+    assert history.count_of(1) == 9
+    assert not history.contains(2)
+
+
+def test_history_requires_positive_capacity():
+    with pytest.raises(ValueError):
+        EvictionHistory(max_entries=0)

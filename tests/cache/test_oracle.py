@@ -1,0 +1,76 @@
+"""Oracle (B-Oracle / PS-Oracle) tests."""
+
+import pytest
+
+from repro.cache.metrics import SimulationResult
+from repro.cache.oracle import Oracle, baseline_oracle, policysmith_oracle
+
+
+def result(policy, trace, miss_ratio, requests=1000):
+    misses = int(miss_ratio * requests)
+    return SimulationResult(
+        policy=policy,
+        trace=trace,
+        cache_size=1,
+        requests=requests,
+        misses=misses,
+        hits=requests - misses,
+    )
+
+
+@pytest.fixture
+def results_by_trace():
+    return {
+        "t1": {
+            "FIFO": result("FIFO", "t1", 0.50),
+            "LRU": result("LRU", "t1", 0.40),
+            "GDSF": result("GDSF", "t1", 0.30),
+            "Heuristic A": result("Heuristic A", "t1", 0.25),
+        },
+        "t2": {
+            "FIFO": result("FIFO", "t2", 0.60),
+            "LRU": result("LRU", "t2", 0.35),
+            "GDSF": result("GDSF", "t2", 0.45),
+            "Heuristic A": result("Heuristic A", "t2", 0.50),
+        },
+    }
+
+
+def test_baseline_oracle_picks_best_baseline(results_by_trace):
+    oracle = baseline_oracle(["FIFO", "LRU", "GDSF"])
+    selections = {s.trace: s for s in oracle.select(results_by_trace)}
+    assert selections["t1"].chosen_policy == "GDSF"
+    assert selections["t2"].chosen_policy == "LRU"
+    assert selections["t1"].improvement_over_fifo == pytest.approx((0.5 - 0.3) / 0.5)
+
+
+def test_policysmith_oracle_includes_heuristics(results_by_trace):
+    oracle = policysmith_oracle(["FIFO", "LRU", "GDSF"], ["Heuristic A"])
+    selections = {s.trace: s for s in oracle.select(results_by_trace)}
+    assert selections["t1"].chosen_policy == "Heuristic A"
+    assert selections["t2"].chosen_policy == "LRU"
+
+
+def test_ps_oracle_never_worse_than_b_oracle(results_by_trace):
+    b = baseline_oracle(["FIFO", "LRU", "GDSF"])
+    ps = policysmith_oracle(["FIFO", "LRU", "GDSF"], ["Heuristic A"])
+    assert ps.mean_improvement(results_by_trace) >= b.mean_improvement(results_by_trace)
+
+
+def test_oracle_requires_fifo_result(results_by_trace):
+    del results_by_trace["t1"]["FIFO"]
+    oracle = baseline_oracle(["LRU", "GDSF"])
+    with pytest.raises(KeyError):
+        oracle.select(results_by_trace)
+
+
+def test_oracle_with_no_candidates_raises(results_by_trace):
+    oracle = Oracle("empty", ["NotAPolicy"])
+    with pytest.raises(KeyError):
+        oracle.select(results_by_trace)
+
+
+def test_oracle_ignores_missing_candidates(results_by_trace):
+    oracle = Oracle("partial", ["GDSF", "NotAPolicy"])
+    selections = oracle.select(results_by_trace)
+    assert all(s.chosen_policy == "GDSF" for s in selections)

@@ -1,0 +1,168 @@
+"""Behavioural tests for the structurally richer eviction policies."""
+
+import pytest
+
+from repro.cache.policies.arc import ARCCache
+from repro.cache.policies.cacheus import CacheusCache
+from repro.cache.policies.cr_lfu import CRLFUCache
+from repro.cache.policies.gdsf import GDSFCache
+from repro.cache.policies.lecar import LeCaRCache
+from repro.cache.policies.lhd import LHDCache
+from repro.cache.policies.lirs import LIRSCache
+from repro.cache.policies.s3fifo import S3FIFOCache
+from repro.cache.policies.sr_lru import SRLRUCache
+from repro.cache.policies.twoq import TwoQCache
+from repro.cache.policies import ALL_POLICIES, BASELINES
+from repro.cache.request import Request
+from repro.cache.simulator import CacheSimulator, cache_size_for, simulate
+
+from tests.cache.test_policies_basic import feed, resident
+from tests.conftest import make_trace
+
+
+def test_baselines_registry_matches_paper():
+    # The paper's fourteen baselines (§4.2.2) must all be present.
+    expected = {
+        "GDSF", "S3-FIFO", "SIEVE", "LIRS", "LHD", "Cacheus", "FIFO-Re",
+        "LeCaR", "SR-LRU", "CR-LFU", "LRU", "MRU", "FIFO", "LFU",
+    }
+    assert expected == set(BASELINES)
+    assert {"ARC", "TwoQ"} <= set(ALL_POLICIES)
+
+
+def test_gdsf_prefers_small_frequent_objects():
+    policy = GDSFCache(capacity=1000)
+    # A large cold object and small hot objects.
+    feed(policy, [(1, 1, 600), (2, 2, 100), (3, 3, 100), (4, 2, 100), (5, 3, 100)])
+    feed(policy, [(6, 4, 300)])   # needs room: the big cold object 1 should go
+    assert 1 not in resident(policy)
+    assert {2, 3} <= resident(policy)
+
+
+def test_gdsf_clock_inflation_monotone():
+    policy = GDSFCache(capacity=200)
+    feed(policy, [(1, 1, 100), (2, 2, 100)])
+    first_clock = policy._clock
+    feed(policy, [(3, 3, 100), (4, 4, 100)])
+    assert policy._clock >= first_clock
+
+
+def test_s3fifo_promotes_reaccessed_small_queue_objects():
+    policy = S3FIFOCache(capacity=1000, small_fraction=0.3)
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100)])
+    feed(policy, [(4, 1, 100)])            # object 1 gains frequency in small
+    # Force small-queue evictions: one-hit wonders should leave before 1.
+    feed(policy, [(5, 4, 100), (6, 5, 100), (7, 6, 100), (8, 7, 100), (9, 8, 100), (10, 9, 100)])
+    assert 1 in resident(policy)
+
+
+def test_s3fifo_ghost_hit_goes_to_main():
+    policy = S3FIFOCache(capacity=400, small_fraction=0.25)
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100), (4, 4, 100), (5, 5, 100)])
+    # Object 1 was evicted from the small queue without reuse -> ghost.
+    assert 1 not in resident(policy)
+    feed(policy, [(6, 1, 100)])
+    obj = policy.get(1)
+    assert obj is not None and obj.extra["queue"] == "main"
+
+
+def test_arc_ghost_hit_adapts_target():
+    policy = ARCCache(capacity=300)
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100), (4, 4, 100)])
+    assert len(policy) == 3
+    evicted = ({1, 2, 3, 4} - resident(policy)).pop()
+    before = policy._p
+    feed(policy, [(5, evicted, 100)])      # hit in B1 -> p grows
+    assert policy._p >= before
+    obj = policy.get(evicted)
+    assert obj is not None and obj.extra["arc_list"] == "t2"
+
+
+def test_arc_hit_moves_object_to_t2():
+    policy = ARCCache(capacity=400)
+    feed(policy, [(1, 1, 100), (2, 2, 100)])
+    feed(policy, [(3, 1, 100)])
+    assert policy.get(1).extra["arc_list"] == "t2"
+
+
+def test_twoq_promotes_a1out_hits():
+    policy = TwoQCache(capacity=400, kin_fraction=0.25, kout_fraction=0.5)
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100), (4, 4, 100), (5, 5, 100)])
+    missing = {1, 2, 3, 4, 5} - resident(policy)
+    assert missing, "at least one object must have been evicted from A1in"
+    victim = min(missing)
+    feed(policy, [(6, victim, 100)])
+    assert policy.get(victim).extra["twoq_list"] == "am"
+
+
+def test_lirs_keeps_hot_working_set_under_scan():
+    policy = LIRSCache(capacity=1000)
+    # Establish a hot working set of 1..8 (re-referenced), then scan 100..140.
+    hot = [(t, k, 100) for t, k in enumerate([1, 2, 3, 4, 5, 6, 7, 8] * 3, start=1)]
+    feed(policy, hot)
+    scan = [(100 + i, 100 + i, 100) for i in range(40)]
+    feed(policy, scan)
+    hot_resident = sum(1 for k in [1, 2, 3, 4, 5, 6, 7, 8] if k in policy)
+    assert hot_resident >= 6
+
+
+def test_lhd_runs_and_respects_capacity(small_synthetic_trace):
+    result = simulate(LHDCache, small_synthetic_trace, cache_fraction=0.1)
+    assert 0 < result.miss_ratio < 1
+
+
+def test_lecar_weights_stay_normalised(small_synthetic_trace):
+    policy = LeCaRCache(cache_size_for(small_synthetic_trace, 0.05))
+    CacheSimulator().run(policy, small_synthetic_trace)
+    assert policy.lru_weight + policy.lfu_weight == pytest.approx(1.0)
+    assert 0 < policy.lru_weight < 1
+
+
+def test_cr_lfu_breaks_ties_by_evicting_mru():
+    policy = CRLFUCache(capacity=300)
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100)])
+    # All have frequency 1; the most recently used is 3, so it goes first.
+    feed(policy, [(4, 4, 100)])
+    assert resident(policy) == {1, 2, 4}
+
+
+def test_sr_lru_protects_reused_objects_from_scans():
+    policy = SRLRUCache(capacity=1000)
+    # Objects 1 and 2 are reused (promoted to R); then a scan floods SR.
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 1, 100), (4, 2, 100)])
+    scan = [(10 + i, 50 + i, 100) for i in range(20)]
+    feed(policy, scan)
+    assert 1 in resident(policy)
+    assert 2 in resident(policy)
+
+
+def test_cacheus_adapts_learning_rate(small_synthetic_trace):
+    policy = CacheusCache(cache_size_for(small_synthetic_trace, 0.05))
+    CacheSimulator().run(policy, small_synthetic_trace)
+    assert CacheusCache.MIN_LEARNING_RATE <= policy.learning_rate <= CacheusCache.MAX_LEARNING_RATE
+    assert policy.recency_weight + policy.frequency_weight == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_POLICIES))
+def test_every_policy_simulates_correctly(name, small_synthetic_trace):
+    """Every policy handles a realistic trace without violating invariants."""
+    factory = ALL_POLICIES[name]
+    policy = factory(cache_size_for(small_synthetic_trace, 0.08))
+    simulator = CacheSimulator(check_invariants_every=200)
+    result = simulator.run(policy, small_synthetic_trace)
+    assert result.requests == len(small_synthetic_trace)
+    assert result.hits + result.misses == result.requests
+    assert 0.0 < result.miss_ratio <= 1.0
+    # No policy can beat compulsory misses.
+    assert result.miss_ratio >= small_synthetic_trace.compulsory_miss_ratio() - 1e-9
+    policy.check_invariants()
+
+
+@pytest.mark.parametrize("name", ["LRU", "GDSF", "S3-FIFO", "SIEVE", "Cacheus"])
+def test_policies_are_deterministic(name, small_synthetic_trace):
+    factory = ALL_POLICIES[name]
+    size = cache_size_for(small_synthetic_trace, 0.08)
+    first = CacheSimulator().run(factory(size), small_synthetic_trace)
+    second = CacheSimulator().run(factory(size), small_synthetic_trace)
+    assert first.miss_ratio == second.miss_ratio
+    assert first.evictions == second.evictions

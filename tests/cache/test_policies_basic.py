@@ -1,0 +1,122 @@
+"""Behavioural unit tests for the simple eviction policies."""
+
+import pytest
+
+from repro.cache.policies.fifo import FIFOCache
+from repro.cache.policies.fifo_reinsertion import FIFOReinsertionCache
+from repro.cache.policies.lfu import LFUCache
+from repro.cache.policies.lru import LRUCache
+from repro.cache.policies.mru import MRUCache
+from repro.cache.policies.sieve import SieveCache
+from repro.cache.request import Request
+
+
+def feed(policy, entries):
+    """Replay (timestamp, key, size) entries through the policy."""
+    for t, k, s in entries:
+        request = Request(t, k, s)
+        if not policy.lookup(request):
+            if policy.should_admit(request):
+                policy.admit(request)
+
+
+def resident(policy):
+    return set(policy.keys())
+
+
+def test_fifo_evicts_in_insertion_order():
+    policy = FIFOCache(capacity=300)
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100)])
+    # Accessing object 1 must not save it: FIFO ignores recency.
+    feed(policy, [(4, 1, 100)])
+    feed(policy, [(5, 4, 100)])
+    assert resident(policy) == {2, 3, 4}
+
+
+def test_lru_evicts_least_recently_used():
+    policy = LRUCache(capacity=300)
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100)])
+    feed(policy, [(4, 1, 100)])     # 1 becomes most recent
+    feed(policy, [(5, 4, 100)])     # evicts 2
+    assert resident(policy) == {1, 3, 4}
+
+
+def test_mru_evicts_most_recently_used():
+    policy = MRUCache(capacity=300)
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100)])
+    feed(policy, [(4, 4, 100)])     # evicts 3 (the most recently used resident)
+    assert resident(policy) == {1, 2, 4}
+
+
+def test_lfu_evicts_least_frequent_with_lru_tiebreak():
+    policy = LFUCache(capacity=300)
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100)])
+    feed(policy, [(4, 1, 100), (5, 1, 100), (6, 2, 100)])   # freqs: 1->3, 2->2, 3->1
+    feed(policy, [(7, 4, 100)])
+    assert resident(policy) == {1, 2, 4}
+    # Now 3 is gone; freqs: 1->3, 2->2, 4->1; adding 5 evicts 4.
+    feed(policy, [(8, 5, 100)])
+    assert resident(policy) == {1, 2, 5}
+
+
+def test_fifo_reinsertion_grants_second_chance():
+    policy = FIFOReinsertionCache(capacity=300)
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100)])
+    feed(policy, [(4, 1, 100)])     # mark 1 as accessed
+    feed(policy, [(5, 4, 100)])     # 1 is reinserted, 2 evicted instead
+    assert resident(policy) == {1, 3, 4}
+
+
+def test_sieve_keeps_visited_objects():
+    policy = SieveCache(capacity=300)
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100)])
+    feed(policy, [(4, 1, 100)])     # visit object 1
+    feed(policy, [(5, 4, 100)])     # hand skips 1 (clears bit), evicts 2
+    assert resident(policy) == {1, 3, 4}
+    # The hand now points at 3 (unvisited), so the next eviction takes it.
+    feed(policy, [(6, 5, 100)])
+    assert resident(policy) == {1, 4, 5}
+
+
+def test_capacity_accounting_with_variable_sizes():
+    policy = LRUCache(capacity=1000)
+    feed(policy, [(1, 1, 400), (2, 2, 400), (3, 3, 400)])
+    assert policy.used_bytes <= 1000
+    policy.check_invariants()
+    assert len(policy) == 2
+
+
+def test_single_object_larger_than_capacity_rejected():
+    policy = LRUCache(capacity=100)
+    with pytest.raises(ValueError):
+        policy.admit(Request(1, 1, 200))
+
+
+def test_duplicate_admit_is_noop():
+    policy = LRUCache(capacity=300)
+    policy.admit(Request(1, 1, 100))
+    policy.admit(Request(2, 1, 100))
+    assert len(policy) == 1
+    assert policy.used_bytes == 100
+
+
+def test_eviction_listener_called():
+    policy = FIFOCache(capacity=200)
+    evicted = []
+    policy.add_eviction_listener(lambda obj, now: evicted.append((obj.key, now)))
+    feed(policy, [(1, 1, 100), (2, 2, 100), (3, 3, 100)])
+    assert evicted == [(1, 3)]
+
+
+def test_metadata_updates_on_hit():
+    policy = LRUCache(capacity=1000)
+    feed(policy, [(1, 1, 100), (5, 1, 100), (9, 1, 100)])
+    obj = policy.get(1)
+    assert obj.access_count == 3
+    assert obj.last_access_time == 9
+    assert obj.insert_time == 1
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(capacity=0)

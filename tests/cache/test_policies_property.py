@@ -1,0 +1,69 @@
+"""Property-based tests over the eviction policies.
+
+For randomly generated request streams, every policy must maintain its
+byte-accounting invariants, never exceed capacity, and produce hit/miss
+counts that add up.  These are exactly the invariants that, if broken,
+would silently corrupt every experiment built on top of the simulator.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.policies import ALL_POLICIES
+from repro.cache.request import Request, Trace
+from repro.cache.simulator import CacheSimulator
+
+POLICY_NAMES = sorted(ALL_POLICIES)
+
+request_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),     # key
+        st.integers(min_value=1, max_value=400),    # size
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def build_trace(pairs):
+    return Trace(
+        [Request(timestamp=i + 1, key=key, size=size) for i, (key, size) in enumerate(pairs)],
+        name="hypothesis",
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(pairs=request_streams, policy_index=st.integers(min_value=0, max_value=len(POLICY_NAMES) - 1))
+def test_policies_never_exceed_capacity(pairs, policy_index):
+    name = POLICY_NAMES[policy_index]
+    trace = build_trace(pairs)
+    capacity = 800
+    policy = ALL_POLICIES[name](capacity)
+    result = CacheSimulator(check_invariants_every=7).run(policy, trace)
+    policy.check_invariants()
+    assert policy.used_bytes <= capacity
+    assert result.hits + result.misses == result.requests == len(trace)
+    assert result.admissions <= result.misses
+    assert result.evictions <= result.admissions
+
+
+@settings(max_examples=25, deadline=None)
+@given(pairs=request_streams)
+def test_unbounded_cache_only_has_compulsory_misses(pairs):
+    trace = build_trace(pairs)
+    policy = ALL_POLICIES["LRU"](10_000_000)
+    result = CacheSimulator().run(policy, trace)
+    assert result.misses == trace.unique_objects()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    pairs=request_streams,
+    policy_index=st.integers(min_value=0, max_value=len(POLICY_NAMES) - 1),
+)
+def test_policies_deterministic_over_random_traces(pairs, policy_index):
+    name = POLICY_NAMES[policy_index]
+    trace = build_trace(pairs)
+    first = CacheSimulator().run(ALL_POLICIES[name](600), trace)
+    second = CacheSimulator().run(ALL_POLICIES[name](600), trace)
+    assert first.miss_ratio == second.miss_ratio
+    assert first.evictions == second.evictions

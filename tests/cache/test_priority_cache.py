@@ -1,0 +1,131 @@
+"""Tests of the PolicySmith priority-queue Template cache."""
+
+import pytest
+
+from repro.cache.policies.lru import LRUCache
+from repro.cache.policies.lfu import LFUCache
+from repro.cache.priority_cache import (
+    CallablePriorityFunction,
+    DslPriorityFunction,
+    PriorityFunctionCache,
+    as_priority_function,
+)
+from repro.cache.request import Request
+from repro.cache.simulator import CacheSimulator, cache_size_for, simulate
+from repro.dsl import parse
+from repro.dsl.errors import DslRuntimeError
+
+from tests.cache.test_policies_basic import feed, resident
+from tests.conftest import LISTING_1, PRIORITY_SIGNATURE
+
+
+LRU_PRIORITY = parse(f"{PRIORITY_SIGNATURE} {{ return obj_info.last_accessed }}")
+LFU_PRIORITY = parse(f"{PRIORITY_SIGNATURE} {{ return obj_info.count }}")
+
+
+def test_signature_validation():
+    with pytest.raises(ValueError):
+        DslPriorityFunction(parse("def priority(now) { return now }"))
+
+
+def test_as_priority_function_accepts_all_forms():
+    assert isinstance(as_priority_function(LRU_PRIORITY), DslPriorityFunction)
+    fn = as_priority_function(lambda now, *_rest: now)
+    assert isinstance(fn, CallablePriorityFunction)
+    with pytest.raises(TypeError):
+        as_priority_function(42)
+
+
+def test_lowest_score_is_evicted():
+    # Priority = key value, so the smallest key is always the victim.
+    def priority(now, obj_id, obj_info, counts, ages, sizes, history):
+        return obj_id
+
+    cache = PriorityFunctionCache(300, priority)
+    feed(cache, [(1, 5, 100), (2, 9, 100), (3, 7, 100), (4, 11, 100)])
+    assert resident(cache) == {9, 7, 11}
+    feed(cache, [(5, 20, 100)])
+    assert resident(cache) == {9, 11, 20}
+
+
+def test_lru_priority_program_matches_lru_policy(small_synthetic_trace):
+    size = cache_size_for(small_synthetic_trace, 0.08)
+    lru = CacheSimulator().run(LRUCache(size), small_synthetic_trace)
+    ps_lru = CacheSimulator().run(
+        PriorityFunctionCache(size, LRU_PRIORITY, name="PS-LRU"), small_synthetic_trace
+    )
+    assert ps_lru.miss_ratio == pytest.approx(lru.miss_ratio, abs=1e-12)
+
+
+def test_lfu_priority_program_close_to_lfu_policy(small_synthetic_trace):
+    # LFU tie-breaking differs (insertion order vs heap order), so allow a
+    # small tolerance rather than exact equality.
+    size = cache_size_for(small_synthetic_trace, 0.08)
+    lfu = CacheSimulator().run(LFUCache(size), small_synthetic_trace)
+    ps_lfu = CacheSimulator().run(
+        PriorityFunctionCache(size, LFU_PRIORITY, name="PS-LFU"), small_synthetic_trace
+    )
+    assert ps_lfu.miss_ratio == pytest.approx(lfu.miss_ratio, abs=0.05)
+
+
+def test_listing_1_runs_on_synthetic_trace(small_synthetic_trace):
+    result = simulate(
+        lambda size: PriorityFunctionCache(size, parse(LISTING_1), name="Heuristic A"),
+        small_synthetic_trace,
+        cache_fraction=0.08,
+    )
+    assert 0 < result.miss_ratio < 1
+    assert result.policy == "Heuristic A"
+
+
+def test_history_feature_is_populated():
+    cache = PriorityFunctionCache(200, lambda now, *_rest: now, history_size=16)
+    feed(cache, [(1, 1, 100), (2, 2, 100), (3, 3, 100), (4, 4, 100)])
+    assert cache.history.length() >= 1
+
+
+def test_aggregate_refresh_interval_controls_snapshot():
+    seen_counts = []
+
+    def priority(now, obj_id, obj_info, counts, ages, sizes, history):
+        seen_counts.append(counts.count())
+        return obj_info.last_accessed
+
+    cache = PriorityFunctionCache(10_000, priority, refresh_interval=4)
+    feed(cache, [(t, t, 100) for t in range(1, 10)])
+    # The first snapshot is empty (refresh happens before any admission) and
+    # later snapshots grow as the cache fills.
+    assert seen_counts[0] == 0
+    assert max(seen_counts) > 0
+
+
+def test_runtime_error_in_priority_function_propagates():
+    bad = parse(f"{PRIORITY_SIGNATURE} {{ return 1 / (now - now) }}")
+    cache = PriorityFunctionCache(300, bad)
+    with pytest.raises(DslRuntimeError):
+        feed(cache, [(1, 1, 100)])
+
+
+def test_non_numeric_priority_rejected():
+    cache = PriorityFunctionCache(300, lambda *args: "high")
+    with pytest.raises(ValueError):
+        feed(cache, [(1, 1, 100)])
+
+
+def test_invalid_constructor_arguments():
+    with pytest.raises(ValueError):
+        PriorityFunctionCache(100, LRU_PRIORITY, refresh_interval=0)
+
+
+def test_current_score_inspection():
+    cache = PriorityFunctionCache(300, lambda now, obj_id, *_rest: obj_id * 10)
+    feed(cache, [(1, 3, 100)])
+    assert cache.current_score(3) == 30
+    assert cache.current_score(99) is None
+
+
+def test_priority_evaluations_counted():
+    cache = PriorityFunctionCache(10_000, lambda now, *_rest: now)
+    feed(cache, [(1, 1, 100), (2, 1, 100), (3, 2, 100)])
+    # One evaluation per admission or hit: 1 admit + 1 hit + 1 admit.
+    assert cache.priority_evaluations == 3

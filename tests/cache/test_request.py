@@ -1,0 +1,68 @@
+"""Request / Trace data-model tests."""
+
+import pytest
+
+from repro.cache.request import Request, Trace
+
+from tests.conftest import make_trace
+
+
+def test_request_validation():
+    Request(timestamp=1, key=2, size=3)
+    with pytest.raises(ValueError):
+        Request(timestamp=1, key=2, size=0)
+    with pytest.raises(ValueError):
+        Request(timestamp=1, key=2, size=-5)
+
+
+def test_trace_basic_stats(tiny_trace):
+    assert len(tiny_trace) == 12
+    assert tiny_trace.unique_objects() == 7
+    assert tiny_trace.footprint_bytes() == 7 * 100
+    assert tiny_trace.duration() == 11
+    assert tiny_trace.compulsory_miss_ratio() == pytest.approx(7 / 12)
+
+
+def test_trace_footprint_uses_largest_size_per_key():
+    trace = make_trace([(1, 1, 100), (2, 1, 300), (3, 2, 50)])
+    assert trace.footprint_bytes() == 350
+
+
+def test_trace_iteration_and_indexing(tiny_trace):
+    assert tiny_trace[0].key == 1
+    keys = [r.key for r in tiny_trace]
+    assert keys[:3] == [1, 2, 3]
+
+
+def test_trace_slice(tiny_trace):
+    sub = tiny_trace.slice(0, 5, name="head")
+    assert len(sub) == 5
+    assert sub.name == "head"
+
+
+def test_trace_csv_roundtrip(tmp_path, tiny_trace):
+    path = tmp_path / "trace.csv"
+    tiny_trace.to_csv(path)
+    loaded = Trace.from_csv(path)
+    assert len(loaded) == len(tiny_trace)
+    assert [r.key for r in loaded] == [r.key for r in tiny_trace]
+    assert [r.size for r in loaded] == [r.size for r in tiny_trace]
+
+
+def test_trace_csv_string(tiny_trace):
+    text = tiny_trace.to_csv_string()
+    assert text.splitlines()[0] == "timestamp,key,size"
+    assert len(text.splitlines()) == len(tiny_trace) + 1
+
+
+def test_trace_from_csv_rejects_bad_header(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b,c\n1,2,3\n")
+    with pytest.raises(ValueError):
+        Trace.from_csv(path)
+
+
+def test_trace_from_requests_builder():
+    trace = Trace.from_requests([(1, 10, 100), (2, 11, 200)], name="built")
+    assert trace.name == "built"
+    assert trace.footprint_bytes() == 300

@@ -1,0 +1,82 @@
+"""Cache simulator loop tests."""
+
+import pytest
+
+from repro.cache.policies.fifo import FIFOCache
+from repro.cache.policies.lru import LRUCache
+from repro.cache.simulator import (
+    CacheSimulator,
+    cache_size_for,
+    simulate,
+    simulate_many,
+)
+
+from tests.conftest import make_trace
+
+
+def test_hit_and_miss_counting(tiny_trace):
+    # Cache big enough to hold everything: misses == compulsory misses.
+    result = simulate(LRUCache, tiny_trace, cache_size=10_000)
+    assert result.requests == len(tiny_trace)
+    assert result.misses == tiny_trace.unique_objects()
+    assert result.hits == len(tiny_trace) - tiny_trace.unique_objects()
+    assert result.miss_ratio == pytest.approx(7 / 12)
+    assert result.hit_ratio == pytest.approx(5 / 12)
+
+
+def test_byte_miss_ratio(tiny_trace):
+    result = simulate(LRUCache, tiny_trace, cache_size=10_000)
+    assert result.byte_miss_ratio == pytest.approx(result.miss_ratio)  # equal sizes
+
+
+def test_cache_size_for_fraction(tiny_trace):
+    assert cache_size_for(tiny_trace, 0.10) == max(1, int(700 * 0.10))
+    assert cache_size_for(tiny_trace, 1.0) == 700
+
+
+def test_simulate_accepts_prebuilt_policy(tiny_trace):
+    policy = FIFOCache(300)
+    result = simulate(policy, tiny_trace)
+    assert result.cache_size == 300
+    assert result.policy == "FIFO"
+
+
+def test_oversized_objects_are_bypassed():
+    trace = make_trace([(1, 1, 500), (2, 2, 50), (3, 1, 500)])
+    result = simulate(FIFOCache, trace, cache_size=100)
+    assert result.bypassed == 2          # the two oversized requests
+    assert result.misses == 3
+    assert result.admissions == 1
+
+
+def test_warmup_requests_not_counted(tiny_trace):
+    full = simulate(LRUCache, tiny_trace, cache_size=10_000)
+    warm = CacheSimulator().run(LRUCache(10_000), tiny_trace, warmup=6)
+    assert warm.requests == len(tiny_trace) - 6
+    assert warm.misses <= full.misses
+
+
+def test_improvement_over_baseline(tiny_trace):
+    results = simulate_many({"LRU": LRUCache, "FIFO": FIFOCache}, tiny_trace, cache_size=250)
+    lru, fifo = results["LRU"], results["FIFO"]
+    improvement = lru.improvement_over(fifo)
+    assert improvement == pytest.approx((fifo.miss_ratio - lru.miss_ratio) / fifo.miss_ratio)
+
+
+def test_simulate_many_uses_same_capacity(tiny_trace):
+    results = simulate_many({"LRU": LRUCache, "FIFO": FIFOCache}, tiny_trace)
+    sizes = {r.cache_size for r in results.values()}
+    assert len(sizes) == 1
+
+
+def test_invariant_checking_mode(small_synthetic_trace):
+    simulator = CacheSimulator(check_invariants_every=100)
+    policy = LRUCache(cache_size_for(small_synthetic_trace))
+    result = simulator.run(policy, small_synthetic_trace)
+    assert result.requests == len(small_synthetic_trace)
+
+
+def test_eviction_count_reported(small_synthetic_trace):
+    result = simulate(LRUCache, small_synthetic_trace, cache_fraction=0.05)
+    assert result.evictions > 0
+    assert result.admissions >= result.evictions

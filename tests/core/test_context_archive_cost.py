@@ -1,0 +1,137 @@
+"""Context, ContextShiftDetector, HeuristicArchive and cost-model tests."""
+
+import pytest
+
+from repro.core.archive import ArchiveEntry, HeuristicArchive
+from repro.core.context import Context, ContextShiftDetector
+from repro.core.cost import CostModel, GPT_4O_MINI_PRICING, SearchCostReport
+from repro.core.results import Candidate, ScoredCandidate
+from repro.core.evaluator import EvaluationResult
+
+
+# -- Context ---------------------------------------------------------------------
+
+
+def test_context_create_and_parameters():
+    context = Context.create(
+        "caching/w89", "trace w89", "minimize miss ratio", cache_fraction=0.1, size=1024
+    )
+    assert context.parameter("cache_fraction") == "0.1"
+    assert context.parameter("missing", "default") == "default"
+    assert "trace w89" in context.describe()
+    assert "minimize miss ratio" in context.describe()
+
+
+def test_context_is_hashable_and_comparable():
+    a = Context.create("c", "w", "o", x=1)
+    b = Context.create("c", "w", "o", x=1)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+# -- ContextShiftDetector ----------------------------------------------------------
+
+
+def test_detector_triggers_on_sustained_degradation():
+    detector = ContextShiftDetector(
+        window=10, reference_window=50, threshold=0.2, patience=3, higher_is_better=True
+    )
+    triggered = False
+    for _ in range(60):
+        triggered = detector.observe(0.8) or triggered
+    assert not triggered
+    # Hit rate collapses: must fire within a few windows.
+    fired = any(detector.observe(0.3) for _ in range(40))
+    assert fired
+    assert detector.shifts_detected == 1
+
+
+def test_detector_ignores_noise_within_threshold():
+    detector = ContextShiftDetector(window=10, reference_window=40, threshold=0.3, patience=3)
+    values = [0.8, 0.82, 0.78, 0.81] * 30
+    assert not any(detector.observe(v) for v in values)
+
+
+def test_detector_lower_is_better_mode():
+    detector = ContextShiftDetector(
+        window=5, reference_window=20, threshold=0.2, patience=2, higher_is_better=False
+    )
+    for _ in range(25):
+        detector.observe(10.0)       # stable latency
+    fired = any(detector.observe(20.0) for _ in range(10))
+    assert fired
+
+
+def test_detector_validation():
+    with pytest.raises(ValueError):
+        ContextShiftDetector(window=0)
+    with pytest.raises(ValueError):
+        ContextShiftDetector(window=10, reference_window=5)
+
+
+# -- HeuristicArchive -----------------------------------------------------------------
+
+
+def scored(source="def priority() { return 1 }", score=0.5, cid="c1"):
+    return ScoredCandidate(
+        candidate=Candidate(candidate_id=cid, source=source, round_index=1),
+        program=None,
+        check_ok=True,
+        evaluation=EvaluationResult(score=score),
+    )
+
+
+def test_archive_add_query_best():
+    archive = HeuristicArchive()
+    context = Context.create("caching/w89", "w89", "miss ratio")
+    archive.add_candidate(context, scored(score=0.5, cid="a"), name="first", rounds="20")
+    archive.add_candidate(context, scored(score=0.8, cid="b"), name="second")
+    assert len(archive) == 2
+    assert archive.contexts() == ["caching/w89"]
+    assert archive.best_for("caching/w89").name == "second"
+    assert archive.best_for("unknown") is None
+    assert archive.entries_for("caching/w89")[0].metadata == {"rounds": "20"}
+
+
+def test_archive_save_and_load_roundtrip(tmp_path):
+    archive = HeuristicArchive()
+    archive.add(ArchiveEntry("ctx", "h1", "def priority() { return 1 }", 0.4, {"k": "v"}))
+    archive.add(ArchiveEntry("ctx2", "h2", "def priority() { return 2 }", 0.9))
+    path = tmp_path / "library.json"
+    archive.save(path)
+    loaded = HeuristicArchive.load(path)
+    assert len(loaded) == 2
+    assert loaded.best_for("ctx").source == "def priority() { return 1 }"
+    assert loaded.best_for("ctx").metadata == {"k": "v"}
+
+
+def test_archive_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"version": 99, "entries": []}')
+    with pytest.raises(ValueError):
+        HeuristicArchive.load(path)
+
+
+# -- Cost model --------------------------------------------------------------------------
+
+
+def test_cost_model_math():
+    model = CostModel("m", usd_per_million_input=1.0, usd_per_million_output=2.0)
+    assert model.cost(1_000_000, 500_000) == pytest.approx(1.0 + 1.0)
+    assert GPT_4O_MINI_PRICING.cost(800_000, 300_000) == pytest.approx(0.12 + 0.18)
+
+
+def test_search_cost_report_aggregation():
+    report = SearchCostReport()
+    report.add_run("run1", 100_000, 40_000, 360.0)
+    report.add_run("run2", 50_000, 20_000, 180.0)
+    assert report.runs == 2
+    assert report.prompt_tokens == 150_000
+    assert report.completion_tokens == 60_000
+    assert report.evaluation_cpu_hours == pytest.approx(540 / 3600)
+    assert report.total_cost_usd == pytest.approx(
+        GPT_4O_MINI_PRICING.cost(150_000, 60_000)
+    )
+    summary = report.summary()
+    assert summary["runs"] == 2

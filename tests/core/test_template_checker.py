@@ -1,0 +1,150 @@
+"""Template and Checker tests."""
+
+import pytest
+
+from repro.cache.search import caching_template
+from repro.core.checker import CompositeChecker, StructuralChecker
+from repro.core.template import Template
+from repro.dsl import parse
+from repro.dsl.grammar import FeatureSpec
+
+from tests.conftest import PRIORITY_SIGNATURE
+
+
+def simple_spec():
+    return FeatureSpec(
+        function_name="f",
+        params=["x", "obj"],
+        scalar_params=["x"],
+        object_attrs={"obj": ["size"]},
+        object_methods={"obj": [("touch", "none")]},
+    )
+
+
+def make_template(**overrides):
+    defaults = dict(
+        name="t",
+        spec=simple_spec(),
+        description="test template",
+        constraints=["stay small"],
+        seed_programs=[parse("def f(x, obj) { return x }")],
+    )
+    defaults.update(overrides)
+    return Template(**defaults)
+
+
+# -- Template ---------------------------------------------------------------------
+
+
+def test_template_signature_and_constraints():
+    template = make_template()
+    assert template.signature() == "def f(x, obj)"
+    assert template.constraint_text() == "1. stay small"
+    assert template.function_name == "f"
+    assert template.params == ("x", "obj")
+    assert len(template.seeds_as_source()) == 1
+
+
+def test_template_rejects_mismatched_seed():
+    with pytest.raises(ValueError):
+        make_template(seed_programs=[parse("def f(y) { return y }")])
+
+
+def test_template_requires_parameters():
+    spec = simple_spec()
+    spec.params = []
+    with pytest.raises(ValueError):
+        make_template(spec=spec, seed_programs=[])
+
+
+def test_template_empty_constraints_text():
+    template = make_template(constraints=[])
+    assert "no additional constraints" in template.constraint_text()
+
+
+# -- StructuralChecker ----------------------------------------------------------------
+
+
+def test_checker_accepts_valid_program():
+    checker = StructuralChecker(make_template())
+    result = checker.check("def f(x, obj) { return x + obj.size }")
+    assert result.ok
+    assert result.program is not None
+    assert result.issues == []
+
+
+def test_checker_rejects_syntax_error():
+    checker = StructuralChecker(make_template())
+    result = checker.check("def f(x, obj) { return x + }")
+    assert not result.ok
+    assert result.issue_codes() == ["syntax-error"]
+    assert "build failed" in result.feedback
+
+
+def test_checker_rejects_wrong_name_and_signature():
+    checker = StructuralChecker(make_template())
+    assert "wrong-function" in checker.check("def g(x, obj) { return x }").issue_codes()
+    assert "wrong-signature" in checker.check("def f(x) { return x }").issue_codes()
+
+
+def test_checker_rejects_missing_return():
+    checker = StructuralChecker(make_template())
+    assert "missing-return" in checker.check("def f(x, obj) { y = x }").issue_codes()
+
+
+def test_checker_rejects_undefined_names():
+    checker = StructuralChecker(make_template())
+    result = checker.check("def f(x, obj) { return x + bogus }")
+    assert "unknown-name" in result.issue_codes()
+    assert "bogus" in result.feedback
+
+
+def test_checker_rejects_unknown_feature_attribute_and_method():
+    checker = StructuralChecker(make_template())
+    assert "unknown-feature" in checker.check(
+        "def f(x, obj) { return obj.weight }"
+    ).issue_codes()
+    assert "unknown-feature" in checker.check(
+        "def f(x, obj) { return obj.poke() }"
+    ).issue_codes()
+
+
+def test_checker_allows_builtins_but_not_unknown_functions():
+    checker = StructuralChecker(make_template())
+    assert checker.check("def f(x, obj) { return max(1, x) }").ok
+    assert "unknown-function" in checker.check(
+        "def f(x, obj) { return frobnicate(x) }"
+    ).issue_codes()
+
+
+def test_checker_node_budget():
+    checker = StructuralChecker(make_template(), max_nodes=10)
+    big = "def f(x, obj) { return x + x + x + x + x + x + x + x + x }"
+    assert "too-complex" in checker.check(big).issue_codes()
+
+
+def test_checker_loop_prohibition():
+    checker = StructuralChecker(make_template(), allow_loops=False)
+    result = checker.check("def f(x, obj) {\n while (x > 0) { x -= 1 }\n return x\n}")
+    assert "loop-forbidden" in result.issue_codes()
+
+
+def test_composite_checker_combines_issues():
+    template = make_template()
+    composite = CompositeChecker([StructuralChecker(template), StructuralChecker(template, max_nodes=5)])
+    result = composite.check("def f(x, obj) { return x + x + x + x }")
+    assert not result.ok
+    assert "too-complex" in result.issue_codes()
+    # A syntax error short-circuits.
+    assert composite.check("def f(x, obj { return x }").issue_codes() == ["syntax-error"]
+
+
+def test_composite_checker_requires_children():
+    with pytest.raises(ValueError):
+        CompositeChecker([])
+
+
+def test_caching_template_checker_accepts_aggregate_methods():
+    checker = StructuralChecker(caching_template())
+    source = f"{PRIORITY_SIGNATURE} {{ return counts.mean() + sizes.percentile(0.9) }}"
+    assert checker.check(source).ok

@@ -1,0 +1,90 @@
+"""Static-analysis tests."""
+
+from repro.dsl import analyze, parse
+
+from tests.conftest import LISTING_1
+
+
+def test_float_detection():
+    assert analyze(parse("def f(a) { return a * 0.5 }")).uses_float_literal
+    assert analyze(parse("def f(a) { return a / 2 }")).uses_true_division
+    assert analyze(parse("def f(a) { return a / 2 }")).uses_float_arithmetic
+    facts = analyze(parse("def f(a) { return a // 2 }"))
+    assert not facts.uses_float_arithmetic
+
+
+def test_division_sites_checked_vs_unchecked():
+    facts = analyze(parse("def f(a, b) { return a // 2 + a // b }"))
+    assert len(facts.division_sites) == 2
+    checked = [site for site in facts.division_sites if site.checked]
+    unchecked = [site for site in facts.division_sites if not site.checked]
+    assert len(checked) == 1 and len(unchecked) == 1
+    assert facts.has_unchecked_division
+    assert unchecked[0].divisor_repr == "b"
+
+
+def test_division_by_zero_literal_is_unchecked():
+    facts = analyze(parse("def f(a) { return a // 0 }"))
+    assert facts.has_unchecked_division
+
+
+def test_loop_detection():
+    facts = analyze(parse("def f(a) {\n while (a > 0) { a -= 1 }\n return a\n}"))
+    assert facts.while_loop_count == 1
+    assert facts.has_potentially_unbounded_loop
+
+    facts = analyze(parse("def f(a) {\n for (i in range(5)) { a += i }\n return a\n}"))
+    assert facts.for_loop_count == 1
+    assert facts.unbounded_for_count == 0
+    assert not facts.has_potentially_unbounded_loop
+
+    facts = analyze(parse("def f(a) {\n for (i in range(a)) { a += i }\n return a\n}"))
+    assert facts.unbounded_for_count == 1
+    assert facts.has_potentially_unbounded_loop
+
+
+def test_return_detection():
+    assert analyze(parse("def f(a) { return a }")).has_return
+    assert not analyze(parse("def f(a) { a = 1 }")).has_return
+    assert analyze(parse("def f(a) {\n if (a > 0) { return 1 }\n return 2\n}")).return_count == 2
+
+
+def test_attribute_and_method_tracking():
+    facts = analyze(
+        parse("def f(o, s, k) { return o.count + o.size - s.percentile(0.5) + s.mean() }")
+    )
+    assert ("o", "count") in facts.attributes_read
+    assert ("o", "size") in facts.attributes_read
+    assert ("s", "percentile") in facts.methods_called
+    assert ("s", "mean") in facts.methods_called
+    # Method calls are not double-counted as attribute reads.
+    assert ("s", "percentile") not in facts.attributes_read
+
+
+def test_free_names():
+    facts = analyze(parse("def f(a) { b = a + missing\n return b }"))
+    assert facts.free_names == ["missing"]
+    facts = analyze(parse("def f(a) { b = a\n return b }"))
+    assert facts.free_names == []
+
+
+def test_builtin_calls_tracked_as_builtin():
+    facts = analyze(parse("def f(a) { return max(1, a) }"))
+    assert ("<builtin>", "max") in facts.methods_called
+
+
+def test_listing_1_facts():
+    facts = analyze(parse(LISTING_1))
+    assert facts.has_return
+    assert facts.uses_float_arithmetic          # priority code may use floats
+    assert not facts.has_unchecked_division     # all divisors are constants
+    assert not facts.has_potentially_unbounded_loop
+    assert {"count", "last_accessed", "size"} <= facts.feature_attributes()
+    assert facts.node_count > 50
+
+
+def test_node_count_and_depth():
+    small = analyze(parse("def f(a) { return a }"))
+    big = analyze(parse("def f(a) { return ((a + 1) * (a + 2)) // (a * a + 3) }"))
+    assert big.node_count > small.node_count
+    assert big.max_expression_depth > small.max_expression_depth

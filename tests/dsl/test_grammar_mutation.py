@@ -1,0 +1,116 @@
+"""Grammar sampling and evolutionary-operator tests."""
+
+import random
+
+import pytest
+
+from repro.dsl import analyze, parse, to_source
+from repro.dsl.ast import Program, Return
+from repro.dsl.grammar import FeatureSpec, GrammarConfig, random_program
+from repro.dsl.mutation import MutationConfig, crossover, mutate
+
+
+def cc_like_spec(integer_only=True):
+    return FeatureSpec(
+        function_name="cong_control",
+        params=["cwnd", "rtt", "min_rtt", "losses", "history"],
+        scalar_params=["cwnd", "rtt", "min_rtt", "losses"],
+        object_attrs={},
+        object_methods={"history": [("rtt_at", "fraction"), ("total_losses", "none")]},
+        key_params=[],
+        integer_only=integer_only,
+        result_var="new_cwnd",
+    )
+
+
+def test_random_programs_parse_and_have_returns(caching_spec, rng):
+    for _ in range(30):
+        program = random_program(caching_spec, rng)
+        assert isinstance(program, Program)
+        assert program.returns()
+        assert parse(to_source(program)) == program
+
+
+def test_random_programs_signature_matches_spec(caching_spec, rng):
+    program = random_program(caching_spec, rng)
+    assert program.name == caching_spec.function_name
+    assert program.params == caching_spec.params
+
+
+def test_integer_only_grammar_avoids_floats_and_true_division(rng):
+    spec = cc_like_spec(integer_only=True)
+    for _ in range(30):
+        facts = analyze(random_program(spec, rng))
+        assert not facts.uses_float_arithmetic
+
+
+def test_grammar_respects_statement_budget(caching_spec, rng):
+    config = GrammarConfig(min_statements=2, max_statements=4)
+    for _ in range(10):
+        program = random_program(caching_spec, rng, config)
+        # seed assign + updates + return
+        assert len(program.body) <= 4 + 2
+
+
+def test_grammar_determinism(caching_spec):
+    a = random_program(caching_spec, random.Random(99))
+    b = random_program(caching_spec, random.Random(99))
+    assert a == b
+
+
+def test_mutation_produces_parseable_variants(caching_spec, rng):
+    base = random_program(caching_spec, rng)
+    for _ in range(30):
+        mutant = mutate(base, caching_spec, rng)
+        assert mutant.returns()
+        assert parse(to_source(mutant)) == mutant
+
+
+def test_mutation_does_not_modify_parent(caching_spec, rng):
+    base = random_program(caching_spec, rng)
+    snapshot = to_source(base)
+    for _ in range(10):
+        mutate(base, caching_spec, rng)
+    assert to_source(base) == snapshot
+
+
+def test_mutation_changes_something_eventually(caching_spec):
+    rng = random.Random(5)
+    base = random_program(caching_spec, rng)
+    changed = any(
+        to_source(mutate(base, caching_spec, rng)) != to_source(base) for _ in range(10)
+    )
+    assert changed
+
+
+def test_mutation_integer_only_does_not_introduce_float_arithmetic(rng):
+    spec = cc_like_spec(integer_only=True)
+    base = random_program(spec, rng)
+    for _ in range(30):
+        mutant = mutate(base, spec, rng)
+        assert not analyze(mutant).uses_float_arithmetic
+
+
+def test_crossover_mixes_parents_and_keeps_return(caching_spec, rng):
+    first = random_program(caching_spec, rng)
+    second = random_program(caching_spec, rng)
+    for _ in range(20):
+        child = crossover(first, second, rng)
+        assert child.returns()
+        assert isinstance(child.body[-1], Return)
+        assert parse(to_source(child)) == child
+
+
+def test_crossover_with_empty_bodies(rng):
+    spec = cc_like_spec()
+    empty = Program(name="cong_control", params=list(spec.params), body=[Return(value=parse("def f() { return 1 }").body[0].value)])
+    other = random_program(spec, rng)
+    child = crossover(empty, other, rng)
+    assert child.returns()
+
+
+def test_mutation_config_bounds(caching_spec, rng):
+    config = MutationConfig(max_mutations=1)
+    base = random_program(caching_spec, rng)
+    mutant = mutate(base, caching_spec, rng, config)
+    assert mutant.returns()

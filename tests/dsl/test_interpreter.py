@@ -1,0 +1,166 @@
+"""Interpreter semantics and sandboxing tests."""
+
+import pytest
+
+from repro.dsl import EvalContext, Interpreter, parse
+from repro.dsl.errors import DslRuntimeError, DslTimeoutError
+from repro.dsl.interpreter import FeatureObject
+
+from tests.conftest import LISTING_1
+
+
+def run(source, **env):
+    return Interpreter().run(parse(source), env)
+
+
+def test_arithmetic_and_precedence():
+    assert run("def f(a, b) { return a + b * 2 }", a=1, b=3) == 7
+    assert run("def f(a) { return (a + 1) * 2 }", a=2) == 6
+    assert run("def f(a) { return a // 4 }", a=10) == 2
+    assert run("def f(a) { return a % 4 }", a=10) == 2
+    assert run("def f(a) { return a / 4 }", a=10) == 2.5
+    assert run("def f(a) { return -a }", a=5) == -5
+
+
+def test_comparisons_and_booleans():
+    assert run("def f(a) { return a > 3 ? 1 : 0 }", a=5) == 1
+    assert run("def f(a) { return a > 3 ? 1 : 0 }", a=2) == 0
+    assert run("def f(a, b) { return (a > 1 and b > 1) ? 10 : 20 }", a=2, b=0) == 20
+    assert run("def f(a, b) { return (a > 1 or b > 1) ? 10 : 20 }", a=2, b=0) == 10
+    assert run("def f(a) { return (not (a > 1)) ? 1 : 0 }", a=0) == 1
+
+
+def test_if_else_execution():
+    source = """
+def f(x) {
+    y = 0
+    if (x > 10) {
+        y = 1
+    } else if (x > 5) {
+        y = 2
+    } else {
+        y = 3
+    }
+    return y
+}
+"""
+    assert run(source, x=20) == 1
+    assert run(source, x=7) == 2
+    assert run(source, x=1) == 3
+
+
+def test_for_range_loop():
+    source = "def f(n) {\n s = 0\n for (i in range(n)) { s += i }\n return s\n}"
+    assert run(source, n=5) == 10
+    assert run(source, n=0) == 0
+
+
+def test_while_loop():
+    source = "def f(n) {\n s = 0\n while (n > 0) { s += n\n n -= 1 }\n return s\n}"
+    assert run(source, n=4) == 10
+
+
+def test_missing_return_yields_zero():
+    assert run("def f(x) { y = x + 1 }", x=3) == 0
+
+
+def test_first_return_wins():
+    source = "def f(x) {\n if (x > 0) { return 1 }\n return 2\n}"
+    assert run(source, x=5) == 1
+    assert run(source, x=-5) == 2
+
+
+def test_builtins():
+    assert run("def f(a, b) { return min(a, b) + max(a, b) }", a=3, b=7) == 10
+    assert run("def f(a) { return abs(a) }", a=-4) == 4
+    assert run("def f(a) { return clamp(a, 0, 10) }", a=25) == 10
+    assert run("def f(a) { return clamp(a, 0, 10) }", a=-5) == 0
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(DslRuntimeError):
+        run("def f(a) { return 1 / a }", a=0)
+    with pytest.raises(DslRuntimeError):
+        run("def f(a) { return 1 // a }", a=0)
+    with pytest.raises(DslRuntimeError):
+        run("def f(a) { return 1 % a }", a=0)
+
+
+def test_undefined_variable_raises():
+    with pytest.raises(DslRuntimeError):
+        run("def f(a) { return b }", a=1)
+
+
+def test_augassign_of_undefined_variable_raises():
+    with pytest.raises(DslRuntimeError):
+        run("def f(a) { b += 1\n return a }", a=1)
+
+
+def test_missing_parameter_binding_raises():
+    with pytest.raises(DslRuntimeError):
+        Interpreter().run(parse("def f(a, b) { return a + b }"), {"a": 1})
+
+
+def test_step_budget_stops_infinite_loops():
+    interpreter = Interpreter(EvalContext(max_steps=500))
+    program = parse("def f(x) {\n while (1 > 0) { x += 1 }\n return x\n}")
+    with pytest.raises(DslTimeoutError):
+        interpreter.run(program, {"x": 0})
+
+
+def test_feature_object_attribute_allowlist():
+    class Thing(FeatureObject):
+        exported_attrs = frozenset({"visible"})
+
+        def __init__(self):
+            self.visible = 1
+            self.hidden = 2
+
+    assert run("def f(t) { return t.visible }", t=Thing()) == 1
+    with pytest.raises(DslRuntimeError):
+        run("def f(t) { return t.hidden }", t=Thing())
+
+
+def test_feature_object_method_allowlist():
+    class Thing(FeatureObject):
+        exported_methods = frozenset({"ok"})
+
+        def ok(self):
+            return 5
+
+        def secret(self):  # pragma: no cover - must not be reachable
+            return 6
+
+    assert run("def f(t) { return t.ok() }", t=Thing()) == 5
+    with pytest.raises(DslRuntimeError):
+        run("def f(t) { return t.secret() }", t=Thing())
+
+
+def test_attribute_access_on_plain_value_rejected():
+    with pytest.raises(DslRuntimeError):
+        run("def f(a) { return a.count }", a=5)
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(DslRuntimeError):
+        run("def f(a) { return launch_missiles(a) }", a=1)
+
+
+def test_listing_1_evaluates(priority_env):
+    value = Interpreter().run(parse(LISTING_1), priority_env)
+    assert isinstance(value, (int, float))
+    # With the stub environment (count=5, in history) the score is positive.
+    assert value > 0
+
+
+def test_listing_1_prefers_hot_small_objects(priority_env):
+    from tests.conftest import StubObjectInfo, StubHistory
+
+    program = parse(LISTING_1)
+    interpreter = Interpreter()
+    hot = dict(priority_env)
+    hot["obj_info"] = StubObjectInfo(count=50, last_accessed=999, size=100)
+    cold = dict(priority_env)
+    cold["obj_info"] = StubObjectInfo(count=1, last_accessed=10, size=500000)
+    cold["history"] = StubHistory(members=set())
+    assert interpreter.run(program, hot) > interpreter.run(program, cold)

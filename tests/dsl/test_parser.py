@@ -1,0 +1,177 @@
+"""Parser and tokenizer tests."""
+
+import pytest
+
+from repro.dsl import (
+    Assign,
+    AugAssign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    ForRange,
+    If,
+    Name,
+    Number,
+    Return,
+    Ternary,
+    UnaryOp,
+    While,
+    parse,
+)
+from repro.dsl.errors import DslSyntaxError
+from repro.dsl.parser import tokenize
+
+from tests.conftest import LISTING_1
+
+
+def test_parse_minimal_function():
+    program = parse("def f(x) { return x }")
+    assert program.name == "f"
+    assert program.params == ["x"]
+    assert isinstance(program.body[0], Return)
+
+
+def test_parse_listing_1_structure():
+    program = parse(LISTING_1)
+    assert program.name == "priority"
+    assert program.params == [
+        "now", "obj_id", "obj_info", "counts", "ages", "sizes", "history",
+    ]
+    # Listing 1 has one ternary, several ifs, and exactly one return.
+    assert len(program.returns()) == 1
+    assert any(isinstance(node, Ternary) for node in program.walk())
+    assert sum(1 for node in program.walk() if isinstance(node, If)) >= 5
+
+
+def test_parse_assignment_and_augassign():
+    program = parse("def f(x) {\n y = x + 1\n y += 2\n y -= 3\n y *= 4\n return y\n}")
+    kinds = [type(stmt) for stmt in program.body]
+    assert kinds[:4] == [Assign, AugAssign, AugAssign, AugAssign]
+
+
+def test_parse_if_else_chain():
+    source = """
+def f(x) {
+    if (x > 10) {
+        y = 1
+    } else if (x > 5) {
+        y = 2
+    } else {
+        y = 3
+    }
+    return y
+}
+"""
+    program = parse(source)
+    outer = program.body[0]
+    assert isinstance(outer, If)
+    assert isinstance(outer.orelse[0], If)
+    assert isinstance(outer.orelse[0].orelse[0], Assign)
+
+
+def test_parse_for_and_while():
+    program = parse(
+        "def f(x) {\n s = 0\n for (i in range(5)) { s += i }\n while (s > 100) { s -= 1 }\n return s\n}"
+    )
+    assert isinstance(program.body[1], ForRange)
+    assert isinstance(program.body[2], While)
+
+
+def test_parse_ternary_precedence():
+    program = parse("def f(x) { return x > 3 ? x + 1 : x - 1 }")
+    ret = program.body[0]
+    assert isinstance(ret.value, Ternary)
+    assert isinstance(ret.value.condition, Compare)
+
+
+def test_parse_boolean_operators():
+    program = parse("def f(x, y) { return x > 1 and y < 2 or not x }")
+    ret = program.body[0]
+    assert isinstance(ret.value, BoolOp)
+    assert ret.value.op == "or"
+
+
+def test_parse_method_calls_and_attributes():
+    program = parse("def f(o, h, k) { return o.size + h.percentile(0.75) - h.count_of(k) }")
+    calls = [node for node in program.walk() if isinstance(node, Call)]
+    assert len(calls) == 2
+
+
+def test_parse_operator_precedence():
+    program = parse("def f(a, b, c) { return a + b * c }")
+    expr = program.body[0].value
+    assert isinstance(expr, BinOp) and expr.op == "+"
+    assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+
+def test_parse_integer_division_and_modulo():
+    program = parse("def f(a) { return a // 2 + a % 3 }")
+    ops = {node.op for node in program.walk() if isinstance(node, BinOp)}
+    assert ops == {"+", "//", "%"}
+
+
+def test_parse_unary_minus_and_floats():
+    program = parse("def f(a) { return -a * 0.5 }")
+    assert any(isinstance(node, UnaryOp) and node.op == "-" for node in program.walk())
+    assert any(
+        isinstance(node, Number) and isinstance(node.value, float)
+        for node in program.walk()
+    )
+
+
+def test_parse_comments_and_semicolons():
+    program = parse(
+        "def f(x) {\n  # a comment\n  y = 1; y += x\n  return y  # trailing\n}"
+    )
+    assert len(program.body) == 3
+
+
+def test_parse_true_false_literals():
+    program = parse("def f() { return true }")
+    assert program.body[0].value == Number(value=1)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f(x) { return }",               # missing expression
+        "def f(x) { y = }",                  # missing rhs
+        "f(x) { return x }",                 # missing def
+        "def f(x) return x",                 # missing braces
+        "def f(x) { return x ",              # unterminated block
+        "def f(x) { return x @ 1 }",         # illegal character
+        "def f(x) { if x > 1 { return x } return 0 }",  # missing parens
+    ],
+)
+def test_parse_errors(source):
+    with pytest.raises(DslSyntaxError):
+        parse(source)
+
+
+def test_syntax_error_carries_location():
+    try:
+        parse("def f(x) {\n  y = 1\n  z = @\n  return z\n}")
+    except DslSyntaxError as exc:
+        assert exc.line == 3
+    else:  # pragma: no cover
+        pytest.fail("expected a syntax error")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(DslSyntaxError):
+        parse("def f(x) { return x }\nreturn 2")
+
+
+def test_tokenize_positions():
+    tokens = tokenize("def f(x) {\n  return x\n}")
+    names = [t for t in tokens if t.kind in ("name", "keyword")]
+    assert names[0].text == "def" and names[0].line == 1
+    return_token = next(t for t in tokens if t.text == "return")
+    assert return_token.line == 2
+
+
+def test_structural_equality_of_parses():
+    source = "def f(x) { return x * 2 + 1 }"
+    assert parse(source) == parse(source)
+    assert parse(source) != parse("def f(x) { return x * 2 + 2 }")

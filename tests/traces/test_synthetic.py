@@ -1,0 +1,100 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.traces.synthetic import SyntheticWorkloadConfig, generate_trace, zipf_weights
+
+
+def test_zipf_weights_normalised_and_decreasing():
+    weights = zipf_weights(100, alpha=1.0)
+    assert weights.sum() == pytest.approx(1.0)
+    assert all(weights[i] >= weights[i + 1] for i in range(len(weights) - 1))
+    with pytest.raises(ValueError):
+        zipf_weights(0, 1.0)
+
+
+def test_zipf_alpha_controls_skew():
+    skewed = zipf_weights(1000, alpha=1.2)
+    flat = zipf_weights(1000, alpha=0.3)
+    assert skewed[0] > flat[0]
+
+
+def test_generate_trace_basic_properties():
+    config = SyntheticWorkloadConfig(name="t", num_requests=2000, num_objects=400, seed=1)
+    trace = generate_trace(config)
+    assert len(trace) == 2000
+    assert trace.name == "t"
+    assert trace.unique_objects() <= 400
+    assert all(r.size > 0 for r in trace)
+    timestamps = [r.timestamp for r in trace]
+    assert timestamps == sorted(timestamps)
+
+
+def test_generate_trace_deterministic_per_seed():
+    config = SyntheticWorkloadConfig(num_requests=500, num_objects=100, seed=42)
+    a = generate_trace(config)
+    b = generate_trace(config)
+    assert [(r.timestamp, r.key, r.size) for r in a] == [(r.timestamp, r.key, r.size) for r in b]
+
+
+def test_generate_trace_seed_changes_output():
+    a = generate_trace(SyntheticWorkloadConfig(num_requests=500, num_objects=100, seed=1))
+    b = generate_trace(SyntheticWorkloadConfig(num_requests=500, num_objects=100, seed=2))
+    assert [r.key for r in a] != [r.key for r in b]
+
+
+def test_object_sizes_fixed_per_object():
+    trace = generate_trace(SyntheticWorkloadConfig(num_requests=2000, num_objects=200, seed=3))
+    sizes = {}
+    for request in trace:
+        assert sizes.setdefault(request.key, request.size) == request.size
+
+
+def test_sizes_are_block_aligned_and_bounded():
+    config = SyntheticWorkloadConfig(num_requests=1000, num_objects=200, seed=4)
+    trace = generate_trace(config)
+    for request in trace:
+        assert request.size % config.size_block == 0
+        assert config.size_block <= request.size <= config.max_size
+
+
+def test_reuse_exists():
+    trace = generate_trace(SyntheticWorkloadConfig(num_requests=3000, num_objects=300, seed=5))
+    assert trace.compulsory_miss_ratio() < 0.5     # plenty of re-references
+
+
+def test_scan_heavy_config_produces_more_unique_objects():
+    base = dict(num_requests=3000, num_objects=1500, seed=6)
+    scan_heavy = generate_trace(
+        SyntheticWorkloadConfig(zipf_weight=0.1, churn_weight=0.1, scan_weight=0.8,
+                                recent_weight=0.0, **base)
+    )
+    reuse_heavy = generate_trace(
+        SyntheticWorkloadConfig(zipf_weight=0.2, churn_weight=0.7, scan_weight=0.0,
+                                recent_weight=0.1, **base)
+    )
+    assert scan_heavy.unique_objects() > reuse_heavy.unique_objects()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_requests": 0},
+        {"num_objects": 0},
+        {"working_set_fraction": 0.0},
+        {"working_set_fraction": 1.5},
+        {"scan_length": 0},
+        {"zipf_weight": 0, "churn_weight": 0, "scan_weight": 0, "recent_weight": 0},
+        {"zipf_weight": -1.0},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    config = SyntheticWorkloadConfig(**kwargs)
+    with pytest.raises(ValueError):
+        generate_trace(config)
+
+
+def test_mixture_normalisation():
+    config = SyntheticWorkloadConfig(zipf_weight=2, churn_weight=2, scan_weight=0, recent_weight=0)
+    assert np.allclose(config.mixture(), [0.5, 0.5, 0, 0])
