@@ -11,7 +11,8 @@ from __future__ import annotations
 import pytest
 
 from repro.cache.policies import ALL_POLICIES
-from repro.cache.policies.evolved import policy_factory
+from repro.cache.policies.evolved import program_for
+from repro.cache.priority_cache import PriorityFunctionCache
 from repro.cache.simulator import CacheSimulator, cache_size_for
 from repro.cc.policies import RenoController
 from repro.netsim.simulator import SimulationConfig, run_single_flow
@@ -34,16 +35,24 @@ def test_cache_policy_throughput(benchmark, bench_trace, name):
     assert result.requests == len(bench_trace)
 
 
-def test_priority_cache_throughput(benchmark, bench_trace):
-    """The interpreted Template cache (Heuristic A) -- the search's hot path."""
+@pytest.mark.parametrize("backend", ["interpreter", "compiled"])
+def test_priority_cache_throughput(benchmark, bench_trace, backend):
+    """The Template cache (Heuristic A) -- the search's hot path -- under the
+    tree-walking interpreter vs the compiled DSL backend (the default)."""
     size = cache_size_for(bench_trace)
-    factory = policy_factory("Heuristic A")
+    program = program_for("Heuristic A")
 
     def run():
-        return CacheSimulator().run(factory(size), bench_trace)
+        cache = PriorityFunctionCache(
+            size, program, name="Heuristic A", backend=backend
+        )
+        return CacheSimulator().run(cache, bench_trace)
 
     result = benchmark(run)
     assert result.requests == len(bench_trace)
+    benchmark.extra_info["requests_per_sec"] = round(
+        len(bench_trace) / benchmark.stats.stats.mean
+    )
 
 
 def test_netsim_throughput(benchmark):

@@ -15,7 +15,7 @@ Run:  python examples/congestion_control.py
 """
 
 from repro.cc.policies import CubicController, RenoController
-from repro.cc.search import build_cc_search
+from repro.core.domain import build_search
 from repro.experiments.cc_behaviour import format_behaviour, run_cc_behaviour
 from repro.experiments.cc_compilation import format_compilation, run_cc_compilation
 from repro.netsim.simulator import NetworkSimulator
@@ -38,7 +38,7 @@ def main() -> None:
     print("=" * 72)
     print("Short kernel-constrained search")
     print("=" * 72)
-    setup = build_cc_search(rounds=3, candidates_per_round=12, seed=7, duration_s=3.0)
+    setup = build_search("cc", rounds=3, candidates_per_round=12, seed=7, duration_s=3.0)
     result = setup.search.run()
     details = result.best.evaluation.details
     print(f"best candidate: utilization {details['utilization'] * 100:.0f}%, "

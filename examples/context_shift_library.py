@@ -13,7 +13,7 @@ Run:  python examples/context_shift_library.py
 """
 
 from repro.cache.priority_cache import PriorityFunctionCache
-from repro.cache.search import build_caching_search
+from repro.core.domain import build_search
 from repro.cache.simulator import cache_size_for
 from repro.core.archive import HeuristicArchive
 from repro.core.context import ContextShiftDetector
@@ -36,7 +36,7 @@ def make_phase(name: str, scan_heavy: bool, seed: int):
 
 
 def synthesize(trace, seed):
-    setup = build_caching_search(trace, rounds=3, candidates_per_round=8, seed=seed)
+    setup = build_search("caching", trace=trace, rounds=3, candidates_per_round=8, seed=seed)
     return setup.context, setup.search.run()
 
 

@@ -14,7 +14,7 @@ Run:  python examples/quickstart.py
 
 from repro.cache.policies import BASELINES
 from repro.cache.priority_cache import PriorityFunctionCache
-from repro.cache.search import build_caching_search
+from repro.core.domain import build_search
 from repro.cache.simulator import CacheSimulator, cache_size_for, simulate_many
 from repro.traces import cloudphysics_trace
 
@@ -27,7 +27,7 @@ def main() -> None:
           f"{trace.unique_objects()} objects, footprint {trace.footprint_bytes()} B)")
 
     # 2. Assemble and run the search (scaled down from the paper's 20x25).
-    setup = build_caching_search(trace, rounds=4, candidates_per_round=10, seed=0)
+    setup = build_search("caching", trace=trace, rounds=4, candidates_per_round=10, seed=0)
     result = setup.search.run()
     print(f"\nsearch: {result.total_candidates} candidates, "
           f"{len(result.valid_candidates())} valid, "

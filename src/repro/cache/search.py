@@ -10,14 +10,15 @@ This module wires the framework to the cache substrate:
   object miss ratio (higher is better);
 * :func:`caching_archetypes` -- the background knowledge the synthetic LLM
   remixes (frequency/size value density, recency, history revival, ...);
-* :func:`run_caching_search` -- one-call convenience assembling Template,
-  Generator, Checker, Evaluator and the evolutionary search for a trace.
+* :class:`CachingDomain` -- the :class:`~repro.core.domain.SearchDomain`
+  registration that plugs all of the above into the shared engine; assemble
+  a search with ``build_search("caching", trace=...)`` (or the thin
+  :func:`build_caching_search` / :func:`run_caching_search` wrappers).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.cache.metrics import SimulationResult
 from repro.cache.priority_cache import PriorityFunctionCache, TEMPLATE_PARAMS
@@ -25,14 +26,14 @@ from repro.cache.request import Trace
 from repro.cache.simulator import CacheSimulator, cache_size_for
 from repro.core.checker import StructuralChecker
 from repro.core.context import Context
+from repro.core.domain import SearchDomain, SearchSetup, build_search, register_domain
 from repro.core.evaluator import EvaluationResult, Evaluator
-from repro.core.generator import LLMGenerator
-from repro.core.search import EvolutionarySearch, SearchConfig
+from repro.core.search import SearchConfig
 from repro.core.template import Template
 from repro.dsl.ast import Program
 from repro.dsl.grammar import FeatureSpec
 from repro.dsl.parser import parse
-from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
+from repro.llm.mock import SyntheticLLMConfig
 
 _SIGNATURE = "def priority(now, obj_id, obj_info, counts, ages, sizes, history)"
 
@@ -193,11 +194,13 @@ class CachingEvaluator(Evaluator):
         cache_fraction: float = 0.10,
         warmup: int = 0,
         refresh_interval: int = 64,
+        backend: str = "compiled",
     ):
         self.trace = trace
         self.cache_size = cache_size or cache_size_for(trace, cache_fraction)
         self.warmup = warmup
         self.refresh_interval = refresh_interval
+        self.backend = backend
         self._simulator = CacheSimulator()
         self.evaluations = 0
 
@@ -207,6 +210,7 @@ class CachingEvaluator(Evaluator):
             program,
             refresh_interval=self.refresh_interval,
             name="candidate",
+            backend=self.backend,
         )
         result: SimulationResult = self._simulator.run(cache, self.trace, warmup=self.warmup)
         self.evaluations += 1
@@ -221,17 +225,66 @@ class CachingEvaluator(Evaluator):
         )
 
 
-@dataclass
-class CachingSearchSetup:
-    """Everything assembled by :func:`build_caching_search` (useful in tests)."""
+class CachingDomain(SearchDomain):
+    """The web-caching instantiation as a pluggable search domain.
 
-    template: Template
-    client: SyntheticLLMClient
-    generator: LLMGenerator
-    checker: StructuralChecker
-    evaluator: CachingEvaluator
-    search: EvolutionarySearch
-    context: Context
+    Domain keyword arguments accepted by :func:`~repro.core.domain.build_search`:
+    ``trace`` (required), ``cache_fraction`` (default 0.10) and ``backend``
+    (DSL execution backend for candidate evaluation, default ``"compiled"``).
+    """
+
+    name = "caching"
+    accepted_kwargs = frozenset({"trace", "cache_fraction", "backend"})
+
+    def build_template(self) -> Template:
+        return caching_template()
+
+    def build_context(
+        self,
+        trace: Optional[Trace] = None,
+        cache_fraction: float = 0.10,
+        **_ignored: Any,
+    ) -> Context:
+        if trace is None:
+            raise ValueError("the caching domain requires a trace= argument")
+        return Context.create(
+            name=f"caching/{trace.name}",
+            workload=f"block I/O trace {trace.name}",
+            objective="minimize object miss ratio",
+            cache_fraction=cache_fraction,
+        )
+
+    def build_checker(self, template: Template) -> StructuralChecker:
+        return StructuralChecker(template)
+
+    def build_evaluator(
+        self,
+        trace: Optional[Trace] = None,
+        cache_fraction: float = 0.10,
+        backend: str = "compiled",
+        **_ignored: Any,
+    ) -> CachingEvaluator:
+        if trace is None:
+            raise ValueError("the caching domain requires a trace= argument")
+        return CachingEvaluator(trace, cache_fraction=cache_fraction, backend=backend)
+
+    def default_llm_config(self) -> SyntheticLLMConfig:
+        return SyntheticLLMConfig(archetypes=caching_archetypes())
+
+    def prepare_llm_config(self, config: SyntheticLLMConfig) -> SyntheticLLMConfig:
+        if not config.archetypes:
+            config.archetypes = caching_archetypes()
+        return config
+
+    def default_search_config(self) -> SearchConfig:
+        # §4.2.1: 20 rounds x 25 candidates, top-2 parent feedback.
+        return SearchConfig(rounds=20, candidates_per_round=25)
+
+
+register_domain(CachingDomain())
+
+#: Backwards-compatible alias: the generic setup has the same field names.
+CachingSearchSetup = SearchSetup
 
 
 def build_caching_search(
@@ -241,38 +294,23 @@ def build_caching_search(
     seed: int = 0,
     cache_fraction: float = 0.10,
     llm_config: Optional[SyntheticLLMConfig] = None,
-) -> CachingSearchSetup:
-    """Assemble the full caching search for ``trace`` (paper defaults)."""
-    template = caching_template()
-    context = Context.create(
-        name=f"caching/{trace.name}",
-        workload=f"block I/O trace {trace.name}",
-        objective="minimize object miss ratio",
+    **kwargs: Any,
+) -> SearchSetup:
+    """Assemble the full caching search for ``trace`` (paper defaults).
+
+    Thin wrapper over ``build_search("caching", ...)``; extra keyword
+    arguments (``engine_config=``, ``checkpoint_path=``, ``backend=``, ...)
+    are forwarded.
+    """
+    return build_search(
+        "caching",
+        rounds=rounds,
+        candidates_per_round=candidates_per_round,
+        seed=seed,
+        llm_config=llm_config,
+        trace=trace,
         cache_fraction=cache_fraction,
-    )
-    config = llm_config or SyntheticLLMConfig(archetypes=caching_archetypes())
-    if not config.archetypes:
-        config.archetypes = caching_archetypes()
-    client = SyntheticLLMClient(template.spec, config=config, seed=seed)
-    generator = LLMGenerator(template, client, context_description=context.describe())
-    checker = StructuralChecker(template)
-    evaluator = CachingEvaluator(trace, cache_fraction=cache_fraction)
-    search = EvolutionarySearch(
-        template,
-        generator,
-        checker,
-        evaluator,
-        SearchConfig(rounds=rounds, candidates_per_round=candidates_per_round),
-        context=context,
-    )
-    return CachingSearchSetup(
-        template=template,
-        client=client,
-        generator=generator,
-        checker=checker,
-        evaluator=evaluator,
-        search=search,
-        context=context,
+        **kwargs,
     )
 
 
@@ -282,6 +320,7 @@ def run_caching_search(
     candidates_per_round: int = 25,
     seed: int = 0,
     cache_fraction: float = 0.10,
+    **kwargs: Any,
 ):
     """Run the §4.2.1 search for ``trace`` and return its :class:`SearchResult`."""
     setup = build_caching_search(
@@ -290,5 +329,6 @@ def run_caching_search(
         candidates_per_round=candidates_per_round,
         seed=seed,
         cache_fraction=cache_fraction,
+        **kwargs,
     )
     return setup.search.run()

@@ -7,8 +7,8 @@ from typing import Optional
 from repro.cc.signals import signals_environment
 from repro.cc.template import CC_TEMPLATE_PARAMS
 from repro.dsl.ast import Program
+from repro.dsl.compile import make_runner
 from repro.dsl.errors import DslError
-from repro.dsl.interpreter import EvalContext, Interpreter
 from repro.netsim.flow import CCSignals
 
 
@@ -24,6 +24,11 @@ class DslCongestionController:
     strict mode re-raises -- used by the Evaluator so broken candidates get a
     failing score -- while non-strict mode freezes the window, which is how a
     deployed fallback would behave.
+
+    ``backend`` selects the execution strategy: ``"compiled"`` (default, the
+    fast path via :func:`~repro.dsl.compile.compile_program`) or
+    ``"interpreter"`` (the tree-walking oracle).  Compilation failures fall
+    back to the interpreter.
     """
 
     def __init__(
@@ -32,6 +37,7 @@ class DslCongestionController:
         initial_window: int = 10,
         max_steps: int = 20_000,
         strict: bool = True,
+        backend: str = "compiled",
     ):
         if list(program.params) != list(CC_TEMPLATE_PARAMS):
             raise ValueError(
@@ -41,7 +47,7 @@ class DslCongestionController:
         self.program = program
         self.initial_window = initial_window
         self.strict = strict
-        self._interpreter = Interpreter(EvalContext(max_steps=max_steps))
+        self._runner, self.backend = make_runner(program, backend, max_steps)
         self.invocations = 0
         self.runtime_errors = 0
         self.last_error: Optional[str] = None
@@ -55,7 +61,7 @@ class DslCongestionController:
         env = signals_environment(signals)
         self.invocations += 1
         try:
-            value = self._interpreter.run(self.program, env)
+            value = self._runner.run(env)
         except DslError as exc:
             self.runtime_errors += 1
             self.last_error = str(exc)

@@ -53,16 +53,19 @@ class CongestionControlEvaluator(Evaluator):
         config: Optional[SimulationConfig] = None,
         objective: Optional[CCObjective] = None,
         initial_window: int = 10,
+        backend: str = "compiled",
     ):
         self.config = config or default_cc_simulation_config()
         self.objective = objective or CCObjective()
         self.initial_window = initial_window
+        self.backend = backend
         self.evaluations = 0
 
     def run_candidate(self, program: Program) -> SimulationMetrics:
         """Simulate ``program`` on the evaluation link and return raw metrics."""
         controller = DslCongestionController(
-            program, initial_window=self.initial_window, strict=True
+            program, initial_window=self.initial_window, strict=True,
+            backend=self.backend,
         )
         simulator = NetworkSimulator(self.config)
         simulator.add_flow(controller)

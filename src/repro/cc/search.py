@@ -1,32 +1,87 @@
-"""Assembly of the full congestion-control search (§5 of the paper)."""
+"""The congestion-control search as a pluggable domain (§5 of the paper).
+
+All the wiring lives in the shared engine now; this module only registers
+the :class:`CCDomain` -- the kernel Template, the kernel-constraint checker
+(the eBPF-verifier stand-in), the emulated-link evaluator and the
+kernel-flavoured synthetic-LLM configuration.  Assemble a search with
+``build_search("cc", ...)`` or the thin :func:`build_cc_search` /
+:func:`run_cc_search` wrappers.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.cc.evaluator import CongestionControlEvaluator, default_cc_simulation_config
 from repro.cc.kernel_constraints import KernelConstraintChecker
 from repro.cc.template import cc_grammar_config, cc_template, kernel_llm_config
 from repro.core.context import Context
-from repro.core.generator import LLMGenerator
-from repro.core.search import EvolutionarySearch, SearchConfig
+from repro.core.domain import SearchDomain, SearchSetup, build_search, register_domain
+from repro.core.search import SearchConfig
 from repro.core.template import Template
-from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
+from repro.dsl.grammar import GrammarConfig
+from repro.llm.mock import SyntheticLLMConfig
 from repro.netsim.simulator import SimulationConfig
 
 
-@dataclass
-class CCSearchSetup:
-    """All the components assembled by :func:`build_cc_search`."""
+class CCDomain(SearchDomain):
+    """Kernel-constrained congestion-control search over the emulated link.
 
-    template: Template
-    client: SyntheticLLMClient
-    generator: LLMGenerator
-    checker: KernelConstraintChecker
-    evaluator: CongestionControlEvaluator
-    search: EvolutionarySearch
-    context: Context
+    Domain keyword arguments accepted by :func:`~repro.core.domain.build_search`:
+    ``duration_s`` (default 8.0), ``simulation`` (a full
+    :class:`~repro.netsim.simulator.SimulationConfig` overriding
+    ``duration_s``) and ``backend`` (DSL execution backend, default
+    ``"compiled"``).
+    """
+
+    name = "cc"
+    accepted_kwargs = frozenset({"duration_s", "simulation", "backend"})
+
+    def build_template(self) -> Template:
+        return cc_template()
+
+    def build_context(self, **_ignored: Any) -> Context:
+        return Context.create(
+            name="cc/12mbps-20ms",
+            workload="single bulk TCP flow",
+            objective="maximize utilization while keeping queueing delay low",
+            environment="linux-kernel (eBPF)",
+            link="12 Mbps",
+            rtt="20 ms",
+        )
+
+    def build_checker(self, template: Template) -> KernelConstraintChecker:
+        return KernelConstraintChecker(template)
+
+    def build_evaluator(
+        self,
+        duration_s: float = 8.0,
+        simulation: Optional[SimulationConfig] = None,
+        backend: str = "compiled",
+        **_ignored: Any,
+    ) -> CongestionControlEvaluator:
+        return CongestionControlEvaluator(
+            config=simulation or default_cc_simulation_config(duration_s),
+            backend=backend,
+        )
+
+    def default_llm_config(self) -> SyntheticLLMConfig:
+        return kernel_llm_config()
+
+    def grammar_config(self) -> GrammarConfig:
+        return cc_grammar_config()
+
+    def default_search_config(self) -> SearchConfig:
+        # The §5 case study is a feasibility study -- 100 candidates, one
+        # repair round -- so the default round count is small; pass larger
+        # values for a real search.
+        return SearchConfig(rounds=4, candidates_per_round=25, repair_attempts=1)
+
+
+register_domain(CCDomain())
+
+#: Backwards-compatible alias: the generic setup has the same field names.
+CCSearchSetup = SearchSetup
 
 
 def build_cc_search(
@@ -37,51 +92,19 @@ def build_cc_search(
     simulation: Optional[SimulationConfig] = None,
     llm_config: Optional[SyntheticLLMConfig] = None,
     repair_attempts: int = 1,
-) -> CCSearchSetup:
-    """Assemble the kernel-constrained search over the emulated link.
-
-    The §5 case study is not a long search for new algorithms but a
-    feasibility study -- 100 candidates, one repair round -- so the default
-    round count is small; pass larger values for a real search.
-    """
-    template = cc_template()
-    context = Context.create(
-        name="cc/12mbps-20ms",
-        workload="single bulk TCP flow",
-        objective="maximize utilization while keeping queueing delay low",
-        environment="linux-kernel (eBPF)",
-        link="12 Mbps",
-        rtt="20 ms",
-    )
-    config = llm_config or kernel_llm_config()
-    client = SyntheticLLMClient(
-        template.spec, config=config, seed=seed, grammar=cc_grammar_config()
-    )
-    generator = LLMGenerator(template, client, context_description=context.describe())
-    checker = KernelConstraintChecker(template)
-    evaluator = CongestionControlEvaluator(
-        config=simulation or default_cc_simulation_config(duration_s)
-    )
-    search = EvolutionarySearch(
-        template,
-        generator,
-        checker,
-        evaluator,
-        SearchConfig(
-            rounds=rounds,
-            candidates_per_round=candidates_per_round,
-            repair_attempts=repair_attempts,
-        ),
-        context=context,
-    )
-    return CCSearchSetup(
-        template=template,
-        client=client,
-        generator=generator,
-        checker=checker,
-        evaluator=evaluator,
-        search=search,
-        context=context,
+    **kwargs: Any,
+) -> SearchSetup:
+    """Assemble the kernel-constrained search (thin ``build_search`` wrapper)."""
+    return build_search(
+        "cc",
+        rounds=rounds,
+        candidates_per_round=candidates_per_round,
+        repair_attempts=repair_attempts,
+        seed=seed,
+        llm_config=llm_config,
+        duration_s=duration_s,
+        simulation=simulation,
+        **kwargs,
     )
 
 
@@ -90,6 +113,7 @@ def run_cc_search(
     candidates_per_round: int = 25,
     seed: int = 0,
     duration_s: float = 8.0,
+    **kwargs: Any,
 ):
     """Run the congestion-control search and return its :class:`SearchResult`."""
     setup = build_cc_search(
@@ -97,5 +121,6 @@ def run_cc_search(
         candidates_per_round=candidates_per_round,
         seed=seed,
         duration_s=duration_s,
+        **kwargs,
     )
     return setup.search.run()

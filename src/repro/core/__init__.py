@@ -28,7 +28,17 @@ from repro.core.evaluator import EvaluationResult, Evaluator, FunctionEvaluator
 from repro.core.generator import Generator, LLMGenerator
 from repro.core.results import Candidate, ScoredCandidate, RoundSummary, SearchResult
 from repro.core.search import EvolutionarySearch, SearchConfig
-from repro.core.archive import HeuristicArchive, ArchiveEntry
+from repro.core.engine import BatchStats, EngineConfig, EvaluationEngine
+from repro.core.domain import (
+    SearchDomain,
+    SearchSetup,
+    available_domains,
+    build_search,
+    get_domain,
+    register_domain,
+    run_search,
+)
+from repro.core.archive import HeuristicArchive, ArchiveEntry, SearchCheckpoint
 from repro.core.cost import CostModel, GPT_4O_MINI_PRICING, SearchCostReport
 
 __all__ = [
@@ -51,8 +61,19 @@ __all__ = [
     "SearchResult",
     "EvolutionarySearch",
     "SearchConfig",
+    "BatchStats",
+    "EngineConfig",
+    "EvaluationEngine",
+    "SearchDomain",
+    "SearchSetup",
+    "available_domains",
+    "build_search",
+    "get_domain",
+    "register_domain",
+    "run_search",
     "HeuristicArchive",
     "ArchiveEntry",
+    "SearchCheckpoint",
     "CostModel",
     "GPT_4O_MINI_PRICING",
     "SearchCostReport",

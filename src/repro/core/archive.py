@@ -5,17 +5,29 @@ context, that a runtime adaptation system can choose from.  The archive is a
 small persistent store keyed by context name; entries carry the heuristic
 source, its score, and free-form metadata (which trace it was tuned on, the
 search configuration, ...).
+
+This module also provides :class:`SearchCheckpoint`, the per-round search
+state the evolutionary search persists so that long multi-context runs
+survive interruption: the scored population, round summaries, the engine's
+evaluation memo, and (when the LLM client supports it) the generator's RNG
+state, so a resumed search continues the exact trajectory of an
+uninterrupted one.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.core.checker import CheckIssue
 from repro.core.context import Context
-from repro.core.results import ScoredCandidate
+from repro.core.evaluator import EvaluationResult
+from repro.core.results import Candidate, RoundSummary, ScoredCandidate
+from repro.dsl.errors import DslError
+from repro.dsl.parser import parse
 
 
 @dataclass
@@ -111,3 +123,173 @@ class HeuristicArchive:
         for raw in payload.get("entries", []):
             archive.add(ArchiveEntry.from_dict(raw))
         return archive
+
+
+# --------------------------------------------------------------------------
+# Search checkpointing
+# --------------------------------------------------------------------------
+
+
+def _encode_float(value: float):
+    """Non-finite floats as strings: json.dumps would emit non-RFC -Infinity."""
+    if isinstance(value, float) and (math.isinf(value) or math.isnan(value)):
+        return str(value)
+    return value
+
+
+def _decode_float(value) -> float:
+    return float(value)
+
+
+def _evaluation_to_dict(evaluation: EvaluationResult) -> dict:
+    return {
+        "score": _encode_float(evaluation.score),
+        "valid": evaluation.valid,
+        "error": evaluation.error,
+        "wall_time_s": evaluation.wall_time_s,
+        "details": {k: _encode_float(v) for k, v in evaluation.details.items()},
+    }
+
+
+def _evaluation_from_dict(data: dict) -> EvaluationResult:
+    return EvaluationResult(
+        score=_decode_float(data["score"]),
+        valid=bool(data["valid"]),
+        error=data.get("error"),
+        wall_time_s=float(data.get("wall_time_s", 0.0)),
+        details={k: _decode_float(v) for k, v in data.get("details", {}).items()},
+    )
+
+
+_ROUND_FLOAT_FIELDS = ("best_score", "best_overall_score")
+
+
+def _round_to_dict(summary: RoundSummary) -> dict:
+    data = asdict(summary)
+    for key in _ROUND_FLOAT_FIELDS:
+        data[key] = _encode_float(data[key])
+    return data
+
+
+def _round_from_dict(data: dict) -> RoundSummary:
+    data = dict(data)
+    for key in _ROUND_FLOAT_FIELDS:
+        if key in data:
+            data[key] = _decode_float(data[key])
+    return RoundSummary(**data)
+
+
+def scored_candidate_to_dict(scored: ScoredCandidate) -> dict:
+    """JSON-serializable form of one scored candidate."""
+    return {
+        "candidate": asdict(scored.candidate),
+        "check_ok": scored.check_ok,
+        "check_issues": [
+            {"code": issue.code, "message": issue.message}
+            for issue in scored.check_issues
+        ],
+        "canonical_source": scored.source if scored.program is not None else None,
+        "evaluation": (
+            _evaluation_to_dict(scored.evaluation)
+            if scored.evaluation is not None
+            else None
+        ),
+    }
+
+
+def scored_candidate_from_dict(data: dict) -> ScoredCandidate:
+    """Rebuild a scored candidate; the program is re-parsed from canonical source."""
+    candidate = Candidate(**data["candidate"])
+    program = None
+    canonical = data.get("canonical_source")
+    if data["check_ok"] and canonical:
+        try:
+            program = parse(canonical)
+        except DslError:  # pragma: no cover - corrupt checkpoint
+            program = None
+    evaluation = data.get("evaluation")
+    return ScoredCandidate(
+        candidate=candidate,
+        program=program,
+        check_ok=bool(data["check_ok"]),
+        check_issues=[
+            CheckIssue(code=issue["code"], message=issue["message"])
+            for issue in data.get("check_issues", [])
+        ],
+        evaluation=_evaluation_from_dict(evaluation) if evaluation else None,
+    )
+
+
+@dataclass
+class SearchCheckpoint:
+    """Per-round snapshot of an evolutionary search, JSON-persistable.
+
+    ``memo`` maps canonical-source hashes to evaluation results (the
+    engine's cross-round cache); ``generator_state`` is an opaque blob from
+    the LLM client (RNG + token-usage counters for the synthetic client),
+    restored on resume so the continued search is byte-identical to an
+    uninterrupted run.
+
+    Resume validation compares the template name, context name and context
+    parameters; evaluator settings that are not part of the context (e.g. a
+    custom ``backend=``) are the caller's responsibility -- resume with the
+    configuration that wrote the checkpoint.
+    """
+
+    template_name: str = ""
+    context_name: str = ""
+    context_parameters: List[list] = field(default_factory=list)
+    completed_rounds: int = 0
+    counter: int = 0
+    population: List[ScoredCandidate] = field(default_factory=list)
+    rounds: List[RoundSummary] = field(default_factory=list)
+    memo: Dict[str, EvaluationResult] = field(default_factory=dict)
+    generator_state: Optional[Dict[str, Any]] = None
+    seed_stats: Dict[str, int] = field(default_factory=dict)
+
+    def save(self, path: Path | str) -> None:
+        payload = {
+            "version": 1,
+            "kind": "search-checkpoint",
+            "template_name": self.template_name,
+            "context_name": self.context_name,
+            "context_parameters": [list(item) for item in self.context_parameters],
+            "completed_rounds": self.completed_rounds,
+            "counter": self.counter,
+            "population": [scored_candidate_to_dict(s) for s in self.population],
+            "rounds": [_round_to_dict(r) for r in self.rounds],
+            "memo": {k: _evaluation_to_dict(v) for k, v in self.memo.items()},
+            "generator_state": self.generator_state,
+            "seed_stats": dict(self.seed_stats),
+        }
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, allow_nan=False))
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "SearchCheckpoint":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != 1 or payload.get("kind") != "search-checkpoint":
+            raise ValueError(f"unsupported checkpoint file {path}")
+        return cls(
+            template_name=payload.get("template_name", ""),
+            context_name=payload.get("context_name", ""),
+            context_parameters=[
+                list(item) for item in payload.get("context_parameters", [])
+            ],
+            completed_rounds=int(payload["completed_rounds"]),
+            counter=int(payload["counter"]),
+            population=[
+                scored_candidate_from_dict(raw) for raw in payload.get("population", [])
+            ],
+            rounds=[_round_from_dict(raw) for raw in payload.get("rounds", [])],
+            memo={
+                key: _evaluation_from_dict(raw)
+                for key, raw in payload.get("memo", {}).items()
+            },
+            generator_state=payload.get("generator_state"),
+            seed_stats={
+                k: int(v) for k, v in payload.get("seed_stats", {}).items()
+            },
+        )

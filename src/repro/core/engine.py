@@ -1,0 +1,338 @@
+"""Batched candidate-evaluation engine (dedup, memoization, parallel fan-out).
+
+The evolutionary search used to validate and evaluate candidates one at a
+time, straight through the tree-walking interpreter.  This module is the
+shared execution substrate that replaces that loop for every domain:
+
+* **Check/repair phase** -- candidates are checked (and optionally repaired
+  through the Generator) serially, in submission order.  This phase is cheap
+  and must stay ordered: the synthetic LLM client is a seeded RNG, so the
+  sequence of repair calls is part of the reproducible search trajectory.
+* **Dedup** -- candidates that check out are keyed by the SHA-1 of their
+  *canonical* source (the parsed program re-rendered by ``to_source``), so
+  syntactic duplicates -- which LLMs re-emit constantly -- collapse to one
+  evaluation per batch.
+* **Memoization** -- evaluation results are cached across batches/rounds in
+  the same canonical-key table, so a candidate regenerated in round 7 reuses
+  its round-2 score.  Hit counters feed the per-round
+  :class:`~repro.core.results.RoundSummary` statistics.
+* **Parallel evaluation** -- unique programs fan out over a
+  ``concurrent.futures`` thread or process pool with an optional
+  per-candidate timeout.  Failures inside a worker (including a broken
+  process pool) degrade to an in-process serial evaluation, so one bad
+  candidate cannot take down the search.
+
+Evaluation is assumed deterministic and side-effect free per candidate
+(true for both shipped domains), which is what makes reordering, dedup and
+memoization result-preserving: a fixed seed yields the same search outcome
+with any engine configuration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.checker import Checker
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.generator import Generator
+from repro.core.results import Candidate, ScoredCandidate
+from repro.dsl.ast import Program
+from repro.dsl.codegen import to_source
+
+
+@dataclass
+class EngineConfig:
+    """Execution knobs of the evaluation engine.
+
+    ``max_workers=1`` (the default) keeps evaluation serial and in-process;
+    anything larger fans unique candidates out over ``executor`` workers.
+    ``eval_timeout_s`` bounds how long the engine waits for one candidate's
+    evaluation; a timed-out candidate gets a failure result and its worker is
+    abandoned (threads cannot be killed; the DSL step budget still bounds the
+    stray work).  Timeouts and crash isolation require a worker pool: with
+    ``max_workers=1`` or ``executor="serial"`` evaluation runs in-process and
+    ``eval_timeout_s`` has no effect.  ``dedup`` collapses canonical duplicates within a batch;
+    ``memoize`` reuses evaluation results across batches.
+    """
+
+    max_workers: int = 1
+    executor: str = "thread"  # "thread" | "process" | "serial"
+    eval_timeout_s: Optional[float] = None
+    dedup: bool = True
+    memoize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if self.executor not in ("thread", "process", "serial"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+        if self.eval_timeout_s is not None and self.eval_timeout_s <= 0:
+            raise ValueError("eval_timeout_s must be positive")
+
+
+@dataclass
+class BatchStats:
+    """What happened while processing one batch of candidates."""
+
+    checked: int = 0
+    passed_check: int = 0
+    passed_after_repair: int = 0
+    failure_codes: Dict[str, int] = field(default_factory=dict)
+    eval_cache_lookups: int = 0
+    eval_cache_hits: int = 0
+    unique_evaluations: int = 0
+    eval_timeouts: int = 0
+
+
+@dataclass
+class BatchResult:
+    """Scored candidates (input order preserved) plus batch statistics."""
+
+    scored: List[ScoredCandidate]
+    stats: BatchStats
+
+
+# -- process-pool plumbing ----------------------------------------------------------
+
+_WORKER_EVALUATOR: Optional[Evaluator] = None
+
+
+def _init_worker(evaluator: Evaluator) -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = evaluator
+
+
+def _evaluate_in_worker(program: Program) -> EvaluationResult:
+    assert _WORKER_EVALUATOR is not None, "worker pool not initialised"
+    return _WORKER_EVALUATOR.evaluate(program)
+
+
+def canonical_key(program: Program) -> str:
+    """Stable identity of a candidate: SHA-1 of its canonical source."""
+    return hashlib.sha1(to_source(program).encode("utf-8")).hexdigest()
+
+
+class EvaluationEngine:
+    """Shared check/repair/evaluate pipeline used by every search domain."""
+
+    def __init__(
+        self,
+        checker: Checker,
+        evaluator: Evaluator,
+        generator: Optional[Generator] = None,
+        repair_attempts: int = 1,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.checker = checker
+        self.evaluator = evaluator
+        self.generator = generator
+        self.repair_attempts = repair_attempts
+        self.config = config or EngineConfig()
+        self._memo: Dict[str, EvaluationResult] = {}
+        self._pool = None  # lazily-created executor, reused across batches
+        # Cumulative counters across the engine's lifetime.
+        self.cache_lookups = 0
+        self.cache_hits = 0
+        self.unique_evaluations = 0
+
+    # -- memo management ----------------------------------------------------------
+
+    def memo_snapshot(self) -> Dict[str, EvaluationResult]:
+        """The memoized evaluations (used by checkpointing)."""
+        return dict(self._memo)
+
+    def restore_memo(self, memo: Dict[str, EvaluationResult]) -> None:
+        """Preload memoized evaluations (used when resuming a search)."""
+        self._memo.update(memo)
+
+    # -- check/repair phase -------------------------------------------------------
+
+    def check_candidate(self, candidate: Candidate) -> ScoredCandidate:
+        """Check (and, on failure, repair) one candidate; no evaluation."""
+        check = self.checker.check(candidate.source)
+        issues = list(check.issues)
+        if not check.ok and self.repair_attempts > 0 and self.generator is not None:
+            for _attempt in range(self.repair_attempts):
+                repaired_source = self.generator.repair(candidate.source, check.feedback)
+                if repaired_source is None:
+                    break
+                recheck = self.checker.check(repaired_source)
+                if recheck.ok:
+                    candidate.source = repaired_source
+                    candidate.repaired = True
+                    candidate.origin = "generated"
+                    check = recheck
+                    break
+                check = recheck
+                issues.extend(recheck.issues)
+        return ScoredCandidate(
+            candidate=candidate,
+            program=check.program if check.ok else None,
+            check_ok=check.ok,
+            check_issues=issues if not check.ok else [],
+        )
+
+    # -- evaluation phase ---------------------------------------------------------
+
+    def process_batch(self, candidates: List[Candidate]) -> BatchResult:
+        """Run the full pipeline over ``candidates``; preserves input order."""
+        stats = BatchStats(checked=len(candidates))
+        scored = [self.check_candidate(candidate) for candidate in candidates]
+        for item in scored:
+            if item.check_ok and not item.candidate.repaired:
+                stats.passed_check += 1
+            elif item.check_ok and item.candidate.repaired:
+                stats.passed_after_repair += 1
+            else:
+                for issue in item.check_issues:
+                    stats.failure_codes[issue.code] = (
+                        stats.failure_codes.get(issue.code, 0) + 1
+                    )
+
+        # Group evaluable candidates by canonical key; memo hits resolve
+        # immediately, the rest evaluate once per unique key.
+        pending: Dict[str, List[ScoredCandidate]] = {}
+        order: List[Tuple[str, Program]] = []
+        fallback_id = 0
+        for item in scored:
+            if not item.check_ok or item.program is None:
+                continue
+            stats.eval_cache_lookups += 1
+            if self.config.dedup or self.config.memoize:
+                key = canonical_key(item.program)
+            else:
+                fallback_id += 1
+                key = f"#nodedup-{fallback_id}"
+            if self.config.memoize and key in self._memo:
+                item.evaluation = self._memo[key]
+                stats.eval_cache_hits += 1
+                continue
+            group = pending.get(key)
+            if group is None or not self.config.dedup:
+                if group is None:
+                    pending[key] = [item]
+                else:  # dedup disabled but memoize on: evaluate each copy
+                    fallback_id += 1
+                    key = f"{key}#copy-{fallback_id}"
+                    pending[key] = [item]
+                order.append((key, item.program))
+            else:
+                group.append(item)
+                stats.eval_cache_hits += 1
+
+        results = self._evaluate_many([program for _key, program in order], stats)
+        for (key, _program), result in zip(order, results):
+            # Transient failures (timeouts, dead workers) are not the
+            # candidate's fault; never memoize them.
+            if self.config.memoize and not key.startswith("#") and not result.transient:
+                self._memo[key.split("#copy-")[0]] = result
+            for item in pending[key]:
+                item.evaluation = result
+        stats.unique_evaluations = len(order)
+
+        self.cache_lookups += stats.eval_cache_lookups
+        self.cache_hits += stats.eval_cache_hits
+        self.unique_evaluations += stats.unique_evaluations
+        return BatchResult(scored=scored, stats=stats)
+
+    # -- executors ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (recreated lazily on next use)."""
+        self._discard_pool(wait=True)
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            cfg = self.config
+            if cfg.executor == "thread":
+                self._pool = ThreadPoolExecutor(max_workers=cfg.max_workers)
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=cfg.max_workers,
+                    initializer=_init_worker,
+                    initargs=(self.evaluator,),
+                )
+        return self._pool
+
+    def _discard_pool(self, wait: bool) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=True)
+            self._pool = None
+
+    def _evaluate_many(
+        self, programs: List[Program], stats: BatchStats
+    ) -> List[EvaluationResult]:
+        if not programs:
+            return []
+        cfg = self.config
+        # Note: single-program batches still go through the pool when one is
+        # configured -- the serial shortcut would silently drop the timeout
+        # and crash isolation.
+        serial = cfg.executor == "serial" or cfg.max_workers <= 1
+        if serial:
+            return [self.evaluator.evaluate(program) for program in programs]
+        pool = self._ensure_pool()
+        if cfg.executor == "thread":
+            futures = [pool.submit(self.evaluator.evaluate, p) for p in programs]
+        else:
+            futures = [pool.submit(_evaluate_in_worker, p) for p in programs]
+        results: List[EvaluationResult] = []
+        abandon = False
+        for program, future in zip(programs, futures):
+            # Once the pool is known-bad, rescue queued candidates in-process
+            # instead of charging each a full timeout it never got to use.
+            if abandon and future.cancel():
+                results.append(self.evaluator.evaluate(program))
+                continue
+            result, healthy = self._collect(program, future, stats)
+            results.append(result)
+            abandon = abandon or not healthy
+        if abandon:
+            # A timed-out or dead worker cannot be reclaimed; abandon the
+            # pool rather than blocking the search (the DSL step budget
+            # bounds any stray work) and let the next batch start fresh.
+            self._discard_pool(wait=False)
+        return results
+
+    def _collect(
+        self, program: Program, future: Future, stats: BatchStats
+    ) -> tuple:
+        """Collect one future; returns ``(result, pool_still_healthy)``."""
+        cfg = self.config
+        try:
+            return future.result(timeout=cfg.eval_timeout_s), True
+        except FutureTimeoutError:
+            future.cancel()
+            stats.eval_timeouts += 1
+            return (
+                EvaluationResult.failure(
+                    f"evaluation timed out after {cfg.eval_timeout_s}s",
+                    self.evaluator.failure_score,
+                    transient=True,
+                ),
+                False,
+            )
+        except BrokenExecutor:
+            # Crash isolation: a worker died (e.g. a hard crash in a process
+            # pool).  Re-evaluate this candidate in-process, where
+            # Evaluator.evaluate converts ordinary failures into invalid
+            # results.
+            return self.evaluator.evaluate(program), False
+        except Exception as exc:  # noqa: BLE001 - worker boundary
+            return (
+                EvaluationResult.failure(
+                    f"evaluation failed in worker: {type(exc).__name__}: {exc}",
+                    self.evaluator.failure_score,
+                    transient=True,
+                ),
+                True,
+            )

@@ -23,17 +23,26 @@ from repro.dsl.errors import DslError
 
 @dataclass
 class EvaluationResult:
-    """Outcome of evaluating one candidate in one context."""
+    """Outcome of evaluating one candidate in one context.
+
+    ``transient`` marks failures caused by the execution environment (a
+    worker timeout, a dead pool) rather than by the candidate itself; the
+    engine never memoizes transient results, so the candidate is re-evaluated
+    if it ever comes up again.
+    """
 
     score: float
     valid: bool = True
     error: Optional[str] = None
     wall_time_s: float = 0.0
     details: Dict[str, float] = field(default_factory=dict)
+    transient: bool = False
 
     @classmethod
-    def failure(cls, error: str, score: float = float("-inf")) -> "EvaluationResult":
-        return cls(score=score, valid=False, error=error)
+    def failure(
+        cls, error: str, score: float = float("-inf"), transient: bool = False
+    ) -> "EvaluationResult":
+        return cls(score=score, valid=False, error=error, transient=transient)
 
 
 class Evaluator(ABC):

@@ -52,7 +52,13 @@ class ScoredCandidate:
 
 @dataclass
 class RoundSummary:
-    """Aggregates for one round of the search (used in reports and tests)."""
+    """Aggregates for one round of the search (used in reports and tests).
+
+    ``eval_cache_lookups`` counts candidates that reached the evaluation
+    stage; ``eval_cache_hits`` how many of those were satisfied from the
+    engine's dedup/memoization cache instead of a fresh simulation, and
+    ``unique_evaluations`` the simulations actually run.
+    """
 
     round_index: int
     generated: int = 0
@@ -62,6 +68,15 @@ class RoundSummary:
     best_score: float = float("-inf")
     best_overall_score: float = float("-inf")
     failure_codes: Dict[str, int] = field(default_factory=dict)
+    eval_cache_lookups: int = 0
+    eval_cache_hits: int = 0
+    unique_evaluations: int = 0
+
+    def eval_cache_hit_rate(self) -> float:
+        """Fraction of evaluation requests served from the cache this round."""
+        if not self.eval_cache_lookups:
+            return 0.0
+        return self.eval_cache_hits / self.eval_cache_lookups
 
 
 @dataclass
@@ -78,6 +93,8 @@ class SearchResult:
     prompt_tokens: int = 0
     completion_tokens: int = 0
     estimated_cost_usd: float = 0.0
+    eval_cache_lookups: int = 0
+    eval_cache_hits: int = 0
 
     def best_source(self) -> str:
         if self.best is None:
@@ -120,3 +137,13 @@ class SearchResult:
     def score_trajectory(self) -> List[float]:
         """Best-so-far score after each round (the search learning curve)."""
         return [r.best_overall_score for r in self.rounds]
+
+    def eval_cache_hit_rate(self) -> float:
+        """Fraction of evaluation requests served by dedup/memoization.
+
+        The synthetic LLM re-emits duplicate candidates constantly; this is
+        the fraction of evaluations the engine avoided re-simulating.
+        """
+        if not self.eval_cache_lookups:
+            return 0.0
+        return self.eval_cache_hits / self.eval_cache_lookups

@@ -1,12 +1,19 @@
 """The PolicySmith evolutionary search loop (§3 and Fig. 1 of the paper).
 
 Each round, the Generator proposes a batch of candidate heuristics given the
-best-performing heuristics found so far as worked examples.  Every candidate
-is validated by the Checker (with one optional repair attempt driven by the
-Checker's feedback), evaluated by the context-specific Evaluator, and added
-to the population.  After the configured number of rounds, the
-highest-scoring valid candidate is the synthesized heuristic for the
-context.
+best-performing heuristics found so far as worked examples.  The batch is
+handed to the shared :class:`~repro.core.engine.EvaluationEngine`, which
+validates every candidate (with one optional repair attempt driven by the
+Checker's feedback), dedups syntactic duplicates, reuses memoized evaluation
+results from earlier rounds, and evaluates the remaining unique candidates --
+serially or fanned out over a worker pool, depending on the engine
+configuration.  After the configured number of rounds, the highest-scoring
+valid candidate is the synthesized heuristic for the context.
+
+When ``checkpoint_path`` is set, the search persists its state after every
+round (see :class:`~repro.core.archive.SearchCheckpoint`) and ``run()``
+transparently resumes from the checkpoint if one exists, so long
+multi-context searches survive interruption.
 
 The paper's caching methodology (§4.2.1) corresponds to
 ``SearchConfig(rounds=20, candidates_per_round=25, top_k_parents=2)`` seeded
@@ -17,11 +24,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
 
+from repro.core.archive import SearchCheckpoint
 from repro.core.checker import Checker
 from repro.core.context import Context
 from repro.core.cost import GPT_4O_MINI_PRICING, CostModel
+from repro.core.engine import BatchStats, EngineConfig, EvaluationEngine
 from repro.core.evaluator import Evaluator
 from repro.core.generator import Generator
 from repro.core.results import Candidate, RoundSummary, ScoredCandidate, SearchResult
@@ -52,7 +62,7 @@ class SearchConfig:
 
 
 class EvolutionarySearch:
-    """Wires Template, Generator, Checker and Evaluator into the search loop."""
+    """Wires Template, Generator, and the evaluation engine into the search loop."""
 
     def __init__(
         self,
@@ -62,6 +72,10 @@ class EvolutionarySearch:
         evaluator: Evaluator,
         config: Optional[SearchConfig] = None,
         context: Optional[Context] = None,
+        engine: Optional[EvaluationEngine] = None,
+        engine_config: Optional[EngineConfig] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 1,
     ):
         self.template = template
         self.generator = generator
@@ -69,31 +83,80 @@ class EvolutionarySearch:
         self.evaluator = evaluator
         self.config = config or SearchConfig()
         self.context = context
+        if engine is not None and engine_config is not None:
+            raise ValueError(
+                "pass either a prebuilt engine or an engine_config, not both "
+                "(a prebuilt engine keeps its own configuration)"
+            )
+        self.engine = engine or EvaluationEngine(
+            checker,
+            evaluator,
+            generator=generator,
+            repair_attempts=self.config.repair_attempts,
+            config=engine_config,
+        )
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        self.checkpoint_every = checkpoint_every
 
     # -- public API -----------------------------------------------------------------
 
     def run(self) -> SearchResult:
-        """Execute the search and return every candidate plus the winner."""
+        """Execute the search and return every candidate plus the winner.
+
+        If ``checkpoint_path`` points at an existing checkpoint, the search
+        resumes from it: completed rounds are restored verbatim and only the
+        remaining rounds execute.
+        """
+        try:
+            return self._run()
+        finally:
+            # Release worker processes/threads (and their pickled evaluator
+            # copies); the engine recreates its pool lazily if reused.
+            self.engine.close()
+
+    def _run(self) -> SearchResult:
         start = time.perf_counter()
         population: List[ScoredCandidate] = []
         rounds: List[RoundSummary] = []
         counter = 0
+        seed_stats: Dict[str, int] = {"lookups": 0, "hits": 0}
 
-        if self.config.include_seeds:
+        checkpoint = self._load_checkpoint()
+        if checkpoint is not None:
+            population = list(checkpoint.population)
+            rounds = list(checkpoint.rounds)
+            counter = checkpoint.counter
+            seed_stats.update(checkpoint.seed_stats)
+            self.engine.restore_memo(checkpoint.memo)
+            self._restore_generator_state(checkpoint.generator_state)
+        elif self.config.include_seeds:
+            seeds: List[Candidate] = []
             for program in self.template.seed_programs:
                 counter += 1
-                candidate = Candidate(
-                    candidate_id=f"seed-{counter}",
-                    source=to_source(program),
-                    round_index=0,
-                    origin="seed",
+                seeds.append(
+                    Candidate(
+                        candidate_id=f"seed-{counter}",
+                        source=to_source(program),
+                        round_index=0,
+                        origin="seed",
+                    )
                 )
-                population.append(self._check_and_evaluate(candidate))
+            batch = self.engine.process_batch(seeds)
+            population.extend(batch.scored)
+            seed_stats["lookups"] = batch.stats.eval_cache_lookups
+            seed_stats["hits"] = batch.stats.eval_cache_hits
 
-        for round_index in range(1, self.config.rounds + 1):
+        for round_index in range(len(rounds) + 1, self.config.rounds + 1):
             summary = self._run_round(round_index, population, counter)
             counter += summary.generated
             rounds.append(summary)
+            if self.checkpoint_path and (
+                round_index % self.checkpoint_every == 0
+                or round_index == self.config.rounds
+            ):
+                self._save_checkpoint(population, rounds, counter, seed_stats)
 
         best = self._best_of(population)
         result = SearchResult(
@@ -104,6 +167,10 @@ class EvolutionarySearch:
             template_name=self.template.name,
             total_candidates=len(population),
             wall_time_s=time.perf_counter() - start,
+            eval_cache_lookups=seed_stats["lookups"]
+            + sum(r.eval_cache_lookups for r in rounds),
+            eval_cache_hits=seed_stats["hits"]
+            + sum(r.eval_cache_hits for r in rounds),
         )
         usage = getattr(self.generator, "usage", None)
         if usage is not None:
@@ -116,11 +183,11 @@ class EvolutionarySearch:
 
     # -- internals -------------------------------------------------------------------
 
-    def _parents_of(self, population: List[ScoredCandidate]) -> List[tuple]:
+    def _parents_of(self, population: List[ScoredCandidate]) -> List[ScoredCandidate]:
         """The top-k valid candidates across *all* previous rounds (§4.2.1)."""
         valid = [c for c in population if c.valid]
         valid.sort(key=lambda c: c.score, reverse=True)
-        return [(c.source, c.score) for c in valid[: self.config.top_k_parents]]
+        return valid[: self.config.top_k_parents]
 
     def _best_of(self, population: List[ScoredCandidate]) -> Optional[ScoredCandidate]:
         valid = [c for c in population if c.valid]
@@ -136,29 +203,25 @@ class EvolutionarySearch:
     ) -> RoundSummary:
         summary = RoundSummary(round_index=round_index)
         parents = self._parents_of(population)
-        parent_ids = [c.candidate.candidate_id for c in population if c.valid][
-            : self.config.top_k_parents
-        ]
-        sources = self.generator.generate(parents, self.config.candidates_per_round)
+        parent_examples = [(c.source, c.score) for c in parents]
+        # Lineage records name the score-sorted parents actually shown to the
+        # generator, not the first valid candidates in insertion order.
+        parent_ids = [c.candidate.candidate_id for c in parents]
+        sources = self.generator.generate(parent_examples, self.config.candidates_per_round)
         summary.generated = len(sources)
 
-        for offset, source in enumerate(sources, start=1):
-            candidate = Candidate(
+        candidates = [
+            Candidate(
                 candidate_id=f"r{round_index}-c{id_offset + offset}",
                 source=source,
                 round_index=round_index,
                 parent_ids=list(parent_ids),
             )
-            scored = self._check_and_evaluate(candidate)
-            if scored.check_ok and not scored.candidate.repaired:
-                summary.passed_check += 1
-            elif scored.check_ok and scored.candidate.repaired:
-                summary.passed_after_repair += 1
-            else:
-                for issue in scored.check_issues:
-                    summary.failure_codes[issue.code] = (
-                        summary.failure_codes.get(issue.code, 0) + 1
-                    )
+            for offset, source in enumerate(sources, start=1)
+        ]
+        batch = self.engine.process_batch(candidates)
+        self._fold_stats(summary, batch.stats)
+        for scored in batch.scored:
             if scored.evaluation is not None:
                 summary.evaluated += 1
                 if scored.valid and scored.score > summary.best_score:
@@ -169,30 +232,90 @@ class EvolutionarySearch:
         summary.best_overall_score = best.score if best else float("-inf")
         return summary
 
-    def _check_and_evaluate(self, candidate: Candidate) -> ScoredCandidate:
-        check = self.checker.check(candidate.source)
-        issues = list(check.issues)
-        if not check.ok and self.config.repair_attempts > 0:
-            repaired_source = None
-            for _attempt in range(self.config.repair_attempts):
-                repaired_source = self.generator.repair(candidate.source, check.feedback)
-                if repaired_source is None:
-                    break
-                recheck = self.checker.check(repaired_source)
-                if recheck.ok:
-                    candidate.source = repaired_source
-                    candidate.repaired = True
-                    candidate.origin = "generated"
-                    check = recheck
-                    break
-                check = recheck
-                issues.extend(recheck.issues)
-        scored = ScoredCandidate(
-            candidate=candidate,
-            program=check.program if check.ok else None,
-            check_ok=check.ok,
-            check_issues=issues if not check.ok else [],
+    @staticmethod
+    def _fold_stats(summary: RoundSummary, stats: BatchStats) -> None:
+        summary.passed_check = stats.passed_check
+        summary.passed_after_repair = stats.passed_after_repair
+        for code, count in stats.failure_codes.items():
+            summary.failure_codes[code] = summary.failure_codes.get(code, 0) + count
+        summary.eval_cache_lookups = stats.eval_cache_lookups
+        summary.eval_cache_hits = stats.eval_cache_hits
+        summary.unique_evaluations = stats.unique_evaluations
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def _load_checkpoint(self) -> Optional[SearchCheckpoint]:
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return None
+        checkpoint = SearchCheckpoint.load(self.checkpoint_path)
+        if checkpoint.template_name and checkpoint.template_name != self.template.name:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} was written for template "
+                f"{checkpoint.template_name!r}, not {self.template.name!r}"
+            )
+        context_name = self.context.name if self.context else ""
+        if checkpoint.context_name and checkpoint.context_name != context_name:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} was written for context "
+                f"{checkpoint.context_name!r}, not {context_name!r}; "
+                "use a separate checkpoint path per context"
+            )
+        context_params = list(self.context.parameters) if self.context else []
+        if checkpoint.context_parameters and [
+            list(item) for item in context_params
+        ] != checkpoint.context_parameters:
+            raise ValueError(
+                f"checkpoint {self.checkpoint_path} was written with context "
+                f"parameters {checkpoint.context_parameters}, not "
+                f"{context_params}; its memoized scores are not comparable"
+            )
+        return checkpoint
+
+    def _save_checkpoint(
+        self,
+        population: List[ScoredCandidate],
+        rounds: List[RoundSummary],
+        counter: int,
+        seed_stats: Dict[str, int],
+    ) -> None:
+        checkpoint = SearchCheckpoint(
+            template_name=self.template.name,
+            context_name=self.context.name if self.context else "",
+            context_parameters=[
+                list(item) for item in (self.context.parameters if self.context else [])
+            ],
+            completed_rounds=len(rounds),
+            counter=counter,
+            population=population,
+            rounds=rounds,
+            memo=self.engine.memo_snapshot(),
+            generator_state=self._capture_generator_state(),
+            seed_stats=dict(seed_stats),
         )
-        if check.ok and check.program is not None:
-            scored.evaluation = self.evaluator.evaluate(check.program)
-        return scored
+        checkpoint.save(self.checkpoint_path)
+
+    def _capture_generator_state(self) -> Optional[Dict[str, Any]]:
+        client = getattr(self.generator, "client", None)
+        state: Dict[str, Any] = {}
+        if client is not None and hasattr(client, "get_state"):
+            state["client"] = client.get_state()
+        usage = getattr(self.generator, "usage", None)
+        if usage is not None:
+            state["usage"] = {
+                "prompt_tokens": usage.prompt_tokens,
+                "completion_tokens": usage.completion_tokens,
+                "calls": usage.calls,
+            }
+        return state or None
+
+    def _restore_generator_state(self, state: Optional[Dict[str, Any]]) -> None:
+        if not state:
+            return
+        client = getattr(self.generator, "client", None)
+        if "client" in state and client is not None and hasattr(client, "set_state"):
+            client.set_state(state["client"])
+        usage = getattr(self.generator, "usage", None)
+        if "usage" in state and usage is not None:
+            usage.prompt_tokens = int(state["usage"].get("prompt_tokens", 0))
+            usage.completion_tokens = int(state["usage"].get("completion_tokens", 0))
+            usage.calls = int(state["usage"].get("calls", 0))

@@ -19,6 +19,9 @@ The public surface:
 ``mutate`` / ``crossover``   evolutionary operators
 ``random_program``    grammar-based sampling of fresh candidates
 ``to_source`` / ``to_c_like`` / ``to_python``  code generation back ends
+``compile_program``   compiles a :class:`Program` to a native Python callable
+                      (the hot-loop fast path; the interpreter stays as the
+                      fallback and differential-testing oracle)
 """
 
 from repro.dsl.ast import (
@@ -48,6 +51,7 @@ from repro.dsl.errors import (
 )
 from repro.dsl.parser import parse
 from repro.dsl.interpreter import Interpreter, EvalContext
+from repro.dsl.compile import CompiledProgram, DslCompileError, compile_program
 from repro.dsl.analysis import ProgramFacts, analyze
 from repro.dsl.codegen import to_c_like, to_python, to_source
 from repro.dsl.mutation import MutationConfig, crossover, mutate
@@ -78,6 +82,9 @@ __all__ = [
     "parse",
     "Interpreter",
     "EvalContext",
+    "CompiledProgram",
+    "DslCompileError",
+    "compile_program",
     "ProgramFacts",
     "analyze",
     "to_source",

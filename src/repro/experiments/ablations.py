@@ -22,14 +22,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cache.search import (
-    CachingEvaluator,
     caching_archetypes,
     caching_seed_programs,
     caching_template,
 )
-from repro.core.checker import StructuralChecker
-from repro.core.generator import LLMGenerator
-from repro.core.search import EvolutionarySearch, SearchConfig
+from repro.core.domain import build_search
+from repro.core.search import SearchConfig
 from repro.core.template import Template
 from repro.dsl.grammar import FeatureSpec
 from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
@@ -72,31 +70,31 @@ def _run_variant(
     name: str,
     template: Template,
     trace,
-    rounds: int,
-    candidates_per_round: int,
     seed: int,
-    top_k_parents: int,
-    repair_attempts: int,
+    search_config: SearchConfig,
     archetypes: Optional[List[str]],
 ) -> AblationResult:
-    config = SyntheticLLMConfig(archetypes=archetypes or [])
-    client = SyntheticLLMClient(template.spec, config=config, seed=seed)
-    generator = LLMGenerator(template, client)
-    checker = StructuralChecker(template)
-    evaluator = CachingEvaluator(trace)
-    search = EvolutionarySearch(
-        template,
-        generator,
-        checker,
-        evaluator,
-        SearchConfig(
-            rounds=rounds,
-            candidates_per_round=candidates_per_round,
-            top_k_parents=top_k_parents,
-            repair_attempts=repair_attempts,
-        ),
+    """One search variant, assembled through the shared domain entry point.
+
+    The client is built explicitly (and passed as an override) because the
+    restricted variants need an exact -- possibly empty -- archetype list,
+    which the caching domain's ``prepare_llm_config`` would otherwise
+    backfill with the full set.
+    """
+    client = SyntheticLLMClient(
+        template.spec,
+        config=SyntheticLLMConfig(archetypes=list(archetypes or [])),
+        seed=seed,
     )
-    result = search.run()
+    setup = build_search(
+        "caching",
+        seed=seed,
+        trace=trace,
+        template=template,
+        client=client,
+        search_config=search_config,
+    )
+    result = setup.search.run()
     best_miss = -result.best.score if result.best is not None else 1.0
     return AblationResult(
         name=name,
@@ -128,49 +126,14 @@ def run_ablations(
         # top_k_parents must stay >= 1 for the search config; "no parent
         # feedback" is modelled by not passing any examples (top_k=1 but the
         # generator gets an empty parent list when include_seeds is False).
-        if top_k == 0:
-            config = SearchConfig(
-                rounds=rounds,
-                candidates_per_round=candidates_per_round,
-                top_k_parents=1,
-                repair_attempts=repairs,
-                include_seeds=False,
-            )
-            client = SyntheticLLMClient(
-                template.spec, config=SyntheticLLMConfig(archetypes=arch or []), seed=seed
-            )
-            generator = LLMGenerator(template, client)
-            search = EvolutionarySearch(
-                template,
-                generator,
-                StructuralChecker(template),
-                CachingEvaluator(trace),
-                config,
-            )
-            result = search.run()
-            best_miss = -result.best.score if result.best is not None else 1.0
-            results.append(
-                AblationResult(
-                    name=name,
-                    best_miss_ratio=best_miss,
-                    valid_candidates=len(result.valid_candidates()),
-                    total_candidates=result.total_candidates,
-                )
-            )
-        else:
-            results.append(
-                _run_variant(
-                    name,
-                    template,
-                    trace,
-                    rounds,
-                    candidates_per_round,
-                    seed,
-                    top_k,
-                    repairs,
-                    arch,
-                )
-            )
+        config = SearchConfig(
+            rounds=rounds,
+            candidates_per_round=candidates_per_round,
+            top_k_parents=max(1, top_k),
+            repair_attempts=repairs,
+            include_seeds=top_k > 0,
+        )
+        results.append(_run_variant(name, template, trace, seed, config, arch))
     return results
 
 

@@ -21,7 +21,7 @@ from typing import List, Optional
 
 from repro.cc.evaluator import CongestionControlEvaluator, default_cc_simulation_config
 from repro.cc.policies import CubicController, RenoController
-from repro.cc.search import build_cc_search
+from repro.core.domain import build_search
 from repro.netsim.simulator import NetworkSimulator
 
 
@@ -81,7 +81,8 @@ def run_cc_behaviour(
     """
     candidates_per_round = 25
     rounds = max(1, (num_candidates + candidates_per_round - 1) // candidates_per_round)
-    setup = build_cc_search(
+    setup = build_search(
+        "cc",
         rounds=rounds,
         candidates_per_round=candidates_per_round,
         seed=seed,

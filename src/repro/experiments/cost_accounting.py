@@ -19,8 +19,8 @@ import argparse
 import time
 from typing import List, Optional
 
-from repro.cache.search import build_caching_search
 from repro.core.cost import GPT_4O_MINI_PRICING, SearchCostReport
+from repro.core.domain import build_search
 from repro.traces import cloudphysics_trace
 
 
@@ -36,8 +36,12 @@ def run_cost_accounting(
     report = SearchCostReport(cost_model=GPT_4O_MINI_PRICING)
     for index in indices:
         trace = cloudphysics_trace(index, num_requests=num_requests)
-        setup = build_caching_search(
-            trace, rounds=rounds, candidates_per_round=candidates_per_round, seed=seed
+        setup = build_search(
+            "caching",
+            rounds=rounds,
+            candidates_per_round=candidates_per_round,
+            seed=seed,
+            trace=trace,
         )
         start = time.process_time()
         result = setup.search.run()

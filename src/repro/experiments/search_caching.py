@@ -22,8 +22,9 @@ from typing import Dict, List, Optional
 from repro.cache.policies import BASELINES
 from repro.cache.priority_cache import PriorityFunctionCache
 from repro.cache.request import Trace
-from repro.cache.search import build_caching_search
 from repro.cache.simulator import CacheSimulator, cache_size_for, simulate_many
+from repro.core.domain import build_search
+from repro.core.engine import EngineConfig
 from repro.core.results import SearchResult
 from repro.traces import cloudphysics_trace, msr_trace
 
@@ -75,15 +76,20 @@ def run_search_experiment(
     seed: int = 0,
     num_requests: Optional[int] = None,
     cache_fraction: float = 0.10,
+    engine_config: Optional[EngineConfig] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> SearchExperimentResult:
     """Run the search on one trace and score the winner against all baselines."""
     trace = context_trace(dataset, trace_index, num_requests)
-    setup = build_caching_search(
-        trace,
+    setup = build_search(
+        "caching",
         rounds=rounds,
         candidates_per_round=candidates_per_round,
         seed=seed,
+        trace=trace,
         cache_fraction=cache_fraction,
+        engine_config=engine_config,
+        checkpoint_path=checkpoint_path,
     )
     search_result = setup.search.run()
 
@@ -112,6 +118,9 @@ def format_search_experiment(result: SearchExperimentResult) -> str:
         f"PolicySmith search on trace {result.trace_name}",
         f"  candidates evaluated : {result.search.total_candidates}",
         f"  first-pass check rate: {result.search.first_pass_check_rate() * 100:.1f}%",
+        f"  eval cache hit rate  : {result.search.eval_cache_hit_rate() * 100:.1f}% "
+        f"({result.search.eval_cache_hits}/{result.search.eval_cache_lookups} "
+        "evaluations deduplicated)",
         f"  prompt/completion tok: {result.search.prompt_tokens} / {result.search.completion_tokens}",
         f"  estimated API cost   : ${result.search.estimated_cost_usd:.4f}",
         f"  synthesized miss     : {result.heuristic_miss_ratio:.4f}",

@@ -96,6 +96,33 @@ class SyntheticLLMClient:
             except DslSyntaxError as exc:  # pragma: no cover - config error
                 raise ValueError(f"invalid archetype source: {exc}") from exc
 
+    # -- checkpointing ---------------------------------------------------------------
+
+    def get_state(self) -> dict:
+        """JSON-safe snapshot of the client's RNG and usage counters.
+
+        Restoring this state (``set_state``) makes a resumed search generate
+        the exact completions an uninterrupted run would have produced.
+        """
+        version, internal, gauss = self._rng.getstate()
+        return {
+            "rng": [version, list(internal), gauss],
+            "usage": {
+                "prompt_tokens": self.usage.prompt_tokens,
+                "completion_tokens": self.usage.completion_tokens,
+                "calls": self.usage.calls,
+            },
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+        version, internal, gauss = state["rng"]
+        self._rng.setstate((version, tuple(internal), gauss))
+        usage = state.get("usage", {})
+        self.usage.prompt_tokens = int(usage.get("prompt_tokens", 0))
+        self.usage.completion_tokens = int(usage.get("completion_tokens", 0))
+        self.usage.calls = int(usage.get("calls", 0))
+
     # -- LLMClient protocol ----------------------------------------------------------
 
     def complete(

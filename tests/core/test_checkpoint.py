@@ -1,0 +1,163 @@
+"""Checkpoint/resume: an interrupted search must continue the exact
+trajectory of an uninterrupted one."""
+
+import pytest
+
+from repro.core.archive import (
+    SearchCheckpoint,
+    scored_candidate_from_dict,
+    scored_candidate_to_dict,
+)
+from repro.core.domain import build_search
+from repro.core.evaluator import EvaluationResult
+from repro.core.results import Candidate, ScoredCandidate
+from repro.dsl import parse
+
+
+def test_scored_candidate_roundtrips_through_json():
+    program = parse("def f(x) { return x + 1 }")
+    scored = ScoredCandidate(
+        candidate=Candidate(
+            candidate_id="r1-c3",
+            source="def f(x) {  return   x+1 }",
+            round_index=1,
+            parent_ids=["seed-1"],
+        ),
+        program=program,
+        check_ok=True,
+        evaluation=EvaluationResult(score=-0.25, details={"miss_ratio": 0.25}),
+    )
+    restored = scored_candidate_from_dict(scored_candidate_to_dict(scored))
+    assert restored.candidate.candidate_id == "r1-c3"
+    assert restored.candidate.parent_ids == ["seed-1"]
+    assert restored.program == program
+    assert restored.score == -0.25
+    assert restored.evaluation.details == {"miss_ratio": 0.25}
+
+
+def test_checkpoint_save_load_roundtrip(tmp_path):
+    checkpoint = SearchCheckpoint(
+        template_name="toy",
+        context_name="ctx",
+        completed_rounds=2,
+        counter=12,
+        memo={"abc": EvaluationResult(score=1.5)},
+        generator_state={"usage": {"prompt_tokens": 10}},
+        seed_stats={"lookups": 2, "hits": 0},
+    )
+    path = tmp_path / "ckpt.json"
+    checkpoint.save(path)
+    loaded = SearchCheckpoint.load(path)
+    assert loaded.completed_rounds == 2
+    assert loaded.counter == 12
+    assert loaded.memo["abc"].score == 1.5
+    assert loaded.generator_state == {"usage": {"prompt_tokens": 10}}
+    assert loaded.seed_stats == {"lookups": 2, "hits": 0}
+
+
+def test_load_rejects_foreign_files(tmp_path):
+    path = tmp_path / "not-a-checkpoint.json"
+    path.write_text('{"version": 1, "entries": []}')
+    with pytest.raises(ValueError):
+        SearchCheckpoint.load(path)
+
+
+def test_resumed_search_matches_uninterrupted_run(small_synthetic_trace, tmp_path):
+    path = tmp_path / "search.ckpt.json"
+    kwargs = dict(trace=small_synthetic_trace, candidates_per_round=6, seed=9)
+
+    full = build_search("caching", rounds=4, **kwargs).search.run()
+
+    # "Interrupt" after round 2, then resume to round 4 with a fresh setup.
+    build_search("caching", rounds=2, checkpoint_path=path, **kwargs).search.run()
+    assert path.exists()
+    resumed = build_search("caching", rounds=4, checkpoint_path=path, **kwargs).search.run()
+
+    assert resumed.best_source() == full.best_source()
+    assert resumed.total_candidates == full.total_candidates
+    assert resumed.prompt_tokens == full.prompt_tokens
+    assert resumed.completion_tokens == full.completion_tokens
+    assert [r.best_overall_score for r in resumed.rounds] == [
+        r.best_overall_score for r in full.rounds
+    ]
+    assert [c.candidate.candidate_id for c in resumed.candidates] == [
+        c.candidate.candidate_id for c in full.candidates
+    ]
+
+
+def test_checkpoint_context_mismatch_rejected(small_synthetic_trace, tmp_path):
+    """Resuming with a different trace must not silently return the other
+    context's results."""
+    from repro.traces.synthetic import SyntheticWorkloadConfig, generate_trace
+
+    path = tmp_path / "search.ckpt.json"
+    build_search(
+        "caching",
+        rounds=1,
+        candidates_per_round=3,
+        trace=small_synthetic_trace,
+        checkpoint_path=path,
+    ).search.run()
+    other = generate_trace(
+        SyntheticWorkloadConfig(name="other-trace", num_requests=500, num_objects=100, seed=3)
+    )
+    with pytest.raises(ValueError, match="context"):
+        build_search(
+            "caching", rounds=1, candidates_per_round=3, trace=other, checkpoint_path=path
+        ).search.run()
+
+
+def test_checkpoint_parameter_mismatch_rejected(small_synthetic_trace, tmp_path):
+    """Same trace but a different cache size: memoized scores are not
+    comparable, so resume must refuse."""
+    path = tmp_path / "search.ckpt.json"
+    build_search(
+        "caching",
+        rounds=1,
+        candidates_per_round=3,
+        trace=small_synthetic_trace,
+        cache_fraction=0.10,
+        checkpoint_path=path,
+    ).search.run()
+    with pytest.raises(ValueError, match="parameters"):
+        build_search(
+            "caching",
+            rounds=2,
+            candidates_per_round=3,
+            trace=small_synthetic_trace,
+            cache_fraction=0.05,
+            checkpoint_path=path,
+        ).search.run()
+
+
+def test_checkpoint_json_is_rfc_compliant(tmp_path):
+    """float('-inf') scores must not serialize as bare -Infinity."""
+    import json
+
+    from repro.core.results import RoundSummary
+
+    checkpoint = SearchCheckpoint(
+        template_name="toy",
+        rounds=[RoundSummary(round_index=1)],  # best_score defaults to -inf
+        memo={"k": EvaluationResult.failure("boom")},  # score -inf
+    )
+    path = tmp_path / "ckpt.json"
+    checkpoint.save(path)
+    assert "Infinity" not in path.read_text()
+    json.loads(path.read_text())  # strict-parseable
+    loaded = SearchCheckpoint.load(path)
+    assert loaded.rounds[0].best_score == float("-inf")
+    assert loaded.memo["k"].score == float("-inf")
+
+
+def test_checkpoint_template_mismatch_rejected(small_synthetic_trace, tmp_path):
+    path = tmp_path / "search.ckpt.json"
+    build_search(
+        "caching",
+        rounds=1,
+        candidates_per_round=3,
+        trace=small_synthetic_trace,
+        checkpoint_path=path,
+    ).search.run()
+    with pytest.raises(ValueError, match="template"):
+        build_search("cc", rounds=1, candidates_per_round=3, checkpoint_path=path).search.run()

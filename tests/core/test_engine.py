@@ -1,0 +1,176 @@
+"""Tests of the batched evaluation engine (dedup, memoization, parallelism,
+timeouts and crash isolation)."""
+
+import time
+
+import pytest
+
+from repro.core.checker import StructuralChecker
+from repro.core.engine import EngineConfig, EvaluationEngine
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.results import Candidate
+from repro.core.template import Template
+from repro.dsl import Interpreter, parse
+from repro.dsl.grammar import FeatureSpec
+
+
+def make_template():
+    spec = FeatureSpec(function_name="f", params=["x"], scalar_params=["x"])
+    return Template(
+        name="toy",
+        spec=spec,
+        description="return a constant",
+        seed_programs=[parse("def f(x) { return 1 }")],
+    )
+
+
+class CountingEvaluator(Evaluator):
+    """Scores a program by its returned constant; counts evaluations."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.calls = 0
+        self.delay_s = delay_s
+
+    def evaluate_program(self, program):
+        self.calls += 1
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        value = Interpreter().run(program, {"x": 0})
+        return EvaluationResult(score=float(value), valid=True)
+
+
+def candidates(sources):
+    return [
+        Candidate(candidate_id=f"c{i}", source=source, round_index=1)
+        for i, source in enumerate(sources, start=1)
+    ]
+
+
+def make_engine(evaluator=None, **config_kwargs):
+    template = make_template()
+    return EvaluationEngine(
+        StructuralChecker(template),
+        evaluator or CountingEvaluator(),
+        config=EngineConfig(**config_kwargs) if config_kwargs else None,
+    )
+
+
+def test_intra_batch_dedup_evaluates_unique_sources_once():
+    evaluator = CountingEvaluator()
+    engine = make_engine(evaluator)
+    # Whitespace variants canonicalise to the same program.
+    batch = engine.process_batch(
+        candidates(
+            [
+                "def f(x) { return 7 }",
+                "def f(x) {  return   7 }",
+                "def f(x) { return 8 }",
+            ]
+        )
+    )
+    assert evaluator.calls == 2
+    assert batch.stats.unique_evaluations == 2
+    assert batch.stats.eval_cache_lookups == 3
+    assert batch.stats.eval_cache_hits == 1
+    assert [s.score for s in batch.scored] == [7.0, 7.0, 8.0]
+
+
+def test_memoization_spans_batches():
+    evaluator = CountingEvaluator()
+    engine = make_engine(evaluator)
+    engine.process_batch(candidates(["def f(x) { return 7 }"]))
+    second = engine.process_batch(candidates(["def f(x) { return 7 }"]))
+    assert evaluator.calls == 1
+    assert second.stats.eval_cache_hits == 1
+    assert second.scored[0].score == 7.0
+    assert engine.cache_hits == 1 and engine.cache_lookups == 2
+
+
+def test_dedup_and_memoization_can_be_disabled():
+    evaluator = CountingEvaluator()
+    engine = make_engine(evaluator, dedup=False, memoize=False)
+    engine.process_batch(candidates(["def f(x) { return 7 }"] * 3))
+    engine.process_batch(candidates(["def f(x) { return 7 }"]))
+    assert evaluator.calls == 4
+
+
+def test_check_failures_are_counted_not_evaluated():
+    evaluator = CountingEvaluator()
+    engine = make_engine(evaluator)
+    batch = engine.process_batch(candidates(["def f(x) { return y }"]))
+    assert evaluator.calls == 0
+    assert not batch.scored[0].check_ok
+    assert batch.stats.failure_codes.get("unknown-name") == 1
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_parallel_results_match_serial(executor):
+    sources = [f"def f(x) {{ return {n} }}" for n in range(6)]
+    serial = make_engine().process_batch(candidates(sources))
+    parallel = make_engine(
+        CountingEvaluator(), max_workers=3, executor=executor
+    ).process_batch(candidates(sources))
+    assert [s.score for s in parallel.scored] == [s.score for s in serial.scored]
+    assert parallel.stats.unique_evaluations == 6
+
+
+def test_timeout_produces_failure_result():
+    evaluator = CountingEvaluator(delay_s=5.0)
+    engine = make_engine(evaluator, max_workers=2, executor="thread", eval_timeout_s=0.1)
+    batch = engine.process_batch(
+        candidates(["def f(x) { return 1 }", "def f(x) { return 2 }"])
+    )
+    for scored in batch.scored:
+        assert scored.evaluation is not None
+        assert not scored.evaluation.valid
+        assert "timed out" in scored.evaluation.error
+    assert batch.stats.eval_timeouts == 2
+
+
+def test_timeouts_are_not_memoized():
+    """A transient failure must not poison the memo: once the slowdown
+    clears, the same candidate is re-evaluated and gets its real score."""
+    evaluator = CountingEvaluator(delay_s=5.0)
+    engine = make_engine(evaluator, max_workers=2, executor="thread", eval_timeout_s=0.1)
+    engine.process_batch(
+        candidates(["def f(x) { return 1 }", "def f(x) { return 2 }"])
+    )
+    evaluator.delay_s = 0.0  # the load spike clears
+    batch = engine.process_batch(
+        candidates(["def f(x) { return 1 }", "def f(x) { return 2 }"])
+    )
+    assert [s.score for s in batch.scored] == [1.0, 2.0]
+    assert all(s.evaluation.valid for s in batch.scored)
+
+
+def test_worker_pool_is_reused_across_batches():
+    engine = make_engine(CountingEvaluator(), max_workers=2, executor="thread")
+    engine.process_batch(candidates(["def f(x) { return 1 }", "def f(x) { return 2 }"]))
+    pool = engine._pool
+    assert pool is not None
+    engine.process_batch(candidates(["def f(x) { return 3 }", "def f(x) { return 4 }"]))
+    assert engine._pool is pool
+    engine.close()
+    assert engine._pool is None
+
+
+def test_engine_config_validation():
+    with pytest.raises(ValueError):
+        EngineConfig(max_workers=0)
+    with pytest.raises(ValueError):
+        EngineConfig(executor="gpu")
+    with pytest.raises(ValueError):
+        EngineConfig(eval_timeout_s=0)
+
+
+def test_memo_snapshot_roundtrip():
+    engine = make_engine()
+    engine.process_batch(candidates(["def f(x) { return 7 }"]))
+    snapshot = engine.memo_snapshot()
+    assert len(snapshot) == 1
+    fresh_evaluator = CountingEvaluator()
+    fresh = make_engine(fresh_evaluator)
+    fresh.restore_memo(snapshot)
+    batch = fresh.process_batch(candidates(["def f(x) { return 7 }"]))
+    assert fresh_evaluator.calls == 0
+    assert batch.scored[0].score == 7.0
