@@ -2,10 +2,11 @@
 """Case study 1 (§4): instance-optimal cache eviction heuristics.
 
 Reproduces the paper's caching methodology end to end on synthetic stand-ins
-for the CloudPhysics / MSR corpora:
+for the CloudPhysics / MSR corpora, entirely through the experiment registry
+(the same named specs + reducers `python -m repro run` uses):
 
-* run the PolicySmith search on a chosen context trace (§4.2.1),
-* verify instance-optimality against the fourteen baselines (§4.2.3),
+* run the `caching-search` experiment on a chosen context trace (§4.2.1) and
+  verify instance-optimality against the fourteen baselines (§4.2.3),
 * evaluate the shipped heuristics A-D / W-Z corpus-wide and print the
   Figure-2 series and Table-2 rows for a corpus subset.
 
@@ -19,9 +20,8 @@ import argparse
 
 from repro.experiments.corpus import evaluate_corpus
 from repro.experiments.figure2 import figure2_from_evaluation, format_figure2
-from repro.experiments.search_caching import format_search_experiment, run_search_experiment
+from repro.experiments.registry import get_experiment, run_experiment
 from repro.experiments.table2 import format_table2, table2_from_evaluation
-
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -31,21 +31,23 @@ def main() -> None:
     parser.add_argument("--candidates", type=int, default=12)
     args = parser.parse_args()
 
-    # -- §4.2.1 / §4.2.3: search on one context trace ---------------------------
+    # -- §4.2.1 / §4.2.3: search on one context trace -------------------------------
     print("=" * 72)
     print("PolicySmith search on one context trace")
     print("=" * 72)
-    experiment = run_search_experiment(
-        dataset="cloudphysics",
-        trace_index=args.trace,
+    payload = run_experiment(
+        "caching-search",
+        trace=args.trace,
         rounds=args.rounds,
-        candidates_per_round=args.candidates,
-        num_requests=None if args.full else 4000,
+        candidates=args.candidates,
+        requests=None if args.full else 4000,
         seed=1,
     )
-    print(format_search_experiment(experiment))
+    print(get_experiment("caching-search").renderer(payload))
 
-    # -- Figure 2 / Table 2 on a corpus --------------------------------------------
+    # -- Figure 2 / Table 2 on a corpus ---------------------------------------------
+    # The corpus simulation is the expensive part, so it is evaluated once per
+    # dataset and fed to both reducers (the registry runners would simulate twice).
     trace_count = None if args.full else 12
     num_requests = None if args.full else 3000
     for dataset in ("cloudphysics", "msr"):

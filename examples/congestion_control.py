@@ -1,45 +1,52 @@
 #!/usr/bin/env python3
 """Case study 2 (§5): synthesizing kernel congestion-control heuristics.
 
-Reproduces the paper's feasibility study on the simulation substrate:
+Reproduces the paper's feasibility study on the simulation substrate,
+through the experiment registry and the declarative RunSpec API:
 
-* generate candidate cong_control programs under kernel constraints and
-  report how many pass the verifier stand-in on the first try vs after
-  checker feedback (§5.0.3's 63 % / +19 %, with caching's 92 % as contrast),
-* evaluate the compiled candidates on the emulated 12 Mbps / 20 ms link and
-  report the spread of utilisation and queueing delay,
-* run a short search and print the best discovered controller next to Reno
-  and CUBIC.
+* the `cc-compilation` experiment: how many cong_control candidates pass the
+  verifier stand-in first try vs after checker feedback (§5.0.3's 63 % /
+  +19 %, with caching's 92 % as contrast),
+* the `cc-behaviour` experiment: utilisation / queueing-delay spread of the
+  compiled candidates on the emulated 12 Mbps / 20 ms link,
+* a short kernel-constrained search declared as a RunSpec, with the best
+  discovered controller printed next to Reno and CUBIC.
 
 Run:  python examples/congestion_control.py
 """
 
-from repro.cc.policies import CubicController, RenoController
-from repro.core.domain import build_search
-from repro.experiments.cc_behaviour import format_behaviour, run_cc_behaviour
-from repro.experiments.cc_compilation import format_compilation, run_cc_compilation
-from repro.netsim.simulator import NetworkSimulator
 from repro.cc.evaluator import default_cc_simulation_config
-
+from repro.cc.policies import CubicController, RenoController
+from repro.core.spec import RunSpec, run
+from repro.experiments.registry import get_experiment, run_experiment
+from repro.netsim.simulator import NetworkSimulator
 
 def main() -> None:
     print("=" * 72)
     print("Verifier pass rates (kernel template vs caching template)")
     print("=" * 72)
-    print(format_compilation(run_cc_compilation(num_candidates=80, seed=11)))
+    payload = run_experiment("cc-compilation", candidates=80, seed=11)
+    print(get_experiment("cc-compilation").renderer(payload))
 
     print()
     print("=" * 72)
     print("Behaviour of compiled candidates on the 12 Mbps / 20 ms link")
     print("=" * 72)
-    print(format_behaviour(run_cc_behaviour(num_candidates=25, seed=23, duration_s=3.0)))
+    payload = run_experiment("cc-behaviour", candidates=25, seed=23, duration=3.0)
+    print(get_experiment("cc-behaviour").renderer(payload))
 
     print()
     print("=" * 72)
     print("Short kernel-constrained search")
     print("=" * 72)
-    setup = build_search("cc", rounds=3, candidates_per_round=12, seed=7, duration_s=3.0)
-    result = setup.search.run()
+    spec = RunSpec(
+        domain="cc",
+        name="cc-short-search",
+        domain_kwargs={"duration_s": 3.0},
+        search={"rounds": 3, "candidates_per_round": 12},
+        seed=7,
+    )
+    result = run(spec).result
     details = result.best.evaluation.details
     print(f"best candidate: utilization {details['utilization'] * 100:.0f}%, "
           f"mean queueing delay {details['mean_queueing_delay_ms']:.1f} ms, "

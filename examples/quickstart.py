@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Quickstart: the PolicySmith loop in ~60 lines.
+"""Quickstart: the PolicySmith loop in ~50 lines, on the declarative API.
 
 Walks the full Figure-1 pipeline on a small synthetic caching context:
 
-1. build a context trace and the caching Template (Table-1 features,
-   constraints, LRU/LFU seeds),
-2. run a short evolutionary search driven by the offline synthetic LLM,
+1. declare the whole run as a serializable RunSpec (context trace reference,
+   search size, seed),
+2. execute it with ``run(spec)`` -- the spec is what the ``repro`` CLI, the
+   sweep driver and the tests all submit,
 3. compare the synthesized heuristic against classic baselines on the trace,
 4. print the discovered code and the search's token/cost accounting.
 
@@ -14,21 +15,29 @@ Run:  python examples/quickstart.py
 
 from repro.cache.policies import BASELINES
 from repro.cache.priority_cache import PriorityFunctionCache
-from repro.core.domain import build_search
 from repro.cache.simulator import CacheSimulator, cache_size_for, simulate_many
-from repro.traces import cloudphysics_trace
-
+from repro.core.spec import RunSpec, run
 
 def main() -> None:
     # 1. The deployment context: one CloudPhysics-like trace, cache sized at
-    #    10 % of the trace footprint (the paper's §4.1.4 setting).
-    trace = cloudphysics_trace(89, num_requests=3000)
+    #    10 % of the trace footprint (the paper's §4.1.4 setting).  The trace
+    #    is referenced declaratively so the spec itself round-trips through
+    #    JSON (try `print(spec.to_json())` -- the same file
+    #    `python -m repro run` accepts).
+    spec = RunSpec(
+        domain="caching",
+        name="quickstart",
+        domain_kwargs={"trace": {"dataset": "cloudphysics", "index": 89, "num_requests": 3000}},
+        search={"rounds": 4, "candidates_per_round": 10},
+        seed=0,
+    )
+
+    # 2. Run it (scaled down from the paper's 20x25).
+    outcome = run(spec)
+    result = outcome.result
+    trace = outcome.resolved_domain_kwargs["trace"]
     print(f"context trace: {trace.name} ({len(trace)} requests, "
           f"{trace.unique_objects()} objects, footprint {trace.footprint_bytes()} B)")
-
-    # 2. Assemble and run the search (scaled down from the paper's 20x25).
-    setup = build_search("caching", trace=trace, rounds=4, candidates_per_round=10, seed=0)
-    result = setup.search.run()
     print(f"\nsearch: {result.total_candidates} candidates, "
           f"{len(result.valid_candidates())} valid, "
           f"first-pass check rate {result.first_pass_check_rate() * 100:.0f}%")
@@ -42,9 +51,7 @@ def main() -> None:
         PriorityFunctionCache(size, result.best_program(), name="PolicySmith"), trace
     )
     print("\nmiss ratios on the context trace (lower is better):")
-    rows = sorted(
-        list(baselines.values()) + [winner], key=lambda r: r.miss_ratio
-    )
+    rows = sorted(list(baselines.values()) + [winner], key=lambda r: r.miss_ratio)
     for row in rows[:6]:
         marker = "  <-- synthesized" if row.policy == "PolicySmith" else ""
         print(f"  {row.policy:<14} {row.miss_ratio:.4f}{marker}")

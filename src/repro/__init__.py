@@ -19,9 +19,13 @@ Package map
 ``repro.netsim``       discrete-event network simulator (link, flows)
 ``repro.cc``           congestion-control Template, kernel-constraint
                         checker, baselines, evaluator
-``repro.experiments``  one module per paper table/figure
+``repro.experiments``  one module per paper table/figure, each registered as
+                        a named spec + reducer in the experiment registry
+``repro.cli``          the unified ``python -m repro`` frontend (run / sweep
+                        / resume / experiments list / report)
 
-Start with ``examples/quickstart.py`` or DESIGN.md.
+Start with ``examples/quickstart.py``, ``python -m repro experiments list``,
+or DESIGN.md.
 """
 
 __version__ = "1.0.0"

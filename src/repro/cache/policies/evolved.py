@@ -13,7 +13,7 @@ reproduction:
   cores in the GDSF family with recency corrections, history-based revival,
   percentile thresholds and scan/churn protections, frozen here so that the
   Figure 2 / Table 2 experiments are deterministic and fast.  Re-running the
-  search (``python -m repro.experiments.search_caching``) reproduces
+  search (``python -m repro run caching-search``) reproduces
   heuristics of this shape and quality on any chosen context trace.
 
 Each heuristic is exposed both as DSL source text and as a ready-to-use

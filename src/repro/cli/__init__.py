@@ -1,0 +1,9 @@
+"""The ``repro`` command-line package (``python -m repro``).
+
+:mod:`repro.cli.main` parses commands and drives the run/report plumbing;
+:mod:`repro.cli.render` holds the pure search/sweep report renderers.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

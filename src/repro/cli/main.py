@@ -1,0 +1,355 @@
+"""The unified ``repro`` command line: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run <experiment | spec.json>``
+    Run a registered experiment (overriding parameters with ``--set k=v``) or
+    a declarative :class:`~repro.core.spec.RunSpec` file, store the run as a
+    versioned artifact directory, and print the report.
+``sweep <spec.json>``
+    Run the spec once per seed (``--seeds`` overrides the spec's list),
+    seeds in parallel, and print the sweep table.
+``resume <run dir>``
+    Continue an interrupted checkpointed search from its artifact directory.
+``experiments list``
+    The experiment registry with defaults and descriptions.
+``report <run dir>``
+    Re-render a stored run's report from its artifacts, byte-identical to
+    the original ``run`` output, without re-running anything.
+
+Reports go to stdout; progress and artifact paths go to stderr, so stdout
+can be diffed between ``run`` and ``report``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.cli.render import render_search_report, render_sweep_report
+from repro.core import artifacts
+from repro.core.events import ProgressPrinter
+from repro.core.spec import RunSpec, run, run_sweep
+from repro.experiments import registry
+
+DEFAULT_ARTIFACT_ROOT = "runs"
+
+
+class CliError(Exception):
+    """User-facing CLI failure (printed without a traceback)."""
+
+
+def _parse_set(values: List[str]) -> Dict[str, Any]:
+    """``--set key=value`` pairs; values are parsed as JSON when possible."""
+    overrides: Dict[str, Any] = {}
+    for item in values:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise CliError(f"--set expects key=value, got {item!r}")
+        try:
+            overrides[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[key] = raw
+    return overrides
+
+
+def _store(args: argparse.Namespace) -> Optional[artifacts.ArtifactStore]:
+    if getattr(args, "no_artifacts", False):
+        return None
+    return artifacts.ArtifactStore(args.artifacts)
+
+
+def _note(text: str) -> None:
+    try:
+        print(text, file=sys.stderr)
+    except BrokenPipeError:
+        # A consumer closed stderr; the run itself succeeded and the report
+        # already reached stdout -- losing the side note must not fail the run.
+        pass
+
+
+def _progress_subscribers(args: argparse.Namespace) -> list:
+    if getattr(args, "quiet", False):
+        return []
+    return [ProgressPrinter(sys.stderr, verbose=getattr(args, "verbose", False))]
+
+
+def _search_report(outcome) -> str:
+    """Render a finished search run's report.
+
+    When artifacts were written, render from the stored spec.json/result.json
+    -- the same files `repro report` reads -- so run/report byte-identity
+    holds by construction (and the result is not serialized a second time).
+    """
+    if outcome.artifact_dir is not None:
+        artifact = artifacts.RunArtifact(outcome.artifact_dir)
+        return render_search_report(artifact.spec, artifact.result)
+    return render_search_report(
+        outcome.spec.for_seed(outcome.seed).to_dict(),
+        artifacts.search_result_to_dict(outcome.result),
+    )
+
+
+# -- commands -----------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    target = args.target
+    overrides = _parse_set(args.set or [])
+    store = _store(args)
+
+    # A target is a spec file when it *looks* like a path (a .json suffix or
+    # a path separator); bare names always go to the experiment registry, so
+    # a stray file or directory in cwd cannot shadow an experiment.
+    spec_path = Path(target)
+    looks_like_path = target.endswith(".json") or os.sep in target
+    if looks_like_path:
+        if not spec_path.is_file():
+            hint = (
+                "; for a run directory use `repro report` or `repro resume`"
+                if spec_path.is_dir()
+                else ""
+            )
+            raise CliError(f"{target} is not a RunSpec file{hint}")
+        if overrides:
+            raise CliError(
+                "--set overrides apply to registered experiments; "
+                "edit the spec file to change a RunSpec"
+            )
+        spec = RunSpec.from_file(spec_path)
+        if spec.is_sweep and args.seed is None:
+            raise CliError(
+                f"spec {spec.name!r} declares a seed sweep {spec.seeds}; "
+                "use `python -m repro sweep` (or pass --seed to run one)"
+            )
+        if args.seed is not None:
+            spec = spec.for_seed(args.seed)
+        outcome = run(spec, store=store, subscribers=_progress_subscribers(args))
+        print(_search_report(outcome))
+        if outcome.artifact_dir is not None:
+            _note(f"artifacts: {outcome.artifact_dir}")
+        return 0
+
+    try:
+        experiment = registry.get_experiment(target)
+    except KeyError as exc:
+        raise CliError(str(exc)) from exc
+    if args.seed is not None:
+        if "seed" not in experiment.params:
+            raise CliError(
+                f"experiment {experiment.name!r} has no seed parameter; "
+                "see `repro experiments list` for its --set options"
+            )
+        overrides["seed"] = args.seed
+    params = registry.merge_params(experiment, overrides)
+    runner_kwargs = dict(params)
+    if experiment.accepts_progress:
+        # Presentation-only: not part of params, so it does not enter the
+        # stored spec.json or the run directory's config hash.
+        runner_kwargs["progress"] = not args.quiet
+    payload = experiment.runner(**runner_kwargs)
+    print(experiment.renderer(payload))
+    if store is not None:
+        config_hash = registry.params_hash(experiment.name, params)
+        run_dir = artifacts.write_experiment_dir(
+            store.experiment_dir(experiment.name, config_hash),
+            experiment=experiment.name,
+            params=params,
+            payload=payload,
+            config_hash=config_hash,
+        )
+        _note(f"artifacts: {run_dir}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = RunSpec.from_file(args.spec)
+    if args.seeds:
+        seeds = [int(s) for s in args.seeds]
+        spec = RunSpec.from_dict({**spec.to_dict(), "seeds": seeds})
+    # Progress printing only when seeds run one at a time: concurrent seeds
+    # would interleave unattributed lines through one shared printer.
+    serial = args.parallel == 1 or len(spec.seed_list) == 1
+    outcome = run_sweep(
+        spec,
+        store=_store(args),
+        subscribers=_progress_subscribers(args) if serial else (),
+        max_parallel=args.parallel,
+    )
+    if outcome.artifact_dir is not None:
+        print(render_sweep_report(artifacts.load_sweep(outcome.artifact_dir)))
+        _note(f"artifacts: {outcome.artifact_dir}")
+    else:
+        runs = [
+            {
+                "seed": o.seed,
+                "dir": "-",
+                "best_score": o.result.best.score if o.result.best else None,
+                "valid_candidates": len(o.result.valid_candidates()),
+                "total_candidates": o.result.total_candidates,
+            }
+            for o in outcome.outcomes
+        ]
+        best = outcome.best
+        print(
+            render_sweep_report(
+                {"spec": spec.to_dict(), "runs": runs,
+                 "best_seed": best.seed if best else None}
+            )
+        )
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    run_dir = Path(args.run_dir)
+    spec_file = run_dir / artifacts.SPEC_FILE
+    if not spec_file.exists():
+        raise CliError(
+            f"{run_dir} is not a run directory (no {artifacts.SPEC_FILE}); "
+            "for a sweep, resume one seed-<n> subdirectory"
+        )
+    spec_data = json.loads(spec_file.read_text(encoding="utf-8"))
+    if "experiment" in spec_data:
+        raise CliError(
+            "experiment runs are not resumable; re-run with "
+            f"`python -m repro run {spec_data['experiment']}`"
+        )
+    spec = RunSpec.from_dict(spec_data)
+    if not spec.checkpoint:
+        raise CliError(
+            f"spec {spec.name!r} was run without checkpointing; nothing to resume"
+        )
+    outcome = run(spec, run_dir=run_dir, subscribers=_progress_subscribers(args))
+    print(_search_report(outcome))
+    _note(f"artifacts: {outcome.artifact_dir}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.action != "list":  # pragma: no cover - argparse restricts choices
+        raise CliError(f"unknown experiments action {args.action!r}")
+    names = registry.available_experiments()
+    width = max(len(name) for name in names)
+    for name in names:
+        experiment = registry.get_experiment(name)
+        print(f"{name:<{width}}  {experiment.description}")
+        defaults = " ".join(f"{k}={json.dumps(v)}" for k, v in experiment.params.items())
+        print(f"{'':<{width}}  defaults: {defaults}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = Path(args.run_dir)
+    if artifacts.is_sweep_dir(path):
+        print(render_sweep_report(artifacts.load_sweep(path)))
+        return 0
+    try:
+        artifact = artifacts.RunArtifact(path)
+        artifact.metadata  # enforces the artifact-format version gate
+    except FileNotFoundError as exc:
+        if (path / artifacts.SPEC_FILE).exists():
+            raise CliError(
+                f"{path} is incomplete (no metadata.json) -- was the run "
+                "interrupted? `repro resume` can finish a checkpointed run"
+            ) from exc
+        raise CliError(str(exc)) from exc
+    if artifact.kind == "experiment":
+        name = artifact.spec["experiment"]
+        try:
+            experiment = registry.get_experiment(name)
+        except KeyError as exc:
+            raise CliError(str(exc)) from exc
+        print(experiment.renderer(artifact.result))
+    else:
+        print(render_search_report(artifact.spec, artifact.result))
+    return 0
+
+
+# -- entry point --------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Unified runner for PolicySmith searches and paper experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--artifacts",
+            default=DEFAULT_ARTIFACT_ROOT,
+            help=f"artifact store root (default: ./{DEFAULT_ARTIFACT_ROOT})",
+        )
+        p.add_argument(
+            "--no-artifacts",
+            action="store_true",
+            help="do not write a run directory",
+        )
+        p.add_argument("--quiet", action="store_true", help="no progress on stderr")
+        p.add_argument(
+            "--verbose", action="store_true", help="per-candidate progress lines"
+        )
+
+    p_run = sub.add_parser("run", help="run an experiment by name or a RunSpec file")
+    p_run.add_argument("target", help="registered experiment name or path to spec.json")
+    p_run.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="override an experiment parameter (repeatable; values parsed as JSON)",
+    )
+    p_run.add_argument("--seed", type=int, default=None, help="override the spec seed")
+    add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run a RunSpec once per seed, in parallel")
+    p_sweep.add_argument("spec", help="path to a RunSpec JSON file")
+    p_sweep.add_argument(
+        "--seeds", nargs="+", default=None, help="override the spec's seed list"
+    )
+    p_sweep.add_argument(
+        "--parallel", type=int, default=None, help="max concurrent seeds"
+    )
+    add_common(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_resume = sub.add_parser(
+        "resume", help="resume a checkpointed search from its run directory"
+    )
+    p_resume.add_argument("run_dir", help="artifact directory of the interrupted run")
+    p_resume.add_argument("--quiet", action="store_true", help="no progress on stderr")
+    p_resume.add_argument(
+        "--verbose", action="store_true", help="per-candidate progress lines"
+    )
+    p_resume.set_defaults(func=_cmd_resume)
+
+    p_exp = sub.add_parser("experiments", help="inspect the experiment registry")
+    p_exp.add_argument("action", choices=["list"])
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_report = sub.add_parser(
+        "report", help="re-render a stored run's report without re-running"
+    )
+    p_report.add_argument("run_dir", help="artifact directory (or sweep directory)")
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,71 @@
+"""Report rendering for search runs and sweeps.
+
+These renderers are pure functions of the *stored* dictionaries (spec.json /
+result.json / sweep.json), which is what makes ``repro report`` reproduce a
+``repro run``'s stdout byte-for-byte from the artifact directory alone: both
+commands render the same on-disk dictionaries.  Search statistics are
+computed by rebuilding the :class:`~repro.core.results.SearchResult` and
+using its own methods, so every rate has exactly one definition.
+Experiment reports use the registered reducer instead (see
+:mod:`repro.experiments.registry`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.artifacts import search_result_from_dict
+
+
+def render_search_report(spec: Dict, result: Dict) -> str:
+    """The generic report for a RunSpec-driven search run."""
+    res = search_result_from_dict(result)
+    valid = res.valid_candidates()
+    lines = [
+        f"Search run: {spec.get('name', '?')} "
+        f"(domain {spec.get('domain', '?')}, seed {spec.get('seed', '?')})",
+        f"  template / context   : {res.template_name} / "
+        f"{res.context_name or '<none>'}",
+        f"  rounds completed     : {len(res.rounds)}",
+        f"  candidates           : {res.total_candidates} ({len(valid)} valid)",
+        f"  first-pass check rate: {res.first_pass_check_rate() * 100:.1f}%",
+        f"  eval cache hit rate  : {res.eval_cache_hit_rate() * 100:.1f}% "
+        f"({res.eval_cache_hits}/{res.eval_cache_lookups})",
+        f"  prompt/completion tok: {res.prompt_tokens} / {res.completion_tokens}",
+        f"  estimated API cost   : ${res.estimated_cost_usd:.4f}",
+    ]
+    if res.best is not None:
+        lines.append(
+            f"  best candidate       : {res.best.candidate.candidate_id} "
+            f"(score {res.best.score:.4f})"
+        )
+        lines.append("")
+        lines.append("Best heuristic:")
+        lines.append(res.best_source())
+    else:
+        lines.append("  best candidate       : none (no valid candidate)")
+    return "\n".join(lines)
+
+
+def render_sweep_report(sweep: Dict) -> str:
+    """The report for a seed sweep (from sweep.json)."""
+    spec = sweep.get("spec", {})
+    runs: List[Dict] = sweep.get("runs", [])
+    lines = [
+        f"Seed sweep: {spec.get('name', '?')} "
+        f"(domain {spec.get('domain', '?')}, {len(runs)} seeds)",
+        f"{'seed':>6} {'best score':>12} {'valid':>7} {'total':>7}  run dir",
+    ]
+    for run in runs:
+        score = (
+            f"{run['best_score']:.4f}" if run["best_score"] is not None else "-"
+        )
+        lines.append(
+            f"{run['seed']:>6} {score:>12} {run['valid_candidates']:>7} "
+            f"{run['total_candidates']:>7}  {run['dir']}"
+        )
+    best_seed = sweep.get("best_seed")
+    lines.append(
+        f"best seed: {best_seed}" if best_seed is not None else "best seed: none"
+    )
+    return "\n".join(lines)

@@ -40,6 +40,32 @@ from repro.core.domain import (
 )
 from repro.core.archive import HeuristicArchive, ArchiveEntry, SearchCheckpoint
 from repro.core.cost import CostModel, GPT_4O_MINI_PRICING, SearchCostReport
+from repro.core.events import (
+    CandidateEvaluated,
+    CheckpointWritten,
+    EventBus,
+    JsonlEventLog,
+    ProgressPrinter,
+    RoundCompleted,
+    RunEvent,
+    RunFinished,
+    RunStarted,
+)
+from repro.core.artifacts import (
+    ARTIFACT_VERSION,
+    ArtifactStore,
+    RunArtifact,
+    search_result_from_dict,
+    search_result_to_dict,
+)
+from repro.core.spec import (
+    RunOutcome,
+    RunSpec,
+    SweepOutcome,
+    build_from_spec,
+    run,
+    run_sweep,
+)
 
 __all__ = [
     "Context",
@@ -77,4 +103,24 @@ __all__ = [
     "CostModel",
     "GPT_4O_MINI_PRICING",
     "SearchCostReport",
+    "RunEvent",
+    "RunStarted",
+    "CandidateEvaluated",
+    "RoundCompleted",
+    "CheckpointWritten",
+    "RunFinished",
+    "EventBus",
+    "ProgressPrinter",
+    "JsonlEventLog",
+    "ARTIFACT_VERSION",
+    "ArtifactStore",
+    "RunArtifact",
+    "search_result_to_dict",
+    "search_result_from_dict",
+    "RunSpec",
+    "RunOutcome",
+    "SweepOutcome",
+    "build_from_spec",
+    "run",
+    "run_sweep",
 ]

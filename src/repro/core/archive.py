@@ -17,7 +17,6 @@ uninterrupted one.
 from __future__ import annotations
 
 import json
-import math
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -25,6 +24,7 @@ from typing import Any, Dict, List, Optional
 from repro.core.checker import CheckIssue
 from repro.core.context import Context
 from repro.core.evaluator import EvaluationResult
+from repro.core.events import encode_non_finite
 from repro.core.results import Candidate, RoundSummary, ScoredCandidate
 from repro.dsl.errors import DslError
 from repro.dsl.parser import parse
@@ -131,10 +131,8 @@ class HeuristicArchive:
 
 
 def _encode_float(value: float):
-    """Non-finite floats as strings: json.dumps would emit non-RFC -Infinity."""
-    if isinstance(value, float) and (math.isinf(value) or math.isnan(value)):
-        return str(value)
-    return value
+    """Non-finite floats as strings (shared convention lives in core.events)."""
+    return encode_non_finite(value)
 
 
 def _decode_float(value) -> float:
@@ -177,6 +175,14 @@ def _round_from_dict(data: dict) -> RoundSummary:
         if key in data:
             data[key] = _decode_float(data[key])
     return RoundSummary(**data)
+
+
+#: Public serialization helpers (the artifact store reuses the checkpoint
+#: encoding so stored rounds/results stay readable by both layers).
+round_summary_to_dict = _round_to_dict
+round_summary_from_dict = _round_from_dict
+evaluation_to_dict = _evaluation_to_dict
+evaluation_from_dict = _evaluation_from_dict
 
 
 def scored_candidate_to_dict(scored: ScoredCandidate) -> dict:

@@ -19,6 +19,7 @@ client, experiments at the evaluator).
 from __future__ import annotations
 
 import importlib
+import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -27,6 +28,7 @@ from repro.core.checker import Checker
 from repro.core.context import Context
 from repro.core.engine import EngineConfig, EvaluationEngine
 from repro.core.evaluator import Evaluator
+from repro.core.events import EventBus
 from repro.core.generator import LLMGenerator
 from repro.core.search import EvolutionarySearch, SearchConfig
 from repro.core.template import Template
@@ -158,6 +160,7 @@ def build_search(
     engine_config: Optional[EngineConfig] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
+    events: Optional[EventBus] = None,
     template: Optional[Template] = None,
     checker: Optional[Checker] = None,
     evaluator: Optional[Evaluator] = None,
@@ -170,7 +173,9 @@ def build_search(
     ``rounds`` / ``candidates_per_round`` / ``repair_attempts`` override the
     domain's default :class:`SearchConfig`; ``engine_config`` selects
     serial/parallel evaluation; ``checkpoint_path`` enables per-round
-    persistence and transparent resume.  ``template`` / ``checker`` /
+    persistence and transparent resume; ``events`` attaches an
+    :class:`~repro.core.events.EventBus` whose subscribers observe the run
+    (progress, JSONL logging).  ``template`` / ``checker`` /
     ``evaluator`` / ``context`` / ``client`` replace the domain-built
     components (used by ablation experiments).  Remaining keyword arguments are forwarded to the
     domain's context and evaluator factories (e.g. ``trace=``,
@@ -215,6 +220,7 @@ def build_search(
         engine_config=engine_config,
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
+        events=events,
     )
     return SearchSetup(
         template=template,
@@ -230,5 +236,22 @@ def build_search(
 
 
 def run_search(domain_name: str, **kwargs: Any):
-    """Build and run a search in one call; returns its :class:`SearchResult`."""
+    """Build and run a search in one call; returns its :class:`SearchResult`.
+
+    .. deprecated::
+        ``run_search`` drops the assembled :class:`SearchSetup`, so callers
+        cannot reach checkpoint/engine statistics after the run.  Use
+        :func:`repro.core.spec.run` with a :class:`~repro.core.spec.RunSpec`
+        instead -- its :class:`~repro.core.spec.RunOutcome` carries the
+        result, the full setup *and* the artifact path.  The return shape
+        here is unchanged so existing callers keep working while they see
+        the warning.
+    """
+    warnings.warn(
+        "run_search() is deprecated; use repro.core.spec.run(RunSpec(...)), "
+        "whose RunOutcome carries the result, the SearchSetup and the run's "
+        "artifact directory",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return build_search(domain_name, **kwargs).search.run()

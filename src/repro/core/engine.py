@@ -22,6 +22,11 @@ shared execution substrate that replaces that loop for every domain:
   process pool) degrade to an in-process serial evaluation, so one bad
   candidate cannot take down the search.
 
+Each candidate that receives an evaluation result (fresh or cached) is
+announced as a :class:`~repro.core.events.CandidateEvaluated` event on the
+engine's :class:`~repro.core.events.EventBus`, after the batch's results are
+assigned and in submission order.
+
 Evaluation is assumed deterministic and side-effect free per candidate
 (true for both shipped domains), which is what makes reordering, dedup and
 memoization result-preserving: a fixed seed yields the same search outcome
@@ -43,6 +48,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.checker import Checker
 from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.events import CandidateEvaluated, EventBus
 from repro.core.generator import Generator
 from repro.core.results import Candidate, ScoredCandidate
 from repro.dsl.ast import Program
@@ -131,12 +137,14 @@ class EvaluationEngine:
         generator: Optional[Generator] = None,
         repair_attempts: int = 1,
         config: Optional[EngineConfig] = None,
+        events: Optional[EventBus] = None,
     ):
         self.checker = checker
         self.evaluator = evaluator
         self.generator = generator
         self.repair_attempts = repair_attempts
         self.config = config or EngineConfig()
+        self.events = events if events is not None else EventBus()
         self._memo: Dict[str, EvaluationResult] = {}
         self._pool = None  # lazily-created executor, reused across batches
         # Cumulative counters across the engine's lifetime.
@@ -202,6 +210,7 @@ class EvaluationEngine:
         # immediately, the rest evaluate once per unique key.
         pending: Dict[str, List[ScoredCandidate]] = {}
         order: List[Tuple[str, Program]] = []
+        fresh_ids: set = set()
         fallback_id = 0
         for item in scored:
             if not item.check_ok or item.program is None:
@@ -225,6 +234,7 @@ class EvaluationEngine:
                     key = f"{key}#copy-{fallback_id}"
                     pending[key] = [item]
                 order.append((key, item.program))
+                fresh_ids.add(item.candidate.candidate_id)
             else:
                 group.append(item)
                 stats.eval_cache_hits += 1
@@ -242,6 +252,21 @@ class EvaluationEngine:
         self.cache_lookups += stats.eval_cache_lookups
         self.cache_hits += stats.eval_cache_hits
         self.unique_evaluations += stats.unique_evaluations
+
+        if self.events:
+            for item in scored:
+                if item.evaluation is None:
+                    continue
+                self.events.emit(
+                    CandidateEvaluated(
+                        candidate_id=item.candidate.candidate_id,
+                        round_index=item.candidate.round_index,
+                        origin=item.candidate.origin,
+                        valid=item.valid,
+                        score=item.evaluation.score,
+                        cached=item.candidate.candidate_id not in fresh_ids,
+                    )
+                )
         return BatchResult(scored=scored, stats=stats)
 
     # -- executors ----------------------------------------------------------------

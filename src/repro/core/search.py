@@ -15,6 +15,12 @@ round (see :class:`~repro.core.archive.SearchCheckpoint`) and ``run()``
 transparently resumes from the checkpoint if one exists, so long
 multi-context searches survive interruption.
 
+The search narrates itself on an :class:`~repro.core.events.EventBus`
+(``RunStarted`` / ``CandidateEvaluated`` / ``RoundCompleted`` /
+``CheckpointWritten`` / ``RunFinished``); frontends attach subscribers
+(progress printer, JSONL event log) instead of the search printing anything
+itself.
+
 The paper's caching methodology (§4.2.1) corresponds to
 ``SearchConfig(rounds=20, candidates_per_round=25, top_k_parents=2)`` seeded
 with LRU and LFU.
@@ -33,6 +39,13 @@ from repro.core.context import Context
 from repro.core.cost import GPT_4O_MINI_PRICING, CostModel
 from repro.core.engine import BatchStats, EngineConfig, EvaluationEngine
 from repro.core.evaluator import Evaluator
+from repro.core.events import (
+    CheckpointWritten,
+    EventBus,
+    RoundCompleted,
+    RunFinished,
+    RunStarted,
+)
 from repro.core.generator import Generator
 from repro.core.results import Candidate, RoundSummary, ScoredCandidate, SearchResult
 from repro.core.template import Template
@@ -76,6 +89,7 @@ class EvolutionarySearch:
         engine_config: Optional[EngineConfig] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 1,
+        events: Optional[EventBus] = None,
     ):
         self.template = template
         self.generator = generator
@@ -83,6 +97,9 @@ class EvolutionarySearch:
         self.evaluator = evaluator
         self.config = config or SearchConfig()
         self.context = context
+        # `is not None`, not truthiness: an empty caller-supplied bus must be
+        # kept so later subscribe() calls observe the run.
+        self.events = events if events is not None else EventBus()
         if engine is not None and engine_config is not None:
             raise ValueError(
                 "pass either a prebuilt engine or an engine_config, not both "
@@ -94,7 +111,16 @@ class EvolutionarySearch:
             generator=generator,
             repair_attempts=self.config.repair_attempts,
             config=engine_config,
+            events=self.events,
         )
+        if engine is not None:
+            if events is not None:
+                # A prebuilt engine joins the caller's event stream.
+                engine.events = self.events
+            else:
+                # One bus for the whole run: adopt the engine's, so candidate
+                # events and lifecycle events reach the same subscribers.
+                self.events = engine.events
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
         if checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive")
@@ -124,6 +150,15 @@ class EvolutionarySearch:
         seed_stats: Dict[str, int] = {"lookups": 0, "hits": 0}
 
         checkpoint = self._load_checkpoint()
+        self.events.emit(
+            RunStarted(
+                template_name=self.template.name,
+                context_name=self.context.name if self.context else "",
+                rounds=self.config.rounds,
+                candidates_per_round=self.config.candidates_per_round,
+                resumed_rounds=len(checkpoint.rounds) if checkpoint else 0,
+            )
+        )
         if checkpoint is not None:
             population = list(checkpoint.population)
             rounds = list(checkpoint.rounds)
@@ -152,11 +187,28 @@ class EvolutionarySearch:
             summary = self._run_round(round_index, population, counter)
             counter += summary.generated
             rounds.append(summary)
+            self.events.emit(
+                RoundCompleted(
+                    round_index=summary.round_index,
+                    generated=summary.generated,
+                    evaluated=summary.evaluated,
+                    best_score=summary.best_score,
+                    best_overall_score=summary.best_overall_score,
+                    eval_cache_lookups=summary.eval_cache_lookups,
+                    eval_cache_hits=summary.eval_cache_hits,
+                )
+            )
             if self.checkpoint_path and (
                 round_index % self.checkpoint_every == 0
                 or round_index == self.config.rounds
             ):
                 self._save_checkpoint(population, rounds, counter, seed_stats)
+                self.events.emit(
+                    CheckpointWritten(
+                        path=str(self.checkpoint_path),
+                        completed_rounds=len(rounds),
+                    )
+                )
 
         best = self._best_of(population)
         result = SearchResult(
@@ -179,6 +231,18 @@ class EvolutionarySearch:
             result.estimated_cost_usd = self.config.cost_model.cost(
                 usage.prompt_tokens, usage.completion_tokens
             )
+        self.events.emit(
+            RunFinished(
+                total_candidates=result.total_candidates,
+                valid_candidates=len(result.valid_candidates()),
+                rounds=len(rounds),
+                best_candidate_id=(
+                    best.candidate.candidate_id if best is not None else None
+                ),
+                best_score=best.score if best is not None else float("-inf"),
+                wall_time_s=result.wall_time_s,
+            )
+        )
         return result
 
     # -- internals -------------------------------------------------------------------

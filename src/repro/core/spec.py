@@ -1,0 +1,472 @@
+"""Declarative run specifications: a whole search run as serializable data.
+
+A :class:`RunSpec` captures everything needed to reproduce a run -- domain
+name, domain keyword arguments (with traces referenced declaratively),
+``SearchConfig`` / ``EngineConfig`` / synthetic-LLM overrides, a seed or a
+seed-sweep list, and the checkpoint policy -- and round-trips through JSON
+(:meth:`RunSpec.to_dict` / :meth:`RunSpec.from_dict`).  Any frontend (CLI,
+tests, sweep driver) can therefore submit the same run, observe it through
+the event stream, and re-render its artifacts without re-running anything.
+
+:func:`run` executes one spec (layered on
+:func:`~repro.core.domain.build_search`) and, when given an artifact store,
+writes the versioned run directory described in
+:mod:`repro.core.artifacts`.  :func:`run_sweep` fans the spec's seed list out
+over a thread pool, one independent search per seed, and writes a sweep
+index over the per-seed run directories.
+
+Traces are referenced, not embedded: a caching spec's ``domain_kwargs`` may
+set ``"trace"`` to ``{"dataset": "cloudphysics", "index": 89,
+"num_requests": 3000}`` (or ``"msr"`` / ``"synthetic"``), which is resolved
+to a concrete deterministic trace at run time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core import artifacts as artifact_store
+from repro.core.domain import SearchDomain, SearchSetup, build_search, get_domain
+from repro.core.engine import EngineConfig
+from repro.core.events import EventBus, JsonlEventLog, Subscriber
+from repro.core.results import SearchResult
+from repro.core.search import SearchConfig
+from repro.llm.mock import SyntheticLLMConfig
+
+SPEC_VERSION = 1
+
+#: Fields of the wrapped config dataclasses that a spec may override.
+#: ``cost_model`` is an object, not JSON-configurable.
+SEARCH_FIELDS = frozenset(
+    f.name for f in fields(SearchConfig) if f.name != "cost_model"
+)
+ENGINE_FIELDS = frozenset(f.name for f in fields(EngineConfig))
+LLM_FIELDS = frozenset(f.name for f in fields(SyntheticLLMConfig))
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def _check_overrides(label: str, overrides: Dict[str, Any], allowed: frozenset) -> None:
+    unknown = set(overrides) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown {label} override(s) {sorted(unknown)}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+@dataclass
+class RunSpec:
+    """One declarative run: domain + overrides + seed(s) + checkpoint policy.
+
+    ``search`` / ``engine`` / ``llm`` are plain field->value override
+    dictionaries layered onto the domain's defaults at run time, so the spec
+    stays trivially serializable.  ``seeds`` (when set) declares a seed
+    sweep; ``seed`` is the single-run seed.  ``checkpoint`` enables
+    per-round persistence into the run's artifact directory
+    (``checkpoint.json``), which is what makes ``repro resume`` work.
+    """
+
+    domain: str
+    name: str = ""
+    domain_kwargs: Dict[str, Any] = field(default_factory=dict)
+    search: Dict[str, Any] = field(default_factory=dict)
+    engine: Dict[str, Any] = field(default_factory=dict)
+    llm: Dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    seeds: Optional[List[int]] = None
+    checkpoint: bool = False
+    checkpoint_every: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.domain:
+            raise ValueError("a RunSpec must name a search domain")
+        if not self.name:
+            self.name = self.domain
+        if set(self.name) - _NAME_OK:
+            raise ValueError(
+                f"spec name {self.name!r} may only contain [A-Za-z0-9._-] "
+                "(it becomes a directory name)"
+            )
+        _check_overrides("search", self.search, SEARCH_FIELDS)
+        _check_overrides("engine", self.engine, ENGINE_FIELDS)
+        _check_overrides("llm", self.llm, LLM_FIELDS)
+        if self.checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        if self.seeds is not None:
+            if not self.seeds:
+                raise ValueError("seeds, when given, must be a non-empty list")
+            if len(set(self.seeds)) != len(self.seeds):
+                raise ValueError(
+                    f"seeds {self.seeds} contains duplicates; each seed runs "
+                    "(and writes a run directory) exactly once"
+                )
+
+    # -- seeds ---------------------------------------------------------------------
+
+    @property
+    def seed_list(self) -> List[int]:
+        """The seeds this spec runs: ``seeds`` if set, else ``[seed]``."""
+        return list(self.seeds) if self.seeds is not None else [self.seed]
+
+    @property
+    def is_sweep(self) -> bool:
+        """True when the spec declares a seed list -- even a single-element
+        one: a declared ``seeds`` must never be silently ignored in favour of
+        the unrelated ``seed`` field."""
+        return self.seeds is not None
+
+    def for_seed(self, seed: int) -> "RunSpec":
+        """A single-run copy of this spec pinned to one seed."""
+        return replace(self, seed=seed, seeds=None)
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "domain": self.domain,
+            "domain_kwargs": dict(self.domain_kwargs),
+            "search": dict(self.search),
+            "engine": dict(self.engine),
+            "llm": dict(self.llm),
+            "seed": self.seed,
+            "seeds": list(self.seeds) if self.seeds is not None else None,
+            "checkpoint": self.checkpoint,
+            "checkpoint_every": self.checkpoint_every,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        data = dict(data)
+        version = data.pop("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"unsupported RunSpec version {version} (this repro reads v{SPEC_VERSION})"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunSpec field(s) {sorted(unknown)}; known: {sorted(known)}"
+            )
+        seeds = data.get("seeds")
+        return cls(
+            domain=data.get("domain", ""),
+            name=data.get("name", ""),
+            domain_kwargs=dict(data.get("domain_kwargs", {})),
+            search=dict(data.get("search", {})),
+            engine=dict(data.get("engine", {})),
+            llm=dict(data.get("llm", {})),
+            seed=int(data.get("seed", 0)),
+            seeds=[int(s) for s in seeds] if seeds is not None else None,
+            checkpoint=bool(data.get("checkpoint", False)),
+            checkpoint_every=int(data.get("checkpoint_every", 1)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "RunSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def config_hash(self) -> str:
+        """SHA-256 of the canonical spec JSON: the run's reproducibility key."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # -- layering onto the domain defaults -----------------------------------------
+
+    def search_config(self, domain: SearchDomain) -> SearchConfig:
+        return replace(domain.default_search_config(), **self.search)
+
+    def engine_config(self) -> Optional[EngineConfig]:
+        return EngineConfig(**self.engine) if self.engine else None
+
+    def llm_config(self, domain: SearchDomain) -> Optional[SyntheticLLMConfig]:
+        if not self.llm:
+            return None
+        return replace(domain.default_llm_config(), **self.llm)
+
+
+# -- trace references ---------------------------------------------------------------
+
+
+def resolve_domain_kwargs(domain_kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Materialise declarative references (currently: ``trace``) into objects."""
+    resolved = dict(domain_kwargs)
+    trace = resolved.get("trace")
+    if isinstance(trace, dict):
+        resolved["trace"] = build_trace(trace)
+    return resolved
+
+
+def build_trace(ref: Dict[str, Any]):
+    """Build a deterministic trace from its declarative reference.
+
+    ``{"dataset": "cloudphysics" | "msr", "index": int, "num_requests": int}``
+    selects a corpus trace; ``{"dataset": "synthetic", ...}`` forwards the
+    remaining keys to :class:`~repro.traces.synthetic.SyntheticWorkloadConfig`.
+    """
+    ref = dict(ref)
+    try:
+        dataset = ref.pop("dataset")
+    except KeyError:
+        raise ValueError(
+            f"a trace reference needs a 'dataset' key; got {sorted(ref)}"
+        ) from None
+    if dataset == "synthetic":
+        from repro.traces.synthetic import SyntheticWorkloadConfig, generate_trace
+
+        return generate_trace(SyntheticWorkloadConfig(**ref))
+    index = ref.pop("index", 0)
+    num_requests = ref.pop("num_requests", None)
+    if ref:
+        raise ValueError(
+            f"unknown trace-reference key(s) {sorted(ref)} for dataset {dataset!r}"
+        )
+    if dataset == "cloudphysics":
+        from repro.traces import cloudphysics_trace
+
+        return cloudphysics_trace(index, num_requests=num_requests)
+    if dataset == "msr":
+        from repro.traces import msr_trace
+
+        return msr_trace(index, num_requests=num_requests)
+    raise ValueError(
+        f"unknown trace dataset {dataset!r} (use 'cloudphysics', 'msr' or 'synthetic')"
+    )
+
+
+# -- running a spec -----------------------------------------------------------------
+
+
+@dataclass
+class RunOutcome:
+    """What :func:`run` hands back: result, full setup, and the artifact path."""
+
+    spec: RunSpec
+    seed: int
+    result: SearchResult
+    setup: SearchSetup
+    artifact_dir: Optional[Path] = None
+    #: Domain kwargs after reference resolution (e.g. the concrete Trace),
+    #: so callers can reuse the run's context without rebuilding it.
+    resolved_domain_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SweepOutcome:
+    """Per-seed outcomes of :func:`run_sweep`, in the spec's seed order."""
+
+    spec: RunSpec
+    outcomes: List[RunOutcome]
+    artifact_dir: Optional[Path] = None
+
+    @property
+    def best(self) -> Optional[RunOutcome]:
+        """The outcome with the best valid score (ties: earlier seed wins)."""
+        best = None
+        for outcome in self.outcomes:
+            if outcome.result.best is None:
+                continue
+            if best is None or outcome.result.best.score > best.result.best.score:
+                best = outcome
+        return best
+
+
+def build_from_spec(
+    spec: RunSpec,
+    *,
+    seed: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    events: Optional[EventBus] = None,
+    resolved_kwargs: Optional[Dict[str, Any]] = None,
+) -> SearchSetup:
+    """Assemble the full search a spec describes (one seed)."""
+    if spec.is_sweep and seed is None:
+        raise ValueError(
+            f"spec {spec.name!r} declares a seed sweep {spec.seeds}; "
+            "pass seed=... to build one of its runs, or use run_sweep()"
+        )
+    domain = get_domain(spec.domain)
+    if resolved_kwargs is None:
+        resolved_kwargs = resolve_domain_kwargs(spec.domain_kwargs)
+    return build_search(
+        spec.domain,
+        seed=spec.seed if seed is None else seed,
+        search_config=spec.search_config(domain),
+        engine_config=spec.engine_config(),
+        llm_config=spec.llm_config(domain),
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=spec.checkpoint_every,
+        events=events,
+        **resolved_kwargs,
+    )
+
+
+def run(
+    spec: RunSpec,
+    *,
+    store: Optional[Union[str, Path, "artifact_store.ArtifactStore"]] = None,
+    run_dir: Optional[Union[str, Path]] = None,
+    subscribers: Sequence[Subscriber] = (),
+    seed: Optional[int] = None,
+) -> RunOutcome:
+    """Execute one spec; returns the result plus the artifact directory.
+
+    ``store`` (an :class:`~repro.core.artifacts.ArtifactStore` or a root
+    path) enables artifact persistence; ``run_dir`` pins the run to an
+    explicit directory instead (used by sweeps and ``repro resume``).
+    Without either, nothing touches disk and ``artifact_dir`` is ``None``.
+    ``subscribers`` join the run's event stream (progress printers, logs).
+    """
+    if spec.is_sweep and seed is None:
+        raise ValueError(
+            f"spec {spec.name!r} declares a seed sweep {spec.seeds}; use run_sweep()"
+        )
+    effective_seed = spec.seed if seed is None else seed
+    effective_spec = spec.for_seed(effective_seed)
+
+    artifact_dir: Optional[Path] = None
+    if run_dir is not None:
+        artifact_dir = artifact_store.prepare_run_dir(
+            run_dir, effective_spec.to_dict()
+        )
+    elif store is not None:
+        if not isinstance(store, artifact_store.ArtifactStore):
+            store = artifact_store.ArtifactStore(store)
+        artifact_dir = artifact_store.prepare_run_dir(
+            store.run_dir(spec.name, effective_spec.config_hash(), effective_seed),
+            effective_spec.to_dict(),
+        )
+
+    if spec.checkpoint and artifact_dir is None:
+        raise ValueError(
+            "spec requests checkpointing, which needs an artifact directory; "
+            "provide an artifact store (from the CLI: drop --no-artifacts) "
+            "or set \"checkpoint\": false in the spec"
+        )
+    checkpoint_path = (
+        artifact_dir / artifact_store.CHECKPOINT_FILE
+        if (spec.checkpoint and artifact_dir is not None)
+        else None
+    )
+
+    events = EventBus(list(subscribers))
+    event_log: Optional[JsonlEventLog] = None
+    if artifact_dir is not None:
+        event_log = JsonlEventLog(artifact_dir / artifact_store.EVENTS_FILE)
+        events.subscribe(event_log)
+
+    try:
+        resolved_kwargs = resolve_domain_kwargs(spec.domain_kwargs)
+        setup = build_from_spec(
+            spec,
+            seed=effective_seed,
+            checkpoint_path=checkpoint_path,
+            events=events,
+            resolved_kwargs=resolved_kwargs,
+        )
+        result = setup.search.run()
+    finally:
+        if event_log is not None:
+            event_log.close()
+
+    if artifact_dir is not None:
+        artifact_store.finalize_run_dir(
+            artifact_dir,
+            effective_spec.to_dict(),
+            result,
+            config_hash=effective_spec.config_hash(),
+            seed=effective_seed,
+        )
+    return RunOutcome(
+        spec=spec,
+        seed=effective_seed,
+        result=result,
+        setup=setup,
+        artifact_dir=artifact_dir,
+        resolved_domain_kwargs=resolved_kwargs,
+    )
+
+
+def run_sweep(
+    spec: RunSpec,
+    *,
+    store: Optional[Union[str, Path, "artifact_store.ArtifactStore"]] = None,
+    subscribers: Sequence[Subscriber] = (),
+    max_parallel: Optional[int] = None,
+) -> SweepOutcome:
+    """Run every seed of a sweep spec; seeds execute in parallel.
+
+    Each seed is an independent deterministic search (its own client, engine
+    and evaluator), so outcomes are identical whatever the scheduling; they
+    are returned in the spec's seed order.  Per-seed artifacts land in
+    ``<sweep dir>/seed-<n>/`` with a ``sweep.json`` index at the top.
+
+    ``subscribers`` are shared by every seed's event stream and may be
+    called from multiple threads concurrently -- pass stateless/thread-safe
+    subscribers, or cap ``max_parallel=1``.
+    """
+    seeds = spec.seed_list
+    sweep_dir: Optional[Path] = None
+    if store is not None:
+        if not isinstance(store, artifact_store.ArtifactStore):
+            store = artifact_store.ArtifactStore(store)
+        sweep_dir = store.sweep_dir(spec.name, spec.config_hash())
+
+    def _one(seed: int) -> RunOutcome:
+        return run(
+            spec,
+            seed=seed,
+            run_dir=(sweep_dir / f"seed-{seed}") if sweep_dir is not None else None,
+            subscribers=subscribers,
+        )
+
+    workers = max_parallel or min(len(seeds), os.cpu_count() or 1)
+    if workers <= 1 or len(seeds) == 1:
+        outcomes = [_one(seed) for seed in seeds]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_one, seeds))
+
+    sweep = SweepOutcome(spec=spec, outcomes=outcomes, artifact_dir=sweep_dir)
+    if sweep_dir is not None:
+        runs = []
+        for outcome in outcomes:
+            best = outcome.result.best
+            runs.append(
+                {
+                    "seed": outcome.seed,
+                    "dir": outcome.artifact_dir.name,
+                    "best_score": best.score if best is not None else None,
+                    "best_candidate_id": (
+                        best.candidate.candidate_id if best is not None else None
+                    ),
+                    "valid_candidates": len(outcome.result.valid_candidates()),
+                    "total_candidates": outcome.result.total_candidates,
+                }
+            )
+        artifact_store.write_sweep_dir(
+            sweep_dir,
+            spec.to_dict(),
+            runs,
+            config_hash=spec.config_hash(),
+            best_seed=sweep.best.seed if sweep.best is not None else None,
+        )
+    return sweep

@@ -1,27 +1,37 @@
 """Experiment harness: one module per table/figure of the paper.
 
-Every module exposes a ``run_*`` function returning plain data structures
-plus a ``main()`` entry point that prints the same rows/series the paper
-reports.  See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
-recorded paper-vs-measured outcomes.
+Every module exposes a ``run_*`` function returning plain data structures and
+registers itself in the experiment registry
+(:mod:`repro.experiments.registry`) as a named spec + reducer, so the unified
+CLI runs it (``python -m repro run <name>``), stores its payload as an
+artifact, and re-renders the report offline (``python -m repro report``).
+See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for recorded
+paper-vs-measured outcomes.
 
 Quick map:
 
-========================  =====================================================
-Paper artefact            Module
-========================  =====================================================
-Figure 2a / 2b            :mod:`repro.experiments.figure2`
-Table 2                   :mod:`repro.experiments.table2`
-§4.2.1 search (1 trace)   :mod:`repro.experiments.search_caching`
-§4.2.6 cost accounting    :mod:`repro.experiments.cost_accounting`
-§5.0.3 compile rates      :mod:`repro.experiments.cc_compilation`
-§5.0.3 behaviour spread   :mod:`repro.experiments.cc_behaviour`
-Ablations (design §4)     :mod:`repro.experiments.ablations`
-========================  =====================================================
+========================  ================  ===================================
+Paper artefact            Registry name     Module
+========================  ================  ===================================
+Figure 2a / 2b            ``figure2``       :mod:`repro.experiments.figure2`
+Table 2                   ``table2``        :mod:`repro.experiments.table2`
+§4.2.1 search (1 trace)   ``caching-search``  :mod:`repro.experiments.search_caching`
+§4.2.6 cost accounting    ``cost-accounting`` :mod:`repro.experiments.cost_accounting`
+§5.0.3 compile rates      ``cc-compilation``  :mod:`repro.experiments.cc_compilation`
+§5.0.3 behaviour spread   ``cc-behaviour``    :mod:`repro.experiments.cc_behaviour`
+Ablations (design §4)     ``ablations``     :mod:`repro.experiments.ablations`
+========================  ================  ===================================
 """
 
 from repro.experiments.corpus import CorpusEvaluation, evaluate_corpus
 from repro.experiments.figure2 import Figure2Row, run_figure2
+from repro.experiments.registry import (
+    ExperimentDef,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
 from repro.experiments.table2 import Table2Entry, run_table2
 from repro.experiments.search_caching import run_search_experiment
 from repro.experiments.cc_compilation import CompilationReport, run_cc_compilation
@@ -31,6 +41,11 @@ from repro.experiments.cost_accounting import run_cost_accounting
 __all__ = [
     "CorpusEvaluation",
     "evaluate_corpus",
+    "ExperimentDef",
+    "available_experiments",
+    "get_experiment",
+    "register_experiment",
+    "run_experiment",
     "Figure2Row",
     "run_figure2",
     "Table2Entry",

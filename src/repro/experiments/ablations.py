@@ -10,16 +10,15 @@ Three ablations, each answering "did this design choice matter?":
   (§4.1.1 discusses the template-design trade-off); the ablation restricts
   the Template to per-object features only.
 
-Run as a script::
+Run via the unified CLI::
 
-    python -m repro.experiments.ablations --rounds 4 --candidates 10
+    python -m repro run ablations --set rounds=4 --set candidates=10
 """
 
 from __future__ import annotations
 
-import argparse
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass
+from typing import List, Optional
 
 from repro.cache.search import (
     caching_archetypes,
@@ -30,6 +29,7 @@ from repro.core.domain import build_search
 from repro.core.search import SearchConfig
 from repro.core.template import Template
 from repro.dsl.grammar import FeatureSpec
+from repro.experiments.registry import ExperimentDef, register_experiment
 from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
 from repro.traces import cloudphysics_trace
 
@@ -150,22 +150,50 @@ def format_ablations(results: List[AblationResult]) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--trace", type=int, default=89)
-    parser.add_argument("--requests", type=int, default=3000)
-    parser.add_argument("--rounds", type=int, default=4)
-    parser.add_argument("--candidates", type=int, default=10)
-    args = parser.parse_args(argv)
+# -- experiment registration --------------------------------------------------------
 
+
+def ablations_payload(results: List[AblationResult]) -> dict:
+    return {"kind": "ablations", "results": [asdict(result) for result in results]}
+
+
+def render_ablations(payload: dict) -> str:
+    """Pure reducer: stored payload -> the printed ablation table."""
+    return format_ablations([AblationResult(**raw) for raw in payload["results"]])
+
+
+def _run_ablations_experiment(
+    trace: int, requests: int, rounds: int, candidates: int, seed: int
+) -> dict:
     results = run_ablations(
-        trace_index=args.trace,
-        num_requests=args.requests,
-        rounds=args.rounds,
-        candidates_per_round=args.candidates,
+        trace_index=trace,
+        num_requests=requests,
+        rounds=rounds,
+        candidates_per_round=candidates,
+        seed=seed,
     )
-    print(format_ablations(results))
+    return ablations_payload(results)
 
 
-if __name__ == "__main__":
-    main()
+register_experiment(
+    ExperimentDef(
+        name="ablations",
+        description="Search-design ablations: parent feedback, repair, feature richness",
+        runner=_run_ablations_experiment,
+        renderer=render_ablations,
+        params={
+            "trace": 89,
+            "requests": 3000,
+            "rounds": 4,
+            "candidates": 10,
+            "seed": 0,
+        },
+    )
+)
+
+
+if __name__ == "__main__":  # pragma: no cover - migration stub
+    raise SystemExit(
+        "this entry point moved to the unified CLI: "
+        "python -m repro run ablations --set rounds=4"
+    )

@@ -8,20 +8,20 @@ from 2 ms to 40 ms.  The shape to reproduce is that spread -- automated
 search explores genuinely diverse policies -- rather than the exact
 endpoints.
 
-Run as a script::
+Run via the unified CLI::
 
-    python -m repro.experiments.cc_behaviour --candidates 40 --duration 4
+    python -m repro run cc-behaviour --set candidates=40 --set duration=4
 """
 
 from __future__ import annotations
 
-import argparse
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional
 
 from repro.cc.evaluator import CongestionControlEvaluator, default_cc_simulation_config
 from repro.cc.policies import CubicController, RenoController
 from repro.core.domain import build_search
+from repro.experiments.registry import ExperimentDef, register_experiment
 from repro.netsim.simulator import NetworkSimulator
 
 
@@ -129,18 +129,46 @@ def format_behaviour(report: BehaviourReport) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--candidates", type=int, default=50)
-    parser.add_argument("--seed", type=int, default=23)
-    parser.add_argument("--duration", type=float, default=4.0)
-    args = parser.parse_args(argv)
+# -- experiment registration --------------------------------------------------------
 
-    report = run_cc_behaviour(
-        num_candidates=args.candidates, seed=args.seed, duration_s=args.duration
+
+def behaviour_payload(report: BehaviourReport) -> dict:
+    return {
+        "kind": "cc-behaviour",
+        "candidates": [asdict(candidate) for candidate in report.candidates],
+        "baselines": [asdict(baseline) for baseline in report.baselines],
+    }
+
+
+def render_behaviour(payload: dict) -> str:
+    """Pure reducer: stored payload -> the printed behaviour-spread report."""
+    report = BehaviourReport(
+        candidates=[CandidateBehaviour(**raw) for raw in payload["candidates"]],
+        baselines=[CandidateBehaviour(**raw) for raw in payload["baselines"]],
     )
-    print(format_behaviour(report))
+    return format_behaviour(report)
 
 
-if __name__ == "__main__":
-    main()
+def _run_cc_behaviour_experiment(candidates: int, seed: int, duration: float) -> dict:
+    report = run_cc_behaviour(
+        num_candidates=candidates, seed=seed, duration_s=duration
+    )
+    return behaviour_payload(report)
+
+
+register_experiment(
+    ExperimentDef(
+        name="cc-behaviour",
+        description="§5.0.3: utilisation/queueing-delay spread of compiled candidates",
+        runner=_run_cc_behaviour_experiment,
+        renderer=render_behaviour,
+        params={"candidates": 50, "seed": 23, "duration": 4.0},
+    )
+)
+
+
+if __name__ == "__main__":  # pragma: no cover - migration stub
+    raise SystemExit(
+        "this entry point moved to the unified CLI: "
+        "python -m repro run cc-behaviour --set candidates=40"
+    )

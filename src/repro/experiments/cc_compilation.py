@@ -14,15 +14,14 @@ This module reproduces the whole table: it generates N candidates for each
 Template, runs them through the corresponding Checker with one
 feedback/repair round, and aggregates pass rates and failure causes.
 
-Run as a script::
+Run via the unified CLI::
 
-    python -m repro.experiments.cc_compilation --candidates 100
+    python -m repro run cc-compilation --set candidates=100
 """
 
 from __future__ import annotations
 
-import argparse
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cache.search import caching_archetypes, caching_template
@@ -32,6 +31,7 @@ from repro.core.checker import Checker, StructuralChecker
 from repro.core.generator import LLMGenerator
 from repro.core.template import Template
 from repro.dsl.codegen import to_source
+from repro.experiments.registry import ExperimentDef, register_experiment
 from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
 
 
@@ -172,22 +172,48 @@ def format_compilation(reports: List[CompilationReport]) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--candidates", type=int, default=100)
-    parser.add_argument("--seed", type=int, default=11)
-    parser.add_argument("--no-caching", action="store_true")
-    parser.add_argument("--no-repair", action="store_true")
-    args = parser.parse_args(argv)
+# -- experiment registration --------------------------------------------------------
 
-    reports = run_cc_compilation(
-        num_candidates=args.candidates,
-        seed=args.seed,
-        include_caching=not args.no_caching,
-        repair=not args.no_repair,
+
+def compilation_payload(reports: List[CompilationReport]) -> dict:
+    return {
+        "kind": "cc-compilation",
+        "reports": [asdict(report) for report in reports],
+    }
+
+
+def render_compilation(payload: dict) -> str:
+    """Pure reducer: stored payload -> the printed pass-rate table."""
+    return format_compilation(
+        [CompilationReport(**raw) for raw in payload["reports"]]
     )
-    print(format_compilation(reports))
 
 
-if __name__ == "__main__":
-    main()
+def _run_cc_compilation_experiment(
+    candidates: int, seed: int, caching: bool, repair: bool
+) -> dict:
+    reports = run_cc_compilation(
+        num_candidates=candidates,
+        seed=seed,
+        include_caching=caching,
+        repair=repair,
+    )
+    return compilation_payload(reports)
+
+
+register_experiment(
+    ExperimentDef(
+        name="cc-compilation",
+        description="§5.0.3: verifier pass rates (kernel vs caching templates)",
+        runner=_run_cc_compilation_experiment,
+        renderer=render_compilation,
+        params={"candidates": 100, "seed": 11, "caching": True, "repair": True},
+    )
+)
+
+
+if __name__ == "__main__":  # pragma: no cover - migration stub
+    raise SystemExit(
+        "this entry point moved to the unified CLI: "
+        "python -m repro run cc-compilation --set candidates=100"
+    )

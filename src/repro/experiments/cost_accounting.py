@@ -8,19 +8,19 @@ This module runs one or more (scaled-down) searches and produces the same
 accounting row: evaluation CPU time, prompt/completion tokens, and the cost
 those tokens would incur at GPT-4o-mini prices.
 
-Run as a script::
+Run via the unified CLI::
 
-    python -m repro.experiments.cost_accounting --rounds 4 --candidates 10
+    python -m repro run cost-accounting --set rounds=4 --set candidates=10
 """
 
 from __future__ import annotations
 
-import argparse
 import time
 from typing import List, Optional
 
 from repro.core.cost import GPT_4O_MINI_PRICING, SearchCostReport
 from repro.core.domain import build_search
+from repro.experiments.registry import ExperimentDef, register_experiment
 from repro.traces import cloudphysics_trace
 
 
@@ -55,45 +55,92 @@ def run_cost_accounting(
     return report
 
 
-def format_cost_report(report: SearchCostReport) -> str:
+def cost_report_payload(report: SearchCostReport) -> dict:
+    return {
+        "kind": "cost-accounting",
+        "cost_model": {
+            "model": report.cost_model.model,
+            "usd_per_million_input": report.cost_model.usd_per_million_input,
+            "usd_per_million_output": report.cost_model.usd_per_million_output,
+        },
+        "per_run": [dict(run) for run in report.per_run],
+        "prompt_tokens": report.prompt_tokens,
+        "completion_tokens": report.completion_tokens,
+        "evaluation_cpu_seconds": report.evaluation_cpu_seconds,
+        "total_cost_usd": report.total_cost_usd,
+        "evaluation_cpu_hours": report.evaluation_cpu_hours,
+    }
+
+
+def render_cost_report(payload: dict) -> str:
+    """Pure reducer: stored payload -> the printed accounting table."""
+    model = payload["cost_model"]
     lines = [
         "Search cost accounting (GPT-4o-mini price sheet: "
-        f"${report.cost_model.usd_per_million_input}/M input, "
-        f"${report.cost_model.usd_per_million_output}/M output)",
+        f"${model['usd_per_million_input']}/M input, "
+        f"${model['usd_per_million_output']}/M output)",
         f"{'run':<24} {'prompt tok':>12} {'completion tok':>15} {'cpu s':>8} {'cost $':>9}",
     ]
-    for run in report.per_run:
+    for run in payload["per_run"]:
         lines.append(
             f"{run['name']:<24} {run['prompt_tokens']:>12,} "
             f"{run['completion_tokens']:>15,} {run['evaluation_cpu_seconds']:>8.1f} "
             f"{run['cost_usd']:>9.4f}"
         )
     lines.append(
-        f"{'TOTAL':<24} {report.prompt_tokens:>12,} {report.completion_tokens:>15,} "
-        f"{report.evaluation_cpu_seconds:>8.1f} {report.total_cost_usd:>9.4f}"
+        f"{'TOTAL':<24} {payload['prompt_tokens']:>12,} "
+        f"{payload['completion_tokens']:>15,} "
+        f"{payload['evaluation_cpu_seconds']:>8.1f} {payload['total_cost_usd']:>9.4f}"
     )
     lines.append(
-        f"evaluation CPU-hours: {report.evaluation_cpu_hours:.3f}"
+        f"evaluation CPU-hours: {payload['evaluation_cpu_hours']:.3f}"
     )
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--traces", type=int, nargs="*", default=[89])
-    parser.add_argument("--rounds", type=int, default=4)
-    parser.add_argument("--candidates", type=int, default=10)
-    parser.add_argument("--requests", type=int, default=3000)
-    args = parser.parse_args(argv)
+def format_cost_report(report: SearchCostReport) -> str:
+    return render_cost_report(cost_report_payload(report))
 
+
+# -- experiment registration --------------------------------------------------------
+
+
+def _run_cost_accounting_experiment(
+    traces: List[int], rounds: int, candidates: int, requests: int, seed: int
+) -> dict:
+    # Accept a bare index too: `--set traces=4` is the natural migration from
+    # the old `--traces 4` CLI and from every other experiment's scalar knobs.
+    if isinstance(traces, int):
+        traces = [traces]
     report = run_cost_accounting(
-        trace_indices=args.traces,
-        rounds=args.rounds,
-        candidates_per_round=args.candidates,
-        num_requests=args.requests,
+        trace_indices=list(traces),
+        rounds=rounds,
+        candidates_per_round=candidates,
+        num_requests=requests,
+        seed=seed,
     )
-    print(format_cost_report(report))
+    return cost_report_payload(report)
 
 
-if __name__ == "__main__":
-    main()
+register_experiment(
+    ExperimentDef(
+        name="cost-accounting",
+        description="§4.2.6: CPU time, tokens and dollar cost of search runs",
+        runner=_run_cost_accounting_experiment,
+        renderer=render_cost_report,
+        params={
+            "traces": [89],
+            "rounds": 4,
+            "candidates": 10,
+            "requests": 3000,
+            "seed": 0,
+        },
+    )
+)
+
+
+if __name__ == "__main__":  # pragma: no cover - migration stub
+    raise SystemExit(
+        "this entry point moved to the unified CLI: "
+        "python -m repro run cost-accounting --set rounds=4"
+    )

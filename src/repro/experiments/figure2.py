@@ -7,19 +7,20 @@ by increasing average.  This module produces exactly those series as data
 and prints them as a sorted text table (one row per policy: mean, median,
 min, max improvement).
 
-Run as a script::
+Run via the unified CLI::
 
-    python -m repro.experiments.figure2 --dataset cloudphysics
-    python -m repro.experiments.figure2 --dataset msr --traces 20
+    python -m repro run figure2
+    python -m repro run figure2 --set dataset=msr --set traces=20
 """
 
 from __future__ import annotations
 
-import argparse
 import json
+import sys
 from dataclasses import asdict, dataclass, field
-from pathlib import Path
 from typing import Dict, List, Optional
+
+from repro.experiments.registry import ExperimentDef, register_experiment
 
 from repro.cache.oracle import baseline_oracle, policysmith_oracle
 from repro.experiments.corpus import CorpusEvaluation, evaluate_corpus
@@ -56,13 +57,23 @@ class Figure2Result:
         """Rows ordered left-to-right by increasing mean, as in the figure."""
         return sorted(self.rows, key=lambda r: r.mean_improvement)
 
-    def to_json(self) -> str:
-        payload = {
+    def to_dict(self) -> dict:
+        return {
             "dataset": self.dataset,
-            "traces": self.traces,
+            "traces": list(self.traces),
             "rows": [asdict(row) for row in self.ordered_rows()],
         }
-        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Figure2Result":
+        return cls(
+            dataset=data["dataset"],
+            traces=list(data["traces"]),
+            rows=[Figure2Row(**row) for row in data["rows"]],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
 
 
 def _series_row(policy: str, kind: str, improvements: List[float]) -> Figure2Row:
@@ -120,7 +131,12 @@ def run_figure2(
         trace_count=trace_count,
         num_requests=num_requests,
         cache_fraction=cache_fraction,
-        progress=(lambda name: print(f"  simulating {name} ...")) if progress else None,
+        # stderr, so report output on stdout stays machine-comparable.
+        progress=(
+            (lambda name: print(f"  simulating {name} ...", file=sys.stderr))
+            if progress
+            else None
+        ),
     )
     return figure2_from_evaluation(evaluation)
 
@@ -147,28 +163,62 @@ def format_figure2(result: Figure2Result, top_baselines: Optional[int] = None) -
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--dataset", choices=["cloudphysics", "msr"], default="cloudphysics")
-    parser.add_argument("--traces", type=int, default=None, help="limit the number of traces")
-    parser.add_argument("--requests", type=int, default=None, help="requests per trace")
-    parser.add_argument("--cache-fraction", type=float, default=0.10)
-    parser.add_argument("--json", type=Path, default=None, help="write the series as JSON")
-    parser.add_argument("--quiet", action="store_true")
-    args = parser.parse_args(argv)
+# -- experiment registration --------------------------------------------------------
 
-    result = run_figure2(
-        dataset=args.dataset,
-        trace_count=args.traces,
-        num_requests=args.requests,
-        cache_fraction=args.cache_fraction,
-        progress=not args.quiet,
+
+def figure2_payload(result: Figure2Result, top_baselines: Optional[int] = 5) -> dict:
+    """The artifact payload: the full series plus the rendering options."""
+    payload = result.to_dict()
+    payload["kind"] = "figure2"
+    payload["top_baselines"] = top_baselines
+    return payload
+
+
+def render_figure2(payload: dict) -> str:
+    """Pure reducer: stored payload -> the printed Figure 2 table."""
+    return format_figure2(
+        Figure2Result.from_dict(payload), top_baselines=payload.get("top_baselines")
     )
-    print(format_figure2(result, top_baselines=5))
-    if args.json is not None:
-        args.json.write_text(result.to_json())
-        print(f"wrote {args.json}")
 
 
-if __name__ == "__main__":
-    main()
+def _run_figure2_experiment(
+    dataset: str,
+    traces: Optional[int],
+    requests: Optional[int],
+    cache_fraction: float,
+    top_baselines: Optional[int],
+    progress: bool = False,
+) -> dict:
+    result = run_figure2(
+        dataset=dataset,
+        trace_count=traces,
+        num_requests=requests,
+        cache_fraction=cache_fraction,
+        progress=progress,
+    )
+    return figure2_payload(result, top_baselines=top_baselines)
+
+
+register_experiment(
+    ExperimentDef(
+        name="figure2",
+        description="Figure 2: miss-ratio improvement over FIFO across a corpus",
+        runner=_run_figure2_experiment,
+        renderer=render_figure2,
+        params={
+            "dataset": "cloudphysics",
+            "traces": None,
+            "requests": None,
+            "cache_fraction": 0.10,
+            "top_baselines": 5,
+        },
+        accepts_progress=True,
+    )
+)
+
+
+if __name__ == "__main__":  # pragma: no cover - migration stub
+    raise SystemExit(
+        "this entry point moved to the unified CLI: "
+        "python -m repro run figure2 --set dataset=msr"
+    )

@@ -1,0 +1,121 @@
+"""The experiment registry: every paper artefact as a named spec + reducer.
+
+Each experiment module registers one :class:`ExperimentDef` -- a name, its
+default parameters, a *runner* producing a JSON-serializable payload, and a
+*renderer* (the reducer) that turns a payload back into the printed
+table/figure.  The split is what makes artifacts re-renderable offline:
+``repro run <name>`` stores the payload, and ``repro report <dir>`` feeds the
+stored payload through the same pure renderer, reproducing the output
+byte-for-byte without re-running anything.
+
+Registration mirrors the search-domain registry
+(:mod:`repro.core.domain`): built-in experiments are imported lazily on
+first lookup, and new experiments plug in with
+:func:`register_experiment` without touching the CLI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+#: A runner takes the merged parameters as keyword arguments and returns the
+#: payload dictionary; a renderer is a pure function payload -> report text.
+Runner = Callable[..., Dict[str, Any]]
+Renderer = Callable[[Dict[str, Any]], str]
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One registered experiment.
+
+    ``accepts_progress`` marks runners taking a presentation-only
+    ``progress`` keyword (stderr progress lines).  It is passed alongside --
+    never as part of -- ``params``, so it influences neither the stored
+    spec.json nor the run directory's config hash.
+    """
+
+    name: str
+    description: str
+    runner: Runner
+    renderer: Renderer
+    params: Dict[str, Any] = field(default_factory=dict)
+    accepts_progress: bool = False
+
+
+_REGISTRY: Dict[str, ExperimentDef] = {}
+
+#: Experiments shipped with the repository, imported lazily on first lookup.
+_BUILTIN_EXPERIMENT_MODULES = {
+    "caching-search": "repro.experiments.search_caching",
+    "figure2": "repro.experiments.figure2",
+    "table2": "repro.experiments.table2",
+    "ablations": "repro.experiments.ablations",
+    "cost-accounting": "repro.experiments.cost_accounting",
+    "cc-compilation": "repro.experiments.cc_compilation",
+    "cc-behaviour": "repro.experiments.cc_behaviour",
+}
+
+
+def register_experiment(experiment: ExperimentDef) -> ExperimentDef:
+    """Register ``experiment`` under its name (last registration wins)."""
+    if not experiment.name:
+        raise ValueError("an ExperimentDef must declare a non-empty name")
+    _REGISTRY[experiment.name] = experiment
+    return experiment
+
+
+def get_experiment(name: str) -> ExperimentDef:
+    """Look up a registered experiment, lazily importing built-in ones."""
+    if name not in _REGISTRY and name in _BUILTIN_EXPERIMENT_MODULES:
+        importlib.import_module(_BUILTIN_EXPERIMENT_MODULES[name])
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        known = sorted(set(_REGISTRY) | set(_BUILTIN_EXPERIMENT_MODULES))
+        raise KeyError(f"unknown experiment {name!r}; available: {known}") from exc
+
+
+def available_experiments() -> List[str]:
+    """Names of every resolvable experiment (built-ins included)."""
+    for name in _BUILTIN_EXPERIMENT_MODULES:
+        if name not in _REGISTRY:
+            importlib.import_module(_BUILTIN_EXPERIMENT_MODULES[name])
+    return sorted(_REGISTRY)
+
+
+def merge_params(
+    experiment: ExperimentDef, overrides: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Layer CLI/user overrides onto the experiment's defaults, strictly."""
+    unknown = set(overrides) - set(experiment.params)
+    if unknown:
+        raise ValueError(
+            f"experiment {experiment.name!r} has no parameter(s) "
+            f"{sorted(unknown)}; available: {sorted(experiment.params)}"
+        )
+    merged = dict(experiment.params)
+    merged.update(overrides)
+    return merged
+
+
+def run_experiment(
+    name: str, *, progress: bool = False, **overrides: Any
+) -> Dict[str, Any]:
+    """Run a registered experiment and return its payload."""
+    experiment = get_experiment(name)
+    kwargs = merge_params(experiment, overrides)
+    if experiment.accepts_progress:
+        kwargs["progress"] = progress
+    return experiment.runner(**kwargs)
+
+
+def params_hash(name: str, params: Dict[str, Any]) -> str:
+    """Deterministic identity of one experiment invocation (for run dirs)."""
+    canonical = json.dumps(
+        {"experiment": name, "params": params}, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

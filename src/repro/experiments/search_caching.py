@@ -7,17 +7,16 @@ fourteen baselines *on that context*.  The paper uses 20 rounds x 25
 candidates; that is the default here too, but the knobs are exposed because
 the full run takes several minutes with the interpreted evaluator.
 
-Run as a script::
+Run via the unified CLI::
 
-    python -m repro.experiments.search_caching --trace 89 --rounds 20
-    python -m repro.experiments.search_caching --dataset msr --trace 3 --rounds 8 --candidates 15
+    python -m repro run caching-search --set trace=89 --set rounds=20
+    python -m repro run caching-search --set dataset=msr --set trace=3 --set rounds=8
 """
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.cache.policies import BASELINES
 from repro.cache.priority_cache import PriorityFunctionCache
@@ -26,6 +25,7 @@ from repro.cache.simulator import CacheSimulator, cache_size_for, simulate_many
 from repro.core.domain import build_search
 from repro.core.engine import EngineConfig
 from repro.core.results import SearchResult
+from repro.experiments.registry import ExperimentDef, register_experiment
 from repro.traces import cloudphysics_trace, msr_trace
 
 
@@ -113,47 +113,101 @@ def run_search_experiment(
     )
 
 
-def format_search_experiment(result: SearchExperimentResult) -> str:
+def search_experiment_payload(result: SearchExperimentResult) -> dict:
+    """Everything the report needs, as plain JSON-serializable data."""
+    return {
+        "kind": "caching-search",
+        "trace_name": result.trace_name,
+        "heuristic_miss_ratio": result.heuristic_miss_ratio,
+        "baseline_miss_ratios": dict(result.baseline_miss_ratios),
+        "best_baseline": result.best_baseline,
+        "best_baseline_miss_ratio": result.best_baseline_miss_ratio,
+        "beats_all_baselines": result.beats_all_baselines,
+        "improvement_over_fifo": result.improvement_over_fifo,
+        "total_candidates": result.search.total_candidates,
+        "first_pass_check_rate": result.search.first_pass_check_rate(),
+        "eval_cache_hit_rate": result.search.eval_cache_hit_rate(),
+        "eval_cache_hits": result.search.eval_cache_hits,
+        "eval_cache_lookups": result.search.eval_cache_lookups,
+        "prompt_tokens": result.search.prompt_tokens,
+        "completion_tokens": result.search.completion_tokens,
+        "estimated_cost_usd": result.search.estimated_cost_usd,
+        "best_source": result.search.best_source(),
+    }
+
+
+def render_search_experiment(payload: dict) -> str:
+    """Pure reducer: stored payload -> the printed search report."""
     lines = [
-        f"PolicySmith search on trace {result.trace_name}",
-        f"  candidates evaluated : {result.search.total_candidates}",
-        f"  first-pass check rate: {result.search.first_pass_check_rate() * 100:.1f}%",
-        f"  eval cache hit rate  : {result.search.eval_cache_hit_rate() * 100:.1f}% "
-        f"({result.search.eval_cache_hits}/{result.search.eval_cache_lookups} "
+        f"PolicySmith search on trace {payload['trace_name']}",
+        f"  candidates evaluated : {payload['total_candidates']}",
+        f"  first-pass check rate: {payload['first_pass_check_rate'] * 100:.1f}%",
+        f"  eval cache hit rate  : {payload['eval_cache_hit_rate'] * 100:.1f}% "
+        f"({payload['eval_cache_hits']}/{payload['eval_cache_lookups']} "
         "evaluations deduplicated)",
-        f"  prompt/completion tok: {result.search.prompt_tokens} / {result.search.completion_tokens}",
-        f"  estimated API cost   : ${result.search.estimated_cost_usd:.4f}",
-        f"  synthesized miss     : {result.heuristic_miss_ratio:.4f}",
-        f"  best baseline        : {result.best_baseline} ({result.best_baseline_miss_ratio:.4f})",
-        f"  beats all baselines  : {result.beats_all_baselines}",
-        f"  improvement over FIFO: {result.improvement_over_fifo * 100:.2f}%",
+        f"  prompt/completion tok: {payload['prompt_tokens']} / {payload['completion_tokens']}",
+        f"  estimated API cost   : ${payload['estimated_cost_usd']:.4f}",
+        f"  synthesized miss     : {payload['heuristic_miss_ratio']:.4f}",
+        f"  best baseline        : {payload['best_baseline']} "
+        f"({payload['best_baseline_miss_ratio']:.4f})",
+        f"  beats all baselines  : {payload['beats_all_baselines']}",
+        f"  improvement over FIFO: {payload['improvement_over_fifo'] * 100:.2f}%",
         "",
         "Synthesized heuristic:",
-        result.search.best_source(),
+        payload["best_source"],
     ]
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--dataset", choices=["cloudphysics", "msr"], default="cloudphysics")
-    parser.add_argument("--trace", type=int, default=89, help="trace index (paper uses w89)")
-    parser.add_argument("--rounds", type=int, default=20)
-    parser.add_argument("--candidates", type=int, default=25)
-    parser.add_argument("--requests", type=int, default=None)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
+def format_search_experiment(result: SearchExperimentResult) -> str:
+    return render_search_experiment(search_experiment_payload(result))
 
+
+# -- experiment registration --------------------------------------------------------
+
+
+def _run_caching_search_experiment(
+    dataset: str,
+    trace: int,
+    rounds: int,
+    candidates: int,
+    requests: Optional[int],
+    seed: int,
+    cache_fraction: float,
+) -> dict:
     result = run_search_experiment(
-        dataset=args.dataset,
-        trace_index=args.trace,
-        rounds=args.rounds,
-        candidates_per_round=args.candidates,
-        seed=args.seed,
-        num_requests=args.requests,
+        dataset=dataset,
+        trace_index=trace,
+        rounds=rounds,
+        candidates_per_round=candidates,
+        seed=seed,
+        num_requests=requests,
+        cache_fraction=cache_fraction,
     )
-    print(format_search_experiment(result))
+    return search_experiment_payload(result)
 
 
-if __name__ == "__main__":
-    main()
+register_experiment(
+    ExperimentDef(
+        name="caching-search",
+        description="§4.2.1: synthesize a heuristic for one trace, compare to all baselines",
+        runner=_run_caching_search_experiment,
+        renderer=render_search_experiment,
+        params={
+            "dataset": "cloudphysics",
+            "trace": 89,
+            "rounds": 20,
+            "candidates": 25,
+            "requests": None,
+            "seed": 0,
+            "cache_fraction": 0.10,
+        },
+    )
+)
+
+
+if __name__ == "__main__":  # pragma: no cover - migration stub
+    raise SystemExit(
+        "this entry point moved to the unified CLI: "
+        "python -m repro run caching-search --set trace=89 --set rounds=20"
+    )

@@ -6,19 +6,19 @@ and Heuristic X on 64 % of MSR traces.  The exact numbers depend on the
 traces; the shape to reproduce is that each heuristic wins on a substantial
 fraction of its corpus (well above 0) without winning everywhere.
 
-Run as a script::
+Run via the unified CLI::
 
-    python -m repro.experiments.table2
-    python -m repro.experiments.table2 --dataset msr --traces 14
+    python -m repro run table2
+    python -m repro run table2 --set dataset=msr --set traces=14
 """
 
 from __future__ import annotations
 
-import argparse
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass
+from typing import List, Optional
 
 from repro.experiments.corpus import CorpusEvaluation, evaluate_corpus
+from repro.experiments.registry import ExperimentDef, register_experiment
 
 
 @dataclass
@@ -94,21 +94,43 @@ def format_table2(entries: List[Table2Entry]) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--dataset", choices=["cloudphysics", "msr", "both"], default="both")
-    parser.add_argument("--traces", type=int, default=None)
-    parser.add_argument("--requests", type=int, default=None)
-    args = parser.parse_args(argv)
+# -- experiment registration --------------------------------------------------------
 
-    datasets = ["cloudphysics", "msr"] if args.dataset == "both" else [args.dataset]
+
+def table2_payload(entries: List[Table2Entry]) -> dict:
+    return {"kind": "table2", "entries": [asdict(entry) for entry in entries]}
+
+
+def render_table2(payload: dict) -> str:
+    """Pure reducer: stored payload -> the printed Table 2."""
+    return format_table2([Table2Entry(**entry) for entry in payload["entries"]])
+
+
+def _run_table2_experiment(
+    dataset: str, traces: Optional[int], requests: Optional[int]
+) -> dict:
+    datasets = ["cloudphysics", "msr"] if dataset == "both" else [dataset]
     all_entries: List[Table2Entry] = []
-    for dataset in datasets:
+    for name in datasets:
         all_entries.extend(
-            run_table2(dataset, trace_count=args.traces, num_requests=args.requests)
+            run_table2(name, trace_count=traces, num_requests=requests)
         )
-    print(format_table2(all_entries))
+    return table2_payload(all_entries)
 
 
-if __name__ == "__main__":
-    main()
+register_experiment(
+    ExperimentDef(
+        name="table2",
+        description="Table 2: share of traces where each heuristic beats all baselines",
+        runner=_run_table2_experiment,
+        renderer=render_table2,
+        params={"dataset": "both", "traces": None, "requests": None},
+    )
+)
+
+
+if __name__ == "__main__":  # pragma: no cover - migration stub
+    raise SystemExit(
+        "this entry point moved to the unified CLI: "
+        "python -m repro run table2"
+    )

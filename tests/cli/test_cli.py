@@ -1,0 +1,276 @@
+"""CLI smoke tests: run / sweep / resume / experiments list / report.
+
+``repro report`` must reproduce ``repro run`` stdout byte-for-byte from the
+stored artifacts, which is what most of these tests pin down.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SMOKE_SPEC = REPO_ROOT / "examples" / "specs" / "smoke_caching.json"
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def artifact_dir_from(err: str) -> Path:
+    for line in err.splitlines():
+        if line.startswith("artifacts: "):
+            return Path(line.split("artifacts: ", 1)[1])
+    raise AssertionError(f"no artifacts line in stderr:\n{err}")
+
+
+# -- experiments list ---------------------------------------------------------------
+
+
+def test_experiments_list(capsys):
+    code, out, _err = run_cli(capsys, "experiments", "list")
+    assert code == 0
+    for name in (
+        "caching-search",
+        "figure2",
+        "table2",
+        "ablations",
+        "cost-accounting",
+        "cc-compilation",
+        "cc-behaviour",
+    ):
+        assert name in out
+    assert "defaults:" in out
+
+
+# -- run: spec file -----------------------------------------------------------------
+
+
+def test_run_spec_then_report_byte_identical(capsys, tmp_path):
+    code, run_out, run_err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path), "--quiet"
+    )
+    assert code == 0
+    assert "Search run: smoke-caching" in run_out
+    run_dir = artifact_dir_from(run_err)
+    assert run_dir.exists()
+
+    code, report_out, _ = run_cli(capsys, "report", str(run_dir))
+    assert code == 0
+    assert report_out == run_out
+
+
+def test_run_spec_progress_on_stderr(capsys, tmp_path):
+    _code, out, err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path)
+    )
+    assert "run started:" in err
+    assert "run started:" not in out
+
+
+def test_resume_completed_run_is_stable(capsys, tmp_path):
+    _code, run_out, run_err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path), "--quiet"
+    )
+    run_dir = artifact_dir_from(run_err)
+    code, resume_out, _ = run_cli(capsys, "resume", str(run_dir), "--quiet")
+    assert code == 0
+    assert resume_out == run_out
+
+
+def test_resume_refuses_uncheckpointed_spec(capsys, tmp_path):
+    spec = json.loads(SMOKE_SPEC.read_text())
+    spec["checkpoint"] = False
+    spec["name"] = "no-ckpt"
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps(spec))
+    _code, _out, err = run_cli(
+        capsys, "run", str(spec_file), "--artifacts", str(tmp_path), "--quiet"
+    )
+    run_dir = artifact_dir_from(err)
+    code, _out, err = run_cli(capsys, "resume", str(run_dir))
+    assert code == 2
+    assert "nothing to resume" in err
+
+
+# -- run: registered experiments ----------------------------------------------------
+
+
+def test_run_experiment_then_report_byte_identical(capsys, tmp_path):
+    code, run_out, run_err = run_cli(
+        capsys,
+        "run",
+        "table2",
+        "--set",
+        "traces=4",
+        "--set",
+        "requests=1200",
+        "--artifacts",
+        str(tmp_path),
+    )
+    assert code == 0
+    assert "Table 2" in run_out
+    run_dir = artifact_dir_from(run_err)
+    spec = json.loads((run_dir / "spec.json").read_text())
+    assert spec["experiment"] == "table2"
+    assert spec["params"]["traces"] == 4
+
+    code, report_out, _ = run_cli(capsys, "report", str(run_dir))
+    assert code == 0
+    assert report_out == run_out
+
+
+def test_run_experiment_seed_flag_applies(capsys, tmp_path):
+    _code, _out, err = run_cli(
+        capsys, "run", "cc-compilation", "--set", "candidates=10",
+        "--set", "caching=false", "--seed", "99", "--artifacts", str(tmp_path),
+    )
+    run_dir = artifact_dir_from(err)
+    spec = json.loads((run_dir / "spec.json").read_text())
+    assert spec["params"]["seed"] == 99
+
+
+def test_run_experiment_seed_flag_rejected_when_unsupported(capsys):
+    code, _out, err = run_cli(capsys, "run", "figure2", "--seed", "1")
+    assert code == 2
+    assert "no seed parameter" in err
+
+
+def test_run_figure2_quiet_suppresses_progress(capsys):
+    _code, out, err = run_cli(
+        capsys, "run", "figure2", "--set", "traces=2", "--set", "requests=600",
+        "--no-artifacts", "--quiet",
+    )
+    assert "Figure 2" in out
+    assert "simulating" not in err
+    _code, _out, err = run_cli(
+        capsys, "run", "figure2", "--set", "traces=2", "--set", "requests=600",
+        "--no-artifacts",
+    )
+    assert "simulating" in err
+
+
+def test_run_experiment_unknown_param(capsys):
+    code, _out, err = run_cli(capsys, "run", "table2", "--set", "bogus=1")
+    assert code == 2
+    assert "bogus" in err
+
+
+def test_run_unknown_target(capsys):
+    code, _out, err = run_cli(capsys, "run", "not-an-experiment")
+    assert code == 2
+    assert "unknown experiment" in err
+
+
+def test_stray_file_cannot_shadow_an_experiment(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "table2").write_text("not json")
+    code, out, _err = run_cli(
+        capsys, "run", "table2", "--set", "traces=2", "--set", "requests=600",
+        "--no-artifacts", "--quiet",
+    )
+    assert code == 0
+    assert "Table 2" in out
+
+
+def test_run_on_directory_gives_friendly_error(capsys, tmp_path):
+    code, _out, err = run_cli(capsys, "run", str(tmp_path))
+    assert code == 2
+    assert "not a RunSpec file" in err
+    assert "repro report" in err
+
+
+def test_run_on_sweep_spec_points_to_sweep_command(capsys, tmp_path):
+    spec = json.loads(SMOKE_SPEC.read_text())
+    spec["seeds"] = [0, 1]
+    spec["checkpoint"] = False  # --no-artifacts below precludes checkpoints
+    spec_file = tmp_path / "sweep_spec.json"
+    spec_file.write_text(json.dumps(spec))
+    code, _out, err = run_cli(capsys, "run", str(spec_file))
+    assert code == 2
+    assert "repro sweep" in err
+    # --seed pins one seed and proceeds.
+    code, out, _err = run_cli(
+        capsys, "run", str(spec_file), "--seed", "1", "--no-artifacts", "--quiet"
+    )
+    assert code == 0
+    assert "seed 1" in out
+
+
+def test_run_no_artifacts_flag(capsys, tmp_path):
+    code, out, err = run_cli(
+        capsys,
+        "run",
+        "table2",
+        "--set",
+        "traces=2",
+        "--set",
+        "requests=800",
+        "--no-artifacts",
+    )
+    assert code == 0
+    assert "Table 2" in out
+    assert "artifacts:" not in err
+
+
+# -- sweep --------------------------------------------------------------------------
+
+
+def test_sweep_and_report(capsys, tmp_path):
+    code, out, err = run_cli(
+        capsys,
+        "sweep",
+        str(SMOKE_SPEC),
+        "--seeds",
+        "0",
+        "1",
+        "--artifacts",
+        str(tmp_path),
+        "--quiet",
+    )
+    assert code == 0
+    assert "Seed sweep: smoke-caching" in out
+    sweep_dir = artifact_dir_from(err)
+    assert (sweep_dir / "sweep.json").exists()
+    assert (sweep_dir / "seed-0" / "result.json").exists()
+    code, report_out, _ = run_cli(capsys, "report", str(sweep_dir))
+    assert code == 0
+    assert report_out == out
+
+
+# -- report errors ------------------------------------------------------------------
+
+
+def test_report_on_non_run_dir(capsys, tmp_path):
+    code, _out, err = run_cli(capsys, "report", str(tmp_path))
+    assert code == 2
+    assert "not a run directory" in err
+
+
+# -- the real entry point -----------------------------------------------------------
+
+
+def test_python_dash_m_repro_subprocess(tmp_path):
+    """`python -m repro` end to end, in a real subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    run_proc = subprocess.run(
+        [sys.executable, "-m", "repro", "run", str(SMOKE_SPEC),
+         "--artifacts", str(tmp_path), "--quiet"],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=300,
+    )
+    assert run_proc.returncode == 0, run_proc.stderr
+    run_dir = artifact_dir_from(run_proc.stderr)
+    report_proc = subprocess.run(
+        [sys.executable, "-m", "repro", "report", str(run_dir)],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT, timeout=120,
+    )
+    assert report_proc.returncode == 0, report_proc.stderr
+    assert report_proc.stdout == run_proc.stdout

@@ -1,0 +1,149 @@
+"""Artifact store: layout, serialization round-trip, byte-identical reruns."""
+
+import json
+
+import pytest
+
+from repro.core.artifacts import (
+    ARTIFACT_VERSION,
+    ArtifactStore,
+    RunArtifact,
+    search_result_from_dict,
+    search_result_to_dict,
+)
+from repro.core.spec import RunSpec, run
+
+TRACE_REF = {"dataset": "cloudphysics", "index": 89, "num_requests": 800}
+
+
+def tiny_spec(**kwargs) -> RunSpec:
+    base = dict(
+        domain="caching",
+        name="art-tiny",
+        domain_kwargs={"trace": dict(TRACE_REF)},
+        search={"rounds": 2, "candidates_per_round": 3},
+    )
+    base.update(kwargs)
+    return RunSpec(**base)
+
+
+# -- layout -------------------------------------------------------------------------
+
+
+def test_run_directory_layout(tmp_path):
+    outcome = run(tiny_spec(checkpoint=True), store=tmp_path)
+    run_dir = outcome.artifact_dir
+    assert run_dir is not None and run_dir.parent == tmp_path
+    for name in ("spec.json", "result.json", "rounds.jsonl", "events.jsonl",
+                 "metadata.json", "checkpoint.json"):
+        assert (run_dir / name).exists(), name
+
+    spec_data = json.loads((run_dir / "spec.json").read_text())
+    assert RunSpec.from_dict(spec_data) == tiny_spec(checkpoint=True)
+
+    rounds = [json.loads(line) for line in (run_dir / "rounds.jsonl").read_text().splitlines()]
+    assert [r["round_index"] for r in rounds] == [1, 2]
+
+    events = [json.loads(line) for line in (run_dir / "events.jsonl").read_text().splitlines()]
+    assert events[0]["event"] == "run_started"
+    assert events[-1]["event"] == "run_finished"
+
+
+def test_metadata_records_reproducibility_info(tmp_path):
+    from repro import __version__
+
+    spec = tiny_spec()
+    outcome = run(spec, store=tmp_path)
+    metadata = json.loads((outcome.artifact_dir / "metadata.json").read_text())
+    assert metadata["artifact_version"] == ARTIFACT_VERSION
+    assert metadata["config_hash"] == spec.config_hash()
+    assert metadata["seed"] == 0
+    assert metadata["seeds"] == [0]
+    assert metadata["repro_version"] == __version__
+    assert metadata["kind"] == "search"
+
+
+def test_run_dir_name_is_deterministic(tmp_path):
+    spec = tiny_spec()
+    first = run(spec, store=tmp_path).artifact_dir
+    second = run(spec, store=tmp_path).artifact_dir
+    assert first == second
+    store = ArtifactStore(tmp_path)
+    assert store.runs() == [first]
+
+
+# -- SearchResult serialization -----------------------------------------------------
+
+
+def test_search_result_dict_roundtrip():
+    result = run(tiny_spec()).result
+    data = search_result_to_dict(result)
+    restored = search_result_from_dict(json.loads(json.dumps(data)))
+    assert restored.best is not None
+    assert restored.best.candidate.candidate_id == result.best.candidate.candidate_id
+    assert restored.best.score == result.best.score
+    assert restored.best_source() == result.best_source()
+    assert restored.total_candidates == result.total_candidates
+    assert len(restored.rounds) == len(result.rounds)
+    assert restored.eval_cache_hits == result.eval_cache_hits
+    assert restored.prompt_tokens == result.prompt_tokens
+    # Volatile timing is stripped by default...
+    assert restored.wall_time_s == 0.0
+    # ...but preserved on request.
+    timed = search_result_from_dict(search_result_to_dict(result, include_timing=True))
+    assert timed.wall_time_s == result.wall_time_s
+
+
+# -- byte-identical reruns (the reproducibility contract) ---------------------------
+
+
+def test_identical_spec_produces_byte_identical_result_json(tmp_path):
+    spec = tiny_spec()
+    first = run(spec, store=tmp_path / "a").artifact_dir / "result.json"
+    second = run(spec, store=tmp_path / "b").artifact_dir / "result.json"
+    assert first.read_bytes() == second.read_bytes()
+    # Overwriting rerun in the same store is also byte-identical.
+    third = run(spec, store=tmp_path / "a").artifact_dir / "result.json"
+    assert third.read_bytes() == first.read_bytes()
+
+
+def test_sweep_seed_runs_are_byte_identical_to_single_runs(tmp_path):
+    from repro.core.spec import run_sweep
+
+    sweep = run_sweep(tiny_spec(seeds=[0, 1]), store=tmp_path / "sweep")
+    for outcome in sweep.outcomes:
+        single = run(tiny_spec(seed=outcome.seed), store=tmp_path / "single")
+        assert (
+            (outcome.artifact_dir / "result.json").read_bytes()
+            == (single.artifact_dir / "result.json").read_bytes()
+        )
+
+
+# -- RunArtifact --------------------------------------------------------------------
+
+
+def test_run_artifact_reads_back(tmp_path):
+    outcome = run(tiny_spec(), store=tmp_path)
+    artifact = RunArtifact(outcome.artifact_dir)
+    assert artifact.kind == "search"
+    assert artifact.spec["domain"] == "caching"
+    result = artifact.search_result()
+    assert result.best_source() == outcome.result.best_source()
+    assert len(artifact.rounds()) == 2
+    assert artifact.events()[0]["event"] == "run_started"
+    assert artifact.metadata["config_hash"] == tiny_spec().config_hash()
+
+
+def test_run_artifact_rejects_non_run_dir(tmp_path):
+    with pytest.raises(FileNotFoundError, match="not a run directory"):
+        RunArtifact(tmp_path)
+
+
+def test_run_artifact_rejects_future_version(tmp_path):
+    outcome = run(tiny_spec(), store=tmp_path)
+    meta_path = outcome.artifact_dir / "metadata.json"
+    meta = json.loads(meta_path.read_text())
+    meta["artifact_version"] = ARTIFACT_VERSION + 1
+    meta_path.write_text(json.dumps(meta))
+    with pytest.raises(ValueError, match="artifact format"):
+        RunArtifact(outcome.artifact_dir).metadata

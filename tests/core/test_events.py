@@ -1,0 +1,240 @@
+"""Event stream: bus semantics, emission ordering, subscribers."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.events import (
+    CandidateEvaluated,
+    CheckpointWritten,
+    EventBus,
+    JsonlEventLog,
+    ProgressPrinter,
+    RoundCompleted,
+    RunFinished,
+    RunStarted,
+    read_event_log,
+)
+from repro.core.spec import RunSpec, build_from_spec, run
+
+TRACE_REF = {"dataset": "cloudphysics", "index": 89, "num_requests": 800}
+
+
+def tiny_spec(**kwargs) -> RunSpec:
+    base = dict(
+        domain="caching",
+        name="events-tiny",
+        domain_kwargs={"trace": dict(TRACE_REF)},
+        search={"rounds": 2, "candidates_per_round": 3},
+    )
+    base.update(kwargs)
+    return RunSpec(**base)
+
+
+def run_with_recorder(spec):
+    events = []
+    outcome = run(spec, subscribers=[events.append])
+    return outcome, events
+
+
+# -- bus ----------------------------------------------------------------------------
+
+
+def test_bus_order_and_subscription():
+    bus = EventBus()
+    assert not bus
+    seen_a, seen_b = [], []
+    bus.subscribe(seen_a.append)
+    bus.subscribe(seen_b.append)
+    assert len(bus) == 2 and bus
+    event = RunStarted(template_name="t")
+    bus.emit(event)
+    assert seen_a == [event] and seen_b == [event]
+    bus.unsubscribe(seen_b.append)
+    bus.emit(event)
+    assert len(seen_a) == 2 and len(seen_b) == 1
+
+
+def test_events_json_serializable():
+    for event in (
+        RunStarted(template_name="t", rounds=2),
+        CandidateEvaluated(candidate_id="c", score=float("-inf")),
+        RoundCompleted(round_index=1, best_score=float("nan")),
+        CheckpointWritten(path="/x", completed_rounds=1),
+        RunFinished(best_score=float("inf")),
+    ):
+        data = event.to_dict()
+        json.dumps(data)  # must not raise
+        assert data["event"] == event.kind
+
+
+# -- emission from the search/engine ------------------------------------------------
+
+
+def test_search_event_lifecycle_ordering():
+    outcome, events = run_with_recorder(tiny_spec())
+    kinds = [e.kind for e in events]
+    assert kinds[0] == "run_started"
+    assert kinds[-1] == "run_finished"
+    assert kinds.count("round_completed") == 2
+    started = events[0]
+    assert started.resumed_rounds == 0
+    assert started.rounds == 2 and started.candidates_per_round == 3
+    # CandidateEvaluated events cover seeds + generated candidates...
+    evaluated = [e for e in events if e.kind == "candidate_evaluated"]
+    assert len(evaluated) == outcome.result.eval_cache_lookups
+    # ...and the cached flags agree with the engine's hit counters.
+    assert sum(e.cached for e in evaluated) == outcome.result.eval_cache_hits
+    # Round numbering is monotonically increasing.
+    rounds = [e.round_index for e in events if e.kind == "round_completed"]
+    assert rounds == [1, 2]
+    finished = events[-1]
+    assert finished.total_candidates == outcome.result.total_candidates
+    assert finished.best_candidate_id == outcome.result.best.candidate.candidate_id
+
+
+def test_candidate_events_precede_their_round():
+    _outcome, events = run_with_recorder(tiny_spec())
+    current_round = 0
+    for event in events:
+        if event.kind == "candidate_evaluated":
+            assert event.round_index == current_round or event.round_index == current_round + 1
+        elif event.kind == "round_completed":
+            current_round = event.round_index
+
+
+def test_checkpoint_events(tmp_path):
+    spec = tiny_spec(checkpoint=True)
+    events = []
+    outcome = run(spec, store=tmp_path, subscribers=[events.append])
+    checkpoints = [e for e in events if e.kind == "checkpoint_written"]
+    assert [c.completed_rounds for c in checkpoints] == [1, 2]
+    assert all(c.path.endswith("checkpoint.json") for c in checkpoints)
+    assert outcome.artifact_dir is not None
+
+
+def test_resumed_run_reports_resumed_rounds(tmp_path):
+    spec = tiny_spec(checkpoint=True)
+    run(spec, store=tmp_path)
+    events = []
+    run(spec, store=tmp_path, subscribers=[events.append])
+    assert events[0].kind == "run_started"
+    assert events[0].resumed_rounds == 2  # fully complete: nothing re-executes
+    assert not any(e.kind == "round_completed" for e in events)
+
+
+def test_empty_bus_supplied_up_front_still_delivers_later_subscribers():
+    """A caller-built (initially empty) EventBus must not be discarded for
+    being falsy: subscribing after build_search still observes the run."""
+    from repro.core.domain import build_search
+    from repro.core.spec import build_trace
+
+    bus = EventBus()
+    setup = build_search(
+        "caching",
+        rounds=1,
+        candidates_per_round=3,
+        seed=0,
+        trace=build_trace(TRACE_REF),
+        events=bus,
+    )
+    seen = []
+    bus.subscribe(seen.append)
+    setup.search.run()
+    assert [e.kind for e in seen][0] == "run_started"
+    assert any(e.kind == "candidate_evaluated" for e in seen)
+
+
+def test_prebuilt_engine_without_events_shares_one_bus():
+    """With a prebuilt engine and no events arg, the search adopts the
+    engine's bus: candidate and lifecycle events reach the same subscribers."""
+    from repro.core.domain import build_search
+    from repro.core.engine import EvaluationEngine
+    from repro.core.search import EvolutionarySearch
+    from repro.core.spec import build_trace
+
+    setup = build_search(
+        "caching",
+        rounds=1,
+        candidates_per_round=3,
+        seed=0,
+        trace=build_trace(TRACE_REF),
+    )
+    engine = EvaluationEngine(
+        setup.checker, setup.evaluator, generator=setup.generator
+    )
+    search = EvolutionarySearch(
+        setup.template,
+        setup.generator,
+        setup.checker,
+        setup.evaluator,
+        setup.search.config,
+        context=setup.context,
+        engine=engine,
+    )
+    assert search.events is engine.events
+    seen = []
+    search.events.subscribe(seen.append)
+    search.run()
+    kinds = {e.kind for e in seen}
+    assert "candidate_evaluated" in kinds and "run_started" in kinds
+
+
+def test_events_do_not_change_the_trajectory():
+    silent = run(tiny_spec())
+    observed, events = run_with_recorder(tiny_spec())
+    assert silent.result.best_source() == observed.result.best_source()
+    assert len(events) > 0
+
+
+# -- subscribers --------------------------------------------------------------------
+
+
+def test_progress_printer_lines():
+    stream = io.StringIO()
+    run(tiny_spec(), subscribers=[ProgressPrinter(stream)])
+    lines = stream.getvalue().splitlines()
+    assert lines[0].startswith("run started:")
+    assert any(line.startswith("round 1/2:") for line in lines)
+    assert lines[-1].startswith("run finished:")
+
+
+def test_progress_printer_verbose_shows_candidates():
+    stream = io.StringIO()
+    run(tiny_spec(), subscribers=[ProgressPrinter(stream, verbose=True)])
+    assert any(": score " in line for line in stream.getvalue().splitlines())
+
+
+def test_jsonl_event_log_roundtrip(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with JsonlEventLog(path) as log:
+        bus = EventBus([log])
+        spec = tiny_spec()
+        setup = build_from_spec(spec, events=bus)
+        setup.search.run()
+    entries = read_event_log(path)
+    assert entries[0]["event"] == "run_started"
+    assert entries[-1]["event"] == "run_finished"
+    assert all("event" in entry for entry in entries)
+
+
+def test_failing_subscriber_is_dropped_not_fatal(capsys):
+    """A broken observer must not cost the search its work."""
+
+    def broken(_event):
+        raise BrokenPipeError("consumer went away")
+
+    seen = []
+    outcome = run(tiny_spec(), subscribers=[broken, seen.append])
+    assert outcome.result.best is not None
+    # The healthy subscriber kept receiving everything.
+    assert seen[0].kind == "run_started" and seen[-1].kind == "run_finished"
+    assert "unsubscribed" in capsys.readouterr().err
+
+
+def test_jsonl_event_log_closed_raises(tmp_path):
+    log = JsonlEventLog(tmp_path / "e.jsonl")
+    log.close()
+    with pytest.raises(ValueError, match="closed"):
+        log(RunStarted())

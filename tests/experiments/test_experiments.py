@@ -5,13 +5,26 @@ paper's results (see EXPERIMENTS.md); the benchmark suite runs the larger
 versions.
 """
 
+import json
+
 import pytest
 
 from repro.experiments.cc_behaviour import format_behaviour, run_cc_behaviour
 from repro.experiments.cc_compilation import format_compilation, run_cc_compilation
 from repro.experiments.corpus import evaluate_corpus
 from repro.experiments.cost_accounting import format_cost_report, run_cost_accounting
-from repro.experiments.figure2 import figure2_from_evaluation, format_figure2
+from repro.experiments.figure2 import (
+    figure2_from_evaluation,
+    figure2_payload,
+    format_figure2,
+    render_figure2,
+)
+from repro.experiments.registry import (
+    available_experiments,
+    get_experiment,
+    merge_params,
+    run_experiment,
+)
 from repro.experiments.table2 import format_table2, table2_from_evaluation
 
 
@@ -120,3 +133,56 @@ def test_cost_accounting_report():
     assert report.evaluation_cpu_seconds > 0
     text = format_cost_report(report)
     assert "TOTAL" in text and "CPU-hours" in text
+
+
+# -- the experiment registry --------------------------------------------------------
+
+
+def test_all_seven_experiments_registered():
+    assert available_experiments() == [
+        "ablations",
+        "caching-search",
+        "cc-behaviour",
+        "cc-compilation",
+        "cost-accounting",
+        "figure2",
+        "table2",
+    ]
+
+
+def test_merge_params_rejects_unknown_keys():
+    experiment = get_experiment("table2")
+    with pytest.raises(ValueError, match="no parameter"):
+        merge_params(experiment, {"bogus": 1})
+    merged = merge_params(experiment, {"traces": 3})
+    assert merged["traces"] == 3
+    assert merged["dataset"] == "both"
+
+
+def test_renderers_are_pure_reducers(small_cloudphysics_evaluation):
+    """render(payload) must survive a JSON round-trip byte-identically --
+    that is the contract `repro report` relies on."""
+    payload = figure2_payload(
+        figure2_from_evaluation(small_cloudphysics_evaluation), top_baselines=5
+    )
+    rendered = render_figure2(payload)
+    rendered_from_disk_form = render_figure2(json.loads(json.dumps(payload)))
+    assert rendered == rendered_from_disk_form
+    assert "Figure 2" in rendered
+
+
+def test_cost_accounting_accepts_scalar_trace_index():
+    payload = run_experiment(
+        "cost-accounting", traces=89, rounds=1, candidates=3, requests=800
+    )
+    assert len(payload["per_run"]) == 1
+    assert "w89" in payload["per_run"][0]["name"]
+
+
+def test_run_experiment_end_to_end():
+    payload = run_experiment("cc-compilation", candidates=30)
+    experiment = get_experiment("cc-compilation")
+    text = experiment.renderer(payload)
+    assert "first pass" in text
+    assert payload["kind"] == "cc-compilation"
+    json.dumps(payload)  # payloads must be JSON-serializable
