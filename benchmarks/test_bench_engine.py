@@ -26,14 +26,14 @@ from repro.cache.priority_cache import PriorityFunctionCache
 from repro.cache.simulator import CacheSimulator, cache_size_for
 from repro.core.domain import build_search
 from repro.core.engine import EngineConfig
-from repro.traces import cloudphysics_trace
+from repro.workloads import build_trace
 
 from benchmarks.conftest import run_once
 
 
 @pytest.fixture(scope="module")
 def engine_trace():
-    return cloudphysics_trace(89, num_requests=2500)
+    return build_trace("caching/cloudphysics", index=89, num_requests=2500)
 
 
 SEARCH_VARIANTS = {

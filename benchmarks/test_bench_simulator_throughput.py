@@ -16,12 +16,12 @@ from repro.cache.priority_cache import PriorityFunctionCache
 from repro.cache.simulator import CacheSimulator, cache_size_for
 from repro.cc.policies import RenoController
 from repro.netsim.simulator import SimulationConfig, run_single_flow
-from repro.traces import cloudphysics_trace
+from repro.workloads import build_trace
 
 
 @pytest.fixture(scope="module")
 def bench_trace():
-    return cloudphysics_trace(89, num_requests=4000)
+    return build_trace("caching/cloudphysics", index=89, num_requests=4000)
 
 
 @pytest.mark.parametrize("name", ["FIFO", "LRU", "GDSF", "S3-FIFO", "SIEVE", "LHD", "Cacheus"])

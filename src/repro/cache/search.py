@@ -235,6 +235,9 @@ class CachingDomain(SearchDomain):
 
     name = "caching"
     accepted_kwargs = frozenset({"trace", "cache_fraction", "backend"})
+    #: ``trace`` / ``cache_fraction`` are per-scenario in matrix mode: they
+    #: live on the workload references, not the build_search call.
+    matrix_kwargs = frozenset({"backend"})
 
     def build_template(self) -> Template:
         return caching_template()
@@ -267,6 +270,23 @@ class CachingDomain(SearchDomain):
         if trace is None:
             raise ValueError("the caching domain requires a trace= argument")
         return CachingEvaluator(trace, cache_fraction=cache_fraction, backend=backend)
+
+    def build_scenario_evaluator(
+        self,
+        workload: Any,
+        backend: str = "compiled",
+        **_ignored: Any,
+    ) -> CachingEvaluator:
+        """One scenario of a workload matrix: the workload's trace at its
+        ``cache_fraction`` grid point."""
+        from repro.cache.simulator import DEFAULT_CACHE_FRACTION
+        from repro.workloads import build_workload
+
+        return CachingEvaluator(
+            build_workload(workload),
+            cache_fraction=workload.param("cache_fraction", DEFAULT_CACHE_FRACTION),
+            backend=backend,
+        )
 
     def default_llm_config(self) -> SyntheticLLMConfig:
         return SyntheticLLMConfig(archetypes=caching_archetypes())

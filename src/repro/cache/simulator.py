@@ -8,7 +8,7 @@ policies are measured by exactly the same loop.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Union
+from typing import Callable, Dict, Iterable, Iterator, Optional, Protocol, Union
 
 from repro.cache.metrics import SimulationResult
 from repro.cache.policies.base import EvictionPolicy
@@ -16,11 +16,23 @@ from repro.cache.request import Request, Trace
 
 PolicyLike = Union[EvictionPolicy, Callable[[int], EvictionPolicy]]
 
+
+class TraceLike(Protocol):
+    """Anything the simulator can walk: an in-memory :class:`Trace` or a
+    constant-memory :class:`~repro.traces.streaming.StreamingTrace` -- a
+    named, re-iterable source of requests exposing ``footprint_bytes()``."""
+
+    name: str
+
+    def __iter__(self) -> Iterator[Request]: ...
+
+    def footprint_bytes(self) -> int: ...
+
 #: Default cache size as a fraction of the trace footprint (§4.1.4).
 DEFAULT_CACHE_FRACTION = 0.10
 
 
-def cache_size_for(trace: Trace, fraction: float = DEFAULT_CACHE_FRACTION) -> int:
+def cache_size_for(trace: TraceLike, fraction: float = DEFAULT_CACHE_FRACTION) -> int:
     """Cache capacity used throughout the paper: a fraction of the footprint."""
     return max(1, int(trace.footprint_bytes() * fraction))
 
@@ -37,7 +49,7 @@ class CacheSimulator:
     def run(
         self,
         policy: EvictionPolicy,
-        trace: Trace,
+        trace: TraceLike,
         warmup: int = 0,
     ) -> SimulationResult:
         """Simulate ``policy`` over ``trace``.
@@ -79,7 +91,7 @@ class CacheSimulator:
 
 def simulate(
     policy_factory: PolicyLike,
-    trace: Trace,
+    trace: TraceLike,
     cache_size: Optional[int] = None,
     cache_fraction: float = DEFAULT_CACHE_FRACTION,
     warmup: int = 0,
@@ -100,7 +112,7 @@ def simulate(
 
 def simulate_many(
     policies: Dict[str, Callable[[int], EvictionPolicy]],
-    trace: Trace,
+    trace: TraceLike,
     cache_size: Optional[int] = None,
     cache_fraction: float = DEFAULT_CACHE_FRACTION,
 ) -> Dict[str, SimulationResult]:

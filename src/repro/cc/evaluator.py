@@ -1,15 +1,24 @@
-"""Evaluator for congestion-control candidates (§5.0.3's emulated link)."""
+"""Evaluator for congestion-control candidates (§5.0.3's emulated link).
+
+The evaluation topology is a declarative
+:class:`~repro.workloads.netsim.NetSimScenario` from the workload registry:
+the paper's single-flow link is the registered ``cc/single-flow`` default,
+and the same evaluator scores candidates on multi-flow, bursty-cross-traffic
+and lossy-link scenarios (with fairness and p99-queueing-delay terms joining
+the objective when the scenario weights them).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from repro.cc.dsl_controller import DslCongestionController
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.dsl.ast import Program
 from repro.netsim.link import LinkConfig
 from repro.netsim.simulator import NetworkSimulator, SimulationConfig, SimulationMetrics
+from repro.workloads.netsim import NetSimScenario, build_scenario
 
 
 def default_cc_simulation_config(duration_s: float = 8.0) -> SimulationConfig:
@@ -25,26 +34,57 @@ class CCObjective:
     """Scalarisation of the throughput/delay trade-off.
 
     ``score = utilization - delay_penalty * mean_queueing_delay_ms / rtt_ms``
+    minus loss, tail-delay and unfairness penalties.
 
-    With the default weight, saturating the link while keeping queues shallow
-    scores close to 1.0; a buffer-filling policy loses roughly half of that
-    and an under-utilising one proportionally more.
+    With the default weights, saturating the link while keeping queues
+    shallow scores close to 1.0; a buffer-filling policy loses roughly half
+    of that and an under-utilising one proportionally more.  ``p99_penalty``
+    and ``fairness_weight`` default to 0, so single-flow scenarios score
+    exactly as the seed-era objective did; multi-flow and bursty scenarios
+    set them to reward smooth, fair controllers.
     """
 
     delay_penalty: float = 0.5
     loss_penalty: float = 0.5
+    p99_penalty: float = 0.0
+    fairness_weight: float = 0.0
 
-    def score(self, metrics: SimulationMetrics, base_rtt_ms: float) -> float:
-        delay_ratio = metrics.mean_queueing_delay_ms / max(1e-9, base_rtt_ms)
-        return (
+    def score(
+        self,
+        metrics: SimulationMetrics,
+        base_rtt_ms: float,
+        fairness: float = 1.0,
+    ) -> float:
+        rtt = max(1e-9, base_rtt_ms)
+        value = (
             metrics.utilization
-            - self.delay_penalty * delay_ratio
+            - self.delay_penalty * metrics.mean_queueing_delay_ms / rtt
             - self.loss_penalty * metrics.loss_rate
+        )
+        if self.p99_penalty:
+            value -= self.p99_penalty * metrics.p99_queueing_delay_ms / rtt
+        if self.fairness_weight:
+            value -= self.fairness_weight * (1.0 - fairness)
+        return value
+
+    @classmethod
+    def for_scenario(cls, scenario: NetSimScenario) -> "CCObjective":
+        return cls(
+            delay_penalty=scenario.delay_penalty,
+            loss_penalty=scenario.loss_penalty,
+            p99_penalty=scenario.p99_penalty,
+            fairness_weight=scenario.fairness_weight,
         )
 
 
 class CongestionControlEvaluator(Evaluator):
-    """Runs one candidate as the controller of a single bulk flow."""
+    """Runs one candidate as the controller of every flow in a scenario.
+
+    ``scenario`` selects the topology (default: the registered
+    ``cc/single-flow`` paper link); the legacy ``config=`` keyword still
+    accepts a raw :class:`~repro.netsim.simulator.SimulationConfig` and wraps
+    it into an anonymous single-flow scenario.
+    """
 
     failure_score = -10.0
 
@@ -54,28 +94,55 @@ class CongestionControlEvaluator(Evaluator):
         objective: Optional[CCObjective] = None,
         initial_window: int = 10,
         backend: str = "compiled",
+        scenario: Optional[NetSimScenario] = None,
     ):
-        self.config = config or default_cc_simulation_config()
-        self.objective = objective or CCObjective()
+        if scenario is not None and config is not None:
+            raise ValueError("pass either a scenario or a raw config, not both")
+        if scenario is None:
+            if config is None:
+                scenario = build_scenario("cc/single-flow")
+            else:
+                scenario = NetSimScenario(
+                    name="cc/custom-config",
+                    rate_bps=config.link.rate_bps,
+                    one_way_delay_us=config.link.one_way_delay_us,
+                    queue_bytes=config.link.queue_bytes,
+                    loss_rate=config.link.loss_rate,
+                    loss_seed=config.link.loss_seed,
+                    duration_s=config.duration_s,
+                    mss=config.mss,
+                    max_events=config.max_events,
+                )
+        self.scenario = scenario
+        self.config = scenario.simulation_config()
+        self.objective = objective or CCObjective.for_scenario(scenario)
         self.initial_window = initial_window
         self.backend = backend
         self.evaluations = 0
 
+    def _run_scenario(self, program: Program) -> Tuple[SimulationMetrics, List[int]]:
+        def controller() -> DslCongestionController:
+            return DslCongestionController(
+                program,
+                initial_window=self.initial_window,
+                strict=True,
+                backend=self.backend,
+            )
+
+        simulator, candidate_ids = self.scenario.build(controller)
+        return simulator.run(), candidate_ids
+
     def run_candidate(self, program: Program) -> SimulationMetrics:
-        """Simulate ``program`` on the evaluation link and return raw metrics."""
-        controller = DslCongestionController(
-            program, initial_window=self.initial_window, strict=True,
-            backend=self.backend,
-        )
-        simulator = NetworkSimulator(self.config)
-        simulator.add_flow(controller)
-        return simulator.run()
+        """Simulate ``program`` on the scenario and return raw metrics."""
+        return self._run_scenario(program)[0]
 
     def evaluate_program(self, program: Program) -> EvaluationResult:
-        metrics = self.run_candidate(program)
+        metrics, candidate_ids = self._run_scenario(program)
         self.evaluations += 1
-        base_rtt_ms = 2 * self.config.link.one_way_delay_us / 1000.0
-        score = self.objective.score(metrics, base_rtt_ms)
+        fairness = metrics.jain_fairness(candidate_ids)
+        score = self.objective.score(
+            metrics, self.scenario.base_rtt_ms, fairness=fairness
+        )
         return EvaluationResult(
             score=score,
             valid=True,
@@ -83,7 +150,9 @@ class CongestionControlEvaluator(Evaluator):
                 "utilization": metrics.utilization,
                 "mean_queueing_delay_ms": metrics.mean_queueing_delay_ms,
                 "p95_queueing_delay_ms": metrics.p95_queueing_delay_ms,
+                "p99_queueing_delay_ms": metrics.p99_queueing_delay_ms,
                 "loss_rate": metrics.loss_rate,
                 "throughput_bps": metrics.aggregate_throughput_bps(),
+                "jain_fairness": fairness,
             },
         )

@@ -36,6 +36,9 @@ class CCDomain(SearchDomain):
 
     name = "cc"
     accepted_kwargs = frozenset({"duration_s", "simulation", "backend"})
+    #: ``duration_s`` / ``simulation`` are per-scenario in matrix mode: they
+    #: live on the workload references, not the build_search call.
+    matrix_kwargs = frozenset({"backend"})
 
     def build_template(self) -> Template:
         return cc_template()
@@ -64,6 +67,17 @@ class CCDomain(SearchDomain):
             config=simulation or default_cc_simulation_config(duration_s),
             backend=backend,
         )
+
+    def build_scenario_evaluator(
+        self,
+        workload: Any,
+        backend: str = "compiled",
+        **_ignored: Any,
+    ) -> CongestionControlEvaluator:
+        """One scenario of a workload matrix: a declarative netsim topology."""
+        from repro.workloads import build_workload
+
+        return CongestionControlEvaluator(scenario=build_workload(workload), backend=backend)
 
     def default_llm_config(self) -> SyntheticLLMConfig:
         return kernel_llm_config()

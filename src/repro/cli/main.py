@@ -14,6 +14,10 @@ Commands
     Continue an interrupted checkpointed search from its artifact directory.
 ``experiments list``
     The experiment registry with defaults and descriptions.
+``workloads list [--domain D]`` / ``workloads show <name>``
+    The workload registry: every named evaluation scenario (cache traces,
+    netsim topologies) a spec's ``domain_kwargs["workloads"]`` matrix can
+    reference.
 ``report <run dir>``
     Re-render a stored run's report from its artifacts, byte-identical to
     the original ``run`` output, without re-running anything.
@@ -243,6 +247,44 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import available_workloads, get_workload
+
+    if args.action == "list":
+        names = available_workloads(domain=args.domain)
+        if not names:
+            raise CliError(
+                f"no workloads registered"
+                + (f" for domain {args.domain!r}" if args.domain else "")
+            )
+        width = max(len(name) for name in names)
+        print(f"{'name':<{width}}  {'domain':<8} {'kind':<12} {'est. length':<12} description")
+        for name in names:
+            spec = get_workload(name)
+            print(
+                f"{name:<{width}}  {spec.domain:<8} {spec.kind:<12} "
+                f"{spec.estimated_length():<12} {spec.description}"
+            )
+        return 0
+    # show
+    if not args.name:
+        raise CliError("workloads show needs a workload name")
+    try:
+        spec = get_workload(args.name)
+    except KeyError as exc:
+        raise CliError(str(exc).strip('"')) from exc
+    print(f"workload   : {spec.name}")
+    print(f"domain     : {spec.domain}")
+    print(f"kind       : {spec.kind}")
+    print(f"est. length: {spec.estimated_length()}")
+    if spec.description:
+        print(f"description: {spec.description}")
+    print("params:")
+    for key, value in spec.params:
+        print(f"  {key} = {json.dumps(value)}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     path = Path(args.run_dir)
     if artifacts.is_sweep_dir(path):
@@ -332,6 +374,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiments", help="inspect the experiment registry")
     p_exp.add_argument("action", choices=["list"])
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_wl = sub.add_parser("workloads", help="inspect the workload registry")
+    p_wl.add_argument("action", choices=["list", "show"])
+    p_wl.add_argument("name", nargs="?", help="workload name (for show)")
+    p_wl.add_argument(
+        "--domain", default=None, help="restrict the listing to one domain"
+    )
+    p_wl.set_defaults(func=_cmd_workloads)
 
     p_report = sub.add_parser(
         "report", help="re-render a stored run's report without re-running"

@@ -15,6 +15,44 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.core.artifacts import search_result_from_dict
+from repro.core.results import SearchResult
+
+#: Maximum rows of the candidate x scenario breakdown table.
+SCENARIO_TABLE_ROWS = 8
+
+
+def _scenario_breakdown(res: SearchResult) -> List[str]:
+    """The candidate x scenario score table of a multi-scenario run.
+
+    Rows are the top-scoring valid candidates (aggregate order, candidate id
+    breaking ties, so the table is a pure function of the stored result);
+    columns follow the matrix's scenario order.
+    """
+    scored = [
+        c
+        for c in res.candidates
+        if c.valid and c.evaluation is not None and c.evaluation.scenario_scores
+    ]
+    if not scored:
+        return []
+    scored.sort(key=lambda c: (-c.score, c.candidate.candidate_id))
+    top = scored[:SCENARIO_TABLE_ROWS]
+    scenarios = list(top[0].evaluation.scenario_scores)
+    id_width = max(len("candidate"), max(len(c.candidate.candidate_id) for c in top))
+    widths = [max(len(name), 9) for name in scenarios]
+    lines = ["", f"Per-scenario scores (top {len(top)} candidates):"]
+    header = f"  {'candidate':<{id_width}} {'aggregate':>10}"
+    for name, width in zip(scenarios, widths):
+        header += f"  {name:>{width}}"
+    lines.append(header)
+    for candidate in top:
+        row = f"  {candidate.candidate.candidate_id:<{id_width}} {candidate.score:>10.4f}"
+        for name, width in zip(scenarios, widths):
+            score = candidate.evaluation.scenario_scores.get(name)
+            cell = f"{score:.4f}" if score is not None else "-"
+            row += f"  {cell:>{width}}"
+        lines.append(row)
+    return lines
 
 
 def render_search_report(spec: Dict, result: Dict) -> str:
@@ -39,11 +77,13 @@ def render_search_report(spec: Dict, result: Dict) -> str:
             f"  best candidate       : {res.best.candidate.candidate_id} "
             f"(score {res.best.score:.4f})"
         )
+        lines.extend(_scenario_breakdown(res))
         lines.append("")
         lines.append("Best heuristic:")
         lines.append(res.best_source())
     else:
         lines.append("  best candidate       : none (no valid candidate)")
+        lines.extend(_scenario_breakdown(res))
     return "\n".join(lines)
 
 

@@ -25,6 +25,7 @@ from repro.core.checker import (
     StructuralChecker,
 )
 from repro.core.evaluator import EvaluationResult, Evaluator, FunctionEvaluator
+from repro.core.scenarios import MultiScenarioEvaluator, ScoreReducer
 from repro.core.generator import Generator, LLMGenerator
 from repro.core.results import Candidate, ScoredCandidate, RoundSummary, SearchResult
 from repro.core.search import EvolutionarySearch, SearchConfig
@@ -79,6 +80,8 @@ __all__ = [
     "EvaluationResult",
     "Evaluator",
     "FunctionEvaluator",
+    "MultiScenarioEvaluator",
+    "ScoreReducer",
     "Generator",
     "LLMGenerator",
     "Candidate",

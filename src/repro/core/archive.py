@@ -146,6 +146,9 @@ def _evaluation_to_dict(evaluation: EvaluationResult) -> dict:
         "error": evaluation.error,
         "wall_time_s": evaluation.wall_time_s,
         "details": {k: _encode_float(v) for k, v in evaluation.details.items()},
+        "scenario_scores": {
+            k: _encode_float(v) for k, v in evaluation.scenario_scores.items()
+        },
     }
 
 
@@ -156,6 +159,9 @@ def _evaluation_from_dict(data: dict) -> EvaluationResult:
         error=data.get("error"),
         wall_time_s=float(data.get("wall_time_s", 0.0)),
         details={k: _decode_float(v) for k, v in data.get("details", {}).items()},
+        scenario_scores={
+            k: _decode_float(v) for k, v in data.get("scenario_scores", {}).items()
+        },
     )
 
 
@@ -166,6 +172,9 @@ def _round_to_dict(summary: RoundSummary) -> dict:
     data = asdict(summary)
     for key in _ROUND_FLOAT_FIELDS:
         data[key] = _encode_float(data[key])
+    data["scenario_best"] = {
+        k: _encode_float(v) for k, v in summary.scenario_best.items()
+    }
     return data
 
 
@@ -174,6 +183,10 @@ def _round_from_dict(data: dict) -> RoundSummary:
     for key in _ROUND_FLOAT_FIELDS:
         if key in data:
             data[key] = _decode_float(data[key])
+    if "scenario_best" in data:
+        data["scenario_best"] = {
+            k: _decode_float(v) for k, v in data["scenario_best"].items()
+        }
     return RoundSummary(**data)
 
 

@@ -22,7 +22,7 @@ import importlib
 import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.checker import Checker
 from repro.core.context import Context
@@ -30,6 +30,7 @@ from repro.core.engine import EngineConfig, EvaluationEngine
 from repro.core.evaluator import Evaluator
 from repro.core.events import EventBus
 from repro.core.generator import LLMGenerator
+from repro.core.scenarios import MultiScenarioEvaluator, ScoreReducer
 from repro.core.search import EvolutionarySearch, SearchConfig
 from repro.core.template import Template
 from repro.dsl.grammar import GrammarConfig
@@ -54,6 +55,13 @@ class SearchDomain:
     #: ``None`` disables the check (custom domains that forward kwargs).
     accepted_kwargs: Optional[frozenset] = None
 
+    #: Keyword arguments that remain meaningful alongside a ``workloads=``
+    #: scenario matrix (e.g. ``backend=``).  Single-scenario arguments such
+    #: as ``trace=`` or ``duration_s=`` are rejected in matrix mode -- the
+    #: per-scenario values live on the workload references -- instead of
+    #: being silently ignored.  ``None`` falls back to ``accepted_kwargs``.
+    matrix_kwargs: Optional[frozenset] = None
+
     def build_template(self) -> Template:
         raise NotImplementedError
 
@@ -65,6 +73,31 @@ class SearchDomain:
 
     def build_evaluator(self, **kwargs: Any) -> Evaluator:
         raise NotImplementedError
+
+    def build_scenario_evaluator(self, workload: Any, **kwargs: Any) -> Evaluator:
+        """Build the evaluator for one resolved
+        :class:`~repro.workloads.spec.WorkloadSpec` (multi-scenario search).
+
+        Domains that support workload matrices override this; ``kwargs`` are
+        the remaining domain keyword arguments (e.g. ``backend=``), shared by
+        every scenario of the matrix.
+        """
+        raise NotImplementedError(
+            f"domain {self.name!r} does not support workload matrices"
+        )
+
+    def build_multi_context(
+        self, workloads: Sequence[Any], reducer: ScoreReducer, **kwargs: Any
+    ) -> Context:
+        """The deployment context of a scenario-matrix search."""
+        names = [w.display_name for w in workloads]
+        return Context.create(
+            name=f"{self.name}/matrix({len(names)})",
+            workload="scenario matrix: " + ", ".join(names),
+            objective=f"maximize the {reducer.kind} score across {len(names)} scenarios",
+            scenarios=",".join(names),
+            reducer=str(reducer.to_ref()),
+        )
 
     def default_llm_config(self) -> SyntheticLLMConfig:
         return SyntheticLLMConfig()
@@ -166,6 +199,8 @@ def build_search(
     evaluator: Optional[Evaluator] = None,
     context: Optional[Context] = None,
     client: Optional[Any] = None,
+    workloads: Optional[Sequence[Any]] = None,
+    reducer: Any = None,
     **domain_kwargs: Any,
 ) -> SearchSetup:
     """Assemble a full search for ``domain_name``.
@@ -177,7 +212,14 @@ def build_search(
     :class:`~repro.core.events.EventBus` whose subscribers observe the run
     (progress, JSONL logging).  ``template`` / ``checker`` /
     ``evaluator`` / ``context`` / ``client`` replace the domain-built
-    components (used by ablation experiments).  Remaining keyword arguments are forwarded to the
+    components (used by ablation experiments).
+
+    ``workloads`` declares a *scenario matrix*: a list of workload references
+    (registry names, ``{"name": ..., **overrides}`` dictionaries or
+    :class:`~repro.workloads.spec.WorkloadSpec` objects, all from the same
+    domain) that every candidate is scored across, aggregated by ``reducer``
+    (``"mean"`` / ``"worst"`` / ``{"kind": "weighted", "weights": ...}``).
+    Remaining keyword arguments are forwarded to the
     domain's context and evaluator factories (e.g. ``trace=``,
     ``cache_fraction=`` for caching; ``duration_s=``, ``simulation=`` for
     congestion control).
@@ -190,8 +232,46 @@ def build_search(
                 f"domain {domain.name!r} got unexpected keyword argument(s) "
                 f"{sorted(unknown)}; accepted: {sorted(domain.accepted_kwargs)}"
             )
+
+    workload_specs: Optional[List[Any]] = None
+    reducer_obj: Optional[ScoreReducer] = None
+    if workloads is not None:
+        from repro.workloads import resolve_workload_ref
+
+        workload_specs = [resolve_workload_ref(ref) for ref in workloads]
+        if not workload_specs:
+            raise ValueError("workloads, when given, must be a non-empty list")
+        foreign = [w.name for w in workload_specs if w.domain != domain.name]
+        if foreign:
+            raise ValueError(
+                f"workload(s) {foreign} do not belong to domain {domain.name!r}"
+            )
+        allowed = (
+            domain.matrix_kwargs
+            if domain.matrix_kwargs is not None
+            else domain.accepted_kwargs
+        )
+        if allowed is not None:
+            single_scenario = set(domain_kwargs) - set(allowed)
+            if single_scenario:
+                raise TypeError(
+                    f"keyword argument(s) {sorted(single_scenario)} have no "
+                    "effect alongside a workloads= scenario matrix; set "
+                    "per-scenario parameters on the workload references "
+                    f"(matrix-compatible kwargs: {sorted(allowed)})"
+                )
+        reducer_obj = ScoreReducer.from_ref(reducer)
+    elif reducer is not None:
+        raise ValueError("reducer= only applies to a workloads= scenario matrix")
+
     template = template or domain.build_template()
-    context = context or domain.build_context(**domain_kwargs)
+    if context is None:
+        if workload_specs is not None:
+            context = domain.build_multi_context(
+                workload_specs, reducer_obj, **domain_kwargs
+            )
+        else:
+            context = domain.build_context(**domain_kwargs)
 
     config = search_config or domain.default_search_config()
     overrides: Dict[str, Any] = {}
@@ -209,7 +289,20 @@ def build_search(
         client = domain.build_client(template, llm, seed)
     generator = LLMGenerator(template, client, context_description=context.describe())
     checker = checker or domain.build_checker(template)
-    evaluator = evaluator or domain.build_evaluator(**domain_kwargs)
+    if evaluator is None:
+        if workload_specs is not None:
+            evaluator = MultiScenarioEvaluator(
+                [
+                    (
+                        workload.display_name,
+                        domain.build_scenario_evaluator(workload, **domain_kwargs),
+                    )
+                    for workload in workload_specs
+                ],
+                reducer_obj,
+            )
+        else:
+            evaluator = domain.build_evaluator(**domain_kwargs)
     search = EvolutionarySearch(
         template,
         generator,

@@ -21,6 +21,12 @@ shared execution substrate that replaces that loop for every domain:
   per-candidate timeout.  Failures inside a worker (including a broken
   process pool) degrade to an in-process serial evaluation, so one bad
   candidate cannot take down the search.
+* **Scenario sharding** -- when the evaluator is a
+  :class:`~repro.core.scenarios.MultiScenarioEvaluator`, the unit of parallel
+  work becomes one (candidate, scenario) pair: every scenario of every unique
+  candidate is its own pool task (with its own timeout and crash isolation),
+  and per-candidate results are recombined with the same ``combine`` the
+  serial path uses.
 
 Each candidate that receives an evaluation result (fresh or cached) is
 announced as a :class:`~repro.core.events.CandidateEvaluated` event on the
@@ -51,6 +57,7 @@ from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.events import CandidateEvaluated, EventBus
 from repro.core.generator import Generator
 from repro.core.results import Candidate, ScoredCandidate
+from repro.core.scenarios import MultiScenarioEvaluator
 from repro.dsl.ast import Program
 from repro.dsl.codegen import to_source
 
@@ -120,6 +127,12 @@ def _init_worker(evaluator: Evaluator) -> None:
 def _evaluate_in_worker(program: Program) -> EvaluationResult:
     assert _WORKER_EVALUATOR is not None, "worker pool not initialised"
     return _WORKER_EVALUATOR.evaluate(program)
+
+
+def _evaluate_scenario_in_worker(program: Program, index: int) -> EvaluationResult:
+    assert _WORKER_EVALUATOR is not None, "worker pool not initialised"
+    assert isinstance(_WORKER_EVALUATOR, MultiScenarioEvaluator)
+    return _WORKER_EVALUATOR.evaluate_scenario(program, index)
 
 
 def canonical_key(program: Program) -> str:
@@ -265,6 +278,7 @@ class EvaluationEngine:
                         valid=item.valid,
                         score=item.evaluation.score,
                         cached=item.candidate.candidate_id not in fresh_ids,
+                        scenario_scores=dict(item.evaluation.scenario_scores),
                     )
                 )
         return BatchResult(scored=scored, stats=stats)
@@ -305,6 +319,8 @@ class EvaluationEngine:
         serial = cfg.executor == "serial" or cfg.max_workers <= 1
         if serial:
             return [self.evaluator.evaluate(program) for program in programs]
+        if isinstance(self.evaluator, MultiScenarioEvaluator):
+            return self._evaluate_many_sharded(programs, self.evaluator, stats)
         pool = self._ensure_pool()
         if cfg.executor == "thread":
             futures = [pool.submit(self.evaluator.evaluate, p) for p in programs]
@@ -318,7 +334,12 @@ class EvaluationEngine:
             if abandon and future.cancel():
                 results.append(self.evaluator.evaluate(program))
                 continue
-            result, healthy = self._collect(program, future, stats)
+            result, healthy = self._collect(
+                future,
+                stats,
+                retry=lambda p=program: self.evaluator.evaluate(p),
+                failure_score=self.evaluator.failure_score,
+            )
             results.append(result)
             abandon = abandon or not healthy
         if abandon:
@@ -328,10 +349,67 @@ class EvaluationEngine:
             self._discard_pool(wait=False)
         return results
 
+    def _evaluate_many_sharded(
+        self,
+        programs: List[Program],
+        evaluator: MultiScenarioEvaluator,
+        stats: BatchStats,
+    ) -> List[EvaluationResult]:
+        """Fan candidate x scenario tasks over the pool, then combine per candidate.
+
+        Sharding at scenario granularity keeps the pool busy even for small
+        batches (one slow scenario no longer serialises the others) and makes
+        the per-candidate timeout a per-*scenario* timeout, preserving crash
+        isolation at the finer grain.  ``combine`` is the same aggregation the
+        serial path uses, so results are configuration-independent.
+        """
+        cfg = self.config
+        pool = self._ensure_pool()
+        tasks = [
+            (program_index, scenario_index)
+            for program_index in range(len(programs))
+            for scenario_index in range(evaluator.scenario_count)
+        ]
+        if cfg.executor == "thread":
+            futures = [
+                pool.submit(evaluator.evaluate_scenario, programs[pi], si)
+                for pi, si in tasks
+            ]
+        else:
+            futures = [
+                pool.submit(_evaluate_scenario_in_worker, programs[pi], si)
+                for pi, si in tasks
+            ]
+        per_program: List[List[Optional[EvaluationResult]]] = [
+            [None] * evaluator.scenario_count for _ in programs
+        ]
+        abandon = False
+        for (pi, si), future in zip(tasks, futures):
+            if abandon and future.cancel():
+                per_program[pi][si] = evaluator.evaluate_scenario(programs[pi], si)
+                continue
+            result, healthy = self._collect(
+                future,
+                stats,
+                retry=lambda p=programs[pi], s=si: evaluator.evaluate_scenario(p, s),
+                failure_score=evaluator.scenario_failure_score(si),
+            )
+            per_program[pi][si] = result
+            abandon = abandon or not healthy
+        if abandon:
+            self._discard_pool(wait=False)
+        return [evaluator.combine(results) for results in per_program]
+
     def _collect(
-        self, program: Program, future: Future, stats: BatchStats
+        self, future: Future, stats: BatchStats, *, retry, failure_score: float
     ) -> tuple:
-        """Collect one future; returns ``(result, pool_still_healthy)``."""
+        """Collect one future; returns ``(result, pool_still_healthy)``.
+
+        ``retry`` re-runs the unit of work in-process when the pool died
+        beneath it; ``failure_score`` scores a timed-out unit (the wrapped
+        evaluator's -- or, under scenario sharding, that scenario's -- failure
+        score).
+        """
         cfg = self.config
         try:
             return future.result(timeout=cfg.eval_timeout_s), True
@@ -341,22 +419,22 @@ class EvaluationEngine:
             return (
                 EvaluationResult.failure(
                     f"evaluation timed out after {cfg.eval_timeout_s}s",
-                    self.evaluator.failure_score,
+                    failure_score,
                     transient=True,
                 ),
                 False,
             )
         except BrokenExecutor:
             # Crash isolation: a worker died (e.g. a hard crash in a process
-            # pool).  Re-evaluate this candidate in-process, where
+            # pool).  Re-evaluate this unit in-process, where
             # Evaluator.evaluate converts ordinary failures into invalid
             # results.
-            return self.evaluator.evaluate(program), False
+            return retry(), False
         except Exception as exc:  # noqa: BLE001 - worker boundary
             return (
                 EvaluationResult.failure(
                     f"evaluation failed in worker: {type(exc).__name__}: {exc}",
-                    self.evaluator.failure_score,
+                    failure_score,
                     transient=True,
                 ),
                 True,

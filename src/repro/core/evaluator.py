@@ -29,6 +29,11 @@ class EvaluationResult:
     worker timeout, a dead pool) rather than by the candidate itself; the
     engine never memoizes transient results, so the candidate is re-evaluated
     if it ever comes up again.
+
+    ``scenario_scores`` is filled by multi-scenario evaluation (see
+    :mod:`repro.core.scenarios`): one score per named workload scenario, with
+    ``score`` holding the reduced aggregate.  Single-scenario evaluation
+    leaves it empty.
     """
 
     score: float
@@ -37,6 +42,7 @@ class EvaluationResult:
     wall_time_s: float = 0.0
     details: Dict[str, float] = field(default_factory=dict)
     transient: bool = False
+    scenario_scores: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def failure(

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import math
 import sys
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, ClassVar, Dict, IO, List, Optional, Union
 
@@ -85,6 +85,8 @@ class CandidateEvaluated(RunEvent):
     #: True when the result came from the engine's dedup/memoization cache
     #: instead of a fresh simulation.
     cached: bool = False
+    #: Per-scenario score breakdown (empty for single-scenario evaluation).
+    scenario_scores: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -100,6 +102,9 @@ class RoundCompleted(RunEvent):
     best_overall_score: float = float("-inf")
     eval_cache_lookups: int = 0
     eval_cache_hits: int = 0
+    #: Best per-scenario score among this round's valid candidates (empty
+    #: for single-scenario runs).
+    scenario_best: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

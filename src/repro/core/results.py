@@ -57,7 +57,10 @@ class RoundSummary:
     ``eval_cache_lookups`` counts candidates that reached the evaluation
     stage; ``eval_cache_hits`` how many of those were satisfied from the
     engine's dedup/memoization cache instead of a fresh simulation, and
-    ``unique_evaluations`` the simulations actually run.
+    ``unique_evaluations`` the simulations actually run.  Under
+    multi-scenario fitness, ``scenario_best`` maps each workload scenario to
+    the best per-scenario score any valid candidate of this round achieved
+    (empty for single-scenario runs).
     """
 
     round_index: int
@@ -71,6 +74,7 @@ class RoundSummary:
     eval_cache_lookups: int = 0
     eval_cache_hits: int = 0
     unique_evaluations: int = 0
+    scenario_best: Dict[str, float] = field(default_factory=dict)
 
     def eval_cache_hit_rate(self) -> float:
         """Fraction of evaluation requests served from the cache this round."""

@@ -196,6 +196,7 @@ class EvolutionarySearch:
                     best_overall_score=summary.best_overall_score,
                     eval_cache_lookups=summary.eval_cache_lookups,
                     eval_cache_hits=summary.eval_cache_hits,
+                    scenario_best=dict(summary.scenario_best),
                 )
             )
             if self.checkpoint_path and (
@@ -290,6 +291,10 @@ class EvolutionarySearch:
                 summary.evaluated += 1
                 if scored.valid and scored.score > summary.best_score:
                     summary.best_score = scored.score
+                if scored.valid:
+                    for name, score in scored.evaluation.scenario_scores.items():
+                        if score > summary.scenario_best.get(name, float("-inf")):
+                            summary.scenario_best[name] = score
             population.append(scored)
 
         best = self._best_of(population)

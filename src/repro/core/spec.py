@@ -207,11 +207,27 @@ class RunSpec:
 
 
 def resolve_domain_kwargs(domain_kwargs: Dict[str, Any]) -> Dict[str, Any]:
-    """Materialise declarative references (currently: ``trace``) into objects."""
+    """Materialise declarative references into objects.
+
+    ``trace`` references become concrete traces; ``workloads`` (a scenario
+    matrix: list of registry names or ``{"name": ..., **overrides}``
+    dictionaries) become :class:`~repro.workloads.spec.WorkloadSpec` objects
+    and ``reducer`` a :class:`~repro.core.scenarios.ScoreReducer`.
+    """
     resolved = dict(domain_kwargs)
     trace = resolved.get("trace")
     if isinstance(trace, dict):
         resolved["trace"] = build_trace(trace)
+    if resolved.get("workloads") is not None:
+        from repro.workloads import resolve_workload_ref
+
+        resolved["workloads"] = [
+            resolve_workload_ref(ref) for ref in resolved["workloads"]
+        ]
+    if resolved.get("reducer") is not None:
+        from repro.core.scenarios import ScoreReducer
+
+        resolved["reducer"] = ScoreReducer.from_ref(resolved["reducer"])
     return resolved
 
 
@@ -220,7 +236,9 @@ def build_trace(ref: Dict[str, Any]):
 
     ``{"dataset": "cloudphysics" | "msr", "index": int, "num_requests": int}``
     selects a corpus trace; ``{"dataset": "synthetic", ...}`` forwards the
-    remaining keys to :class:`~repro.traces.synthetic.SyntheticWorkloadConfig`.
+    remaining keys to :class:`~repro.traces.synthetic.SyntheticWorkloadConfig`;
+    ``{"dataset": "workload", "name": <registry name>, ...overrides}``
+    resolves a registered caching workload (see :mod:`repro.workloads`).
     """
     ref = dict(ref)
     try:
@@ -233,6 +251,10 @@ def build_trace(ref: Dict[str, Any]):
         from repro.traces.synthetic import SyntheticWorkloadConfig, generate_trace
 
         return generate_trace(SyntheticWorkloadConfig(**ref))
+    if dataset == "workload":
+        from repro.workloads import build_trace as build_workload_trace
+
+        return build_workload_trace(ref)
     index = ref.pop("index", 0)
     num_requests = ref.pop("num_requests", None)
     if ref:
@@ -240,16 +262,25 @@ def build_trace(ref: Dict[str, Any]):
             f"unknown trace-reference key(s) {sorted(ref)} for dataset {dataset!r}"
         )
     if dataset == "cloudphysics":
-        from repro.traces import cloudphysics_trace
+        from repro.traces.cloudphysics import cloudphysics_config
+        from repro.traces.synthetic import generate_trace
 
-        return cloudphysics_trace(index, num_requests=num_requests)
+        return generate_trace(
+            cloudphysics_config(index, **_maybe(num_requests))
+        )
     if dataset == "msr":
-        from repro.traces import msr_trace
+        from repro.traces.msr import msr_config
+        from repro.traces.synthetic import generate_trace
 
-        return msr_trace(index, num_requests=num_requests)
+        return generate_trace(msr_config(index, **_maybe(num_requests)))
     raise ValueError(
-        f"unknown trace dataset {dataset!r} (use 'cloudphysics', 'msr' or 'synthetic')"
+        f"unknown trace dataset {dataset!r} "
+        "(use 'cloudphysics', 'msr', 'synthetic' or 'workload')"
     )
+
+
+def _maybe(num_requests: Optional[int]) -> Dict[str, int]:
+    return {} if num_requests is None else {"num_requests": num_requests}
 
 
 # -- running a spec -----------------------------------------------------------------

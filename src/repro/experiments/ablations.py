@@ -31,7 +31,7 @@ from repro.core.template import Template
 from repro.dsl.grammar import FeatureSpec
 from repro.experiments.registry import ExperimentDef, register_experiment
 from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
-from repro.traces import cloudphysics_trace
+from repro.workloads import build_trace
 
 
 @dataclass
@@ -112,7 +112,7 @@ def run_ablations(
     seed: int = 0,
 ) -> List[AblationResult]:
     """Run the full search and its three ablated variants on one trace."""
-    trace = cloudphysics_trace(trace_index, num_requests=num_requests)
+    trace = build_trace("caching/cloudphysics", index=trace_index, num_requests=num_requests)
     full_template = caching_template()
     archetypes = caching_archetypes()
     variants = [

@@ -19,7 +19,7 @@ from repro.cache.policies.evolved import (
 )
 from repro.cache.request import Trace
 from repro.cache.simulator import simulate_many
-from repro.traces import cloudphysics_corpus, msr_corpus
+from repro.workloads.cache import corpus_traces
 
 #: Default trace scaling for the full experiment (kept modest so that the
 #: whole corpus runs in minutes on a laptop; see DESIGN.md).
@@ -40,13 +40,11 @@ def dataset_traces(
     trace_count: Optional[int] = None,
     num_requests: Optional[int] = None,
 ) -> Iterable[Trace]:
-    """The synthetic corpus standing in for ``dataset``."""
+    """The synthetic corpus standing in for ``dataset`` (workload registry)."""
+    if dataset not in DEFAULT_NUM_REQUESTS:
+        raise ValueError(f"unknown dataset {dataset!r} (use 'cloudphysics' or 'msr')")
     requests = num_requests or DEFAULT_NUM_REQUESTS[dataset]
-    if dataset == "cloudphysics":
-        return cloudphysics_corpus(count=trace_count, num_requests=requests)
-    if dataset == "msr":
-        return msr_corpus(count=trace_count, num_requests=requests)
-    raise ValueError(f"unknown dataset {dataset!r} (use 'cloudphysics' or 'msr')")
+    return corpus_traces(dataset, count=trace_count, num_requests=requests)
 
 
 @dataclass

@@ -21,7 +21,7 @@ from typing import List, Optional
 from repro.core.cost import GPT_4O_MINI_PRICING, SearchCostReport
 from repro.core.domain import build_search
 from repro.experiments.registry import ExperimentDef, register_experiment
-from repro.traces import cloudphysics_trace
+from repro.workloads import build_trace
 
 
 def run_cost_accounting(
@@ -35,7 +35,7 @@ def run_cost_accounting(
     indices = trace_indices if trace_indices is not None else [89]
     report = SearchCostReport(cost_model=GPT_4O_MINI_PRICING)
     for index in indices:
-        trace = cloudphysics_trace(index, num_requests=num_requests)
+        trace = build_trace("caching/cloudphysics", index=index, num_requests=num_requests)
         setup = build_search(
             "caching",
             rounds=rounds,

@@ -26,7 +26,7 @@ from repro.core.domain import build_search
 from repro.core.engine import EngineConfig
 from repro.core.results import SearchResult
 from repro.experiments.registry import ExperimentDef, register_experiment
-from repro.traces import cloudphysics_trace, msr_trace
+from repro.workloads import build_trace
 
 
 @dataclass
@@ -62,9 +62,9 @@ class SearchExperimentResult:
 def context_trace(dataset: str, index: int, num_requests: Optional[int] = None) -> Trace:
     """The context trace used for one search run."""
     if dataset == "cloudphysics":
-        return cloudphysics_trace(index, num_requests=num_requests or 6000)
+        return build_trace("caching/cloudphysics", index=index, num_requests=num_requests or 6000)
     if dataset == "msr":
-        return msr_trace(index, num_requests=num_requests or 8000)
+        return build_trace("caching/msr", index=index, num_requests=num_requests or 8000)
     raise ValueError(f"unknown dataset {dataset!r}")
 
 

@@ -12,6 +12,7 @@ between its arrival and the moment it starts being serialised.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional
@@ -27,11 +28,21 @@ DropCallback = Callable[[Packet, int], None]
 
 @dataclass
 class LinkConfig:
-    """Static parameters of a bottleneck link."""
+    """Static parameters of a bottleneck link.
+
+    ``loss_rate`` adds random (non-congestive) loss: each arriving packet is
+    independently dropped with this probability *before* it reaches the
+    queue, emulating a lossy last hop (wireless, long-haul).  The loss
+    process is driven by the link's own ``random.Random(loss_seed)`` so runs
+    are deterministic and no module-global RNG state is shared across
+    workers.
+    """
 
     rate_bps: int = 12_000_000          # 12 Mbps, as in §5.0.3
     one_way_delay_us: int = 10_000      # 10 ms each way -> 20 ms RTT
     queue_bytes: int = 60_000           # ~1.6 bandwidth-delay products
+    loss_rate: float = 0.0              # random loss probability in [0, 1)
+    loss_seed: int = 0                  # seed of the link-local loss RNG
 
     def serialization_us(self, size_bytes: int) -> int:
         """Time to clock ``size_bytes`` onto the wire, in microseconds."""
@@ -61,10 +72,16 @@ class LinkStats:
         return sum(self.queueing_delays_us) / len(self.queueing_delays_us) / 1000.0
 
     def p95_queueing_delay_ms(self) -> float:
+        return self.percentile_queueing_delay_ms(0.95)
+
+    def p99_queueing_delay_ms(self) -> float:
+        return self.percentile_queueing_delay_ms(0.99)
+
+    def percentile_queueing_delay_ms(self, fraction: float) -> float:
         if not self.queueing_delays_us:
             return 0.0
         ordered = sorted(self.queueing_delays_us)
-        index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
         return ordered[index] / 1000.0
 
     def utilization(self, rate_bps: int, duration_us: int) -> float:
@@ -95,6 +112,10 @@ class DropTailLink:
     ):
         self.events = events
         self.config = config or LinkConfig()
+        if not 0.0 <= self.config.loss_rate < 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1), got {self.config.loss_rate}"
+            )
         self.name = name
         self.stats = LinkStats()
         self._on_delivery = on_delivery
@@ -102,6 +123,11 @@ class DropTailLink:
         self._queue: Deque[Packet] = deque()
         self._queued_bytes = 0
         self._transmitting = False
+        # Link-local RNG: every simulator instance replays the same loss
+        # pattern for its seed, independent of any global random state.
+        self._loss_rng: Optional[random.Random] = (
+            random.Random(self.config.loss_seed) if self.config.loss_rate > 0 else None
+        )
 
     # -- wiring -------------------------------------------------------------------
 
@@ -129,6 +155,15 @@ class DropTailLink:
         Returns False (and reports a drop) if the buffer cannot hold it.
         """
         now = self.events.now
+        if (
+            self._loss_rng is not None
+            and self._loss_rng.random() < self.config.loss_rate
+        ):
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            if self._on_drop is not None:
+                self._on_drop(packet, now)
+            return False
         if self._queued_bytes + packet.size > self.config.queue_bytes:
             self.stats.dropped_packets += 1
             self.stats.dropped_bytes += packet.size

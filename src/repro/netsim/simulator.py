@@ -60,14 +60,24 @@ class SimulationMetrics:
     p95_queueing_delay_ms: float
     loss_rate: float
     duration_s: float
+    p99_queueing_delay_ms: float = 0.0
     flows: List[FlowMetrics] = field(default_factory=list)
 
     def aggregate_throughput_bps(self) -> float:
         return sum(f.throughput_bps for f in self.flows)
 
-    def jain_fairness(self) -> float:
-        """Jain's fairness index over per-flow throughputs (1.0 = perfectly fair)."""
-        rates = [f.throughput_bps for f in self.flows]
+    def jain_fairness(self, flow_ids: Optional[List[int]] = None) -> float:
+        """Jain's fairness index over per-flow throughputs (1.0 = perfectly fair).
+
+        ``flow_ids`` restricts the index to a subset of flows -- multi-flow
+        scenarios measure fairness among the *candidate* flows only, so
+        deliberately unfair cross traffic does not dominate the index.
+        """
+        rates = [
+            f.throughput_bps
+            for f in self.flows
+            if flow_ids is None or f.flow_id in flow_ids
+        ]
         if not rates or all(r == 0 for r in rates):
             return 1.0
         numerator = sum(rates) ** 2
@@ -152,6 +162,7 @@ class NetworkSimulator:
             utilization=link_stats.utilization(self.config.link.rate_bps, duration_us),
             mean_queueing_delay_ms=link_stats.mean_queueing_delay_ms(),
             p95_queueing_delay_ms=link_stats.p95_queueing_delay_ms(),
+            p99_queueing_delay_ms=link_stats.p99_queueing_delay_ms(),
             loss_rate=link_stats.loss_rate(),
             duration_s=self.config.duration_s,
             flows=flow_metrics,

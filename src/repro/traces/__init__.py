@@ -18,15 +18,40 @@ from repro.traces.synthetic import (
     generate_trace,
     zipf_weights,
 )
-from repro.traces.cloudphysics import cloudphysics_corpus, cloudphysics_trace
-from repro.traces.msr import msr_corpus, msr_trace
+from repro.traces.cloudphysics import (
+    cloudphysics_config,
+    cloudphysics_corpus,
+    cloudphysics_trace,
+)
+from repro.traces.msr import msr_config, msr_corpus, msr_trace
+from repro.traces.streaming import (
+    CsvRequestSource,
+    DecodedArraySource,
+    StreamingTrace,
+    TraceStats,
+    open_csv_trace,
+)
+
+#: Deprecated loader entry points (``cloudphysics_trace`` / ``msr_trace`` /
+#: ``*_corpus``): use the workload registry instead --
+#: ``repro.workloads.build_trace("caching/cloudphysics", index=...)`` and
+#: ``repro.workloads.corpus_traces(dataset, ...)``.  The ``*_config``
+#: parameter sources and :func:`generate_trace` are the supported machinery
+#: beneath both.
 
 __all__ = [
     "SyntheticWorkloadConfig",
     "generate_trace",
     "zipf_weights",
+    "cloudphysics_config",
     "cloudphysics_corpus",
     "cloudphysics_trace",
+    "msr_config",
     "msr_corpus",
     "msr_trace",
+    "CsvRequestSource",
+    "DecodedArraySource",
+    "StreamingTrace",
+    "TraceStats",
+    "open_csv_trace",
 ]

@@ -15,6 +15,7 @@ so that the paper's "trace w89" has a concrete counterpart here.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator, List, Optional
 
 import numpy as np
@@ -79,7 +80,21 @@ def cloudphysics_trace(
     num_objects: int = 1500,
     corpus_seed: int = CORPUS_SEED,
 ) -> Trace:
-    """Generate CloudPhysics-like trace ``w<index>`` (1-based, deterministic)."""
+    """Generate CloudPhysics-like trace ``w<index>`` (1-based, deterministic).
+
+    .. deprecated::
+        Loader entry points moved to the workload registry (same one-release
+        policy as ``run_search()``).  Use
+        ``repro.workloads.build_trace("caching/cloudphysics", index=...)``;
+        ``cloudphysics_config`` remains the supported parameter source.
+    """
+    warnings.warn(
+        "cloudphysics_trace() is deprecated; use repro.workloads.build_trace("
+        "'caching/cloudphysics', index=...) -- the workload registry is the "
+        "canonical loader entry point",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return generate_trace(
         cloudphysics_config(index, num_requests, num_objects, corpus_seed)
     )
@@ -91,10 +106,33 @@ def cloudphysics_corpus(
     num_objects: int = 1500,
     corpus_seed: int = CORPUS_SEED,
 ) -> Iterator[Trace]:
-    """Yield the corpus (all 105 traces by default, or the first ``count``)."""
-    total = NUM_TRACES if count is None else min(count, NUM_TRACES)
-    for index in range(1, total + 1):
-        yield cloudphysics_trace(index, num_requests, num_objects, corpus_seed)
+    """Yield the corpus (all 105 traces by default, or the first ``count``).
+
+    .. deprecated::
+        Use ``repro.workloads.corpus_traces("cloudphysics", ...)`` (the same
+        deterministic traces through the workload registry).
+    """
+    warnings.warn(
+        "cloudphysics_corpus() is deprecated; use "
+        "repro.workloads.corpus_traces('cloudphysics', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if corpus_seed != CORPUS_SEED:
+        total = NUM_TRACES if count is None else min(count, NUM_TRACES)
+        for index in range(1, total + 1):
+            yield generate_trace(
+                cloudphysics_config(index, num_requests, num_objects, corpus_seed)
+            )
+        return
+    from repro.workloads.cache import corpus_traces
+
+    yield from corpus_traces(
+        "cloudphysics",
+        count=count,
+        num_requests=num_requests,
+        num_objects=num_objects,
+    )
 
 
 def trace_names(count: Optional[int] = None) -> List[str]:

@@ -11,6 +11,7 @@ kind rather than degree.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -88,7 +89,21 @@ def msr_trace(
     num_objects: int = 2000,
     corpus_seed: int = CORPUS_SEED,
 ) -> Trace:
-    """Generate MSR-like trace ``index`` (1-based, deterministic)."""
+    """Generate MSR-like trace ``index`` (1-based, deterministic).
+
+    .. deprecated::
+        Loader entry points moved to the workload registry (same one-release
+        policy as ``run_search()``).  Use
+        ``repro.workloads.build_trace("caching/msr", index=...)``;
+        ``msr_config`` remains the supported parameter source.
+    """
+    warnings.warn(
+        "msr_trace() is deprecated; use repro.workloads.build_trace("
+        "'caching/msr', index=...) -- the workload registry is the canonical "
+        "loader entry point",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return generate_trace(msr_config(index, num_requests, num_objects, corpus_seed))
 
 
@@ -98,10 +113,29 @@ def msr_corpus(
     num_objects: int = 2000,
     corpus_seed: int = CORPUS_SEED,
 ) -> Iterator[Trace]:
-    """Yield the corpus (all 14 traces by default, or the first ``count``)."""
-    total = NUM_TRACES if count is None else min(count, NUM_TRACES)
-    for index in range(1, total + 1):
-        yield msr_trace(index, num_requests, num_objects, corpus_seed)
+    """Yield the corpus (all 14 traces by default, or the first ``count``).
+
+    .. deprecated::
+        Use ``repro.workloads.corpus_traces("msr", ...)`` (the same
+        deterministic traces through the workload registry).
+    """
+    warnings.warn(
+        "msr_corpus() is deprecated; use repro.workloads.corpus_traces('msr', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if corpus_seed != CORPUS_SEED:
+        total = NUM_TRACES if count is None else min(count, NUM_TRACES)
+        for index in range(1, total + 1):
+            yield generate_trace(
+                msr_config(index, num_requests, num_objects, corpus_seed)
+            )
+        return
+    from repro.workloads.cache import corpus_traces
+
+    yield from corpus_traces(
+        "msr", count=count, num_requests=num_requests, num_objects=num_objects
+    )
 
 
 def trace_names(count: Optional[int] = None) -> List[str]:

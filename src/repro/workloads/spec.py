@@ -1,0 +1,277 @@
+"""WorkloadSpec and the workload registry.
+
+A :class:`WorkloadSpec` is pure data -- name, owning domain, builder kind and
+a parameter dictionary -- that round-trips through JSON, so a scenario matrix
+can live inside a stored ``spec.json`` and rebuild the exact same workloads
+on another machine.  Builders are registered per ``(domain, kind)`` and turn
+a spec into the domain object (a trace for ``"caching"``, a
+:class:`~repro.workloads.netsim.NetSimScenario` for ``"cc"``).
+
+The registry mirrors the search-domain and experiment registries
+(:mod:`repro.core.domain`, :mod:`repro.experiments.registry`): built-in
+workloads are imported lazily on first lookup, and new workloads plug in
+with :func:`register_workload` without touching the engine or the CLI.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+#: A builder turns a (fully-parameterised) spec into the domain object.
+WorkloadBuilder = Callable[["WorkloadSpec"], Any]
+
+#: Parameters every workload accepts but no builder consumes: presentation
+#: and evaluation knobs read by the domain's scenario-evaluator factory.
+META_PARAMS = frozenset({"label"})
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named workload: domain + builder kind + parameters.
+
+    ``params`` holds the builder's keyword arguments (every generator takes
+    an explicit ``seed``); ``label`` is the display/scenario name, defaulting
+    to ``name`` -- grid variants of the same workload (e.g. one trace at
+    several cache sizes) must carry distinct labels.
+    """
+
+    name: str
+    domain: str
+    kind: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+    description: str = ""
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a WorkloadSpec needs a non-empty name")
+        if not self.domain:
+            raise ValueError(f"workload {self.name!r} needs a domain")
+        if not self.kind:
+            raise ValueError(f"workload {self.name!r} needs a builder kind")
+
+    # -- parameters ----------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        domain: str,
+        kind: str,
+        params: Optional[Mapping[str, Any]] = None,
+        description: str = "",
+        label: str = "",
+    ) -> "WorkloadSpec":
+        items = tuple(sorted((params or {}).items()))
+        return cls(
+            name=name,
+            domain=domain,
+            kind=kind,
+            params=items,
+            description=description,
+            label=label,
+        )
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        return self.param_dict.get(key, default)
+
+    @property
+    def display_name(self) -> str:
+        """The scenario name used in scores, events and reports."""
+        return self.label or self.name
+
+    def with_overrides(self, **overrides: Any) -> "WorkloadSpec":
+        """A copy with parameter (and ``label``) overrides layered on.
+
+        Overrides must name existing parameters -- a typo
+        (``num_request=``) fails loudly instead of silently building the
+        default workload.
+        """
+        label = overrides.pop("label", self.label)
+        if not overrides:
+            return WorkloadSpec(
+                name=self.name,
+                domain=self.domain,
+                kind=self.kind,
+                params=self.params,
+                description=self.description,
+                label=label,
+            )
+        known = set(self.param_dict)
+        unknown = set(overrides) - known - META_PARAMS
+        if unknown:
+            raise ValueError(
+                f"workload {self.name!r} has no parameter(s) {sorted(unknown)}; "
+                f"available: {sorted(known)}"
+            )
+        merged = self.param_dict
+        merged.update(overrides)
+        return WorkloadSpec.create(
+            name=self.name,
+            domain=self.domain,
+            kind=self.kind,
+            params=merged,
+            description=self.description,
+            label=label,
+        )
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = {
+            "name": self.name,
+            "domain": self.domain,
+            "kind": self.kind,
+            "params": self.param_dict,
+        }
+        if self.description:
+            data["description"] = self.description
+        if self.label:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        known = {"name", "domain", "kind", "params", "description", "label"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown WorkloadSpec field(s) {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls.create(
+            name=data["name"],
+            domain=data["domain"],
+            kind=data["kind"],
+            params=data.get("params", {}),
+            description=data.get("description", ""),
+            label=data.get("label", ""),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    # -- presentation --------------------------------------------------------------
+
+    def estimated_length(self) -> str:
+        """Human-readable size estimate for ``repro workloads list``."""
+        params = self.param_dict
+        if "num_requests" in params:
+            return f"{params['num_requests']} reqs"
+        if "duration_s" in params:
+            return f"{params['duration_s']} s sim"
+        if "path" in params:
+            return "file-backed"
+        return "-"
+
+
+# -- registry -----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, WorkloadSpec] = {}
+_BUILDERS: Dict[Tuple[str, str], WorkloadBuilder] = {}
+
+#: Modules registering the built-in workloads, imported lazily on first
+#: lookup (mirrors the domain registry's import-order-free pattern).
+_BUILTIN_WORKLOAD_MODULES = (
+    "repro.workloads.cache",
+    "repro.workloads.netsim",
+)
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if not _builtins_loaded:
+        _builtins_loaded = True
+        for module in _BUILTIN_WORKLOAD_MODULES:
+            importlib.import_module(module)
+
+
+def register_workload(spec: WorkloadSpec) -> WorkloadSpec:
+    """Register ``spec`` under its name (last registration wins)."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def register_builder(domain: str, kind: str, builder: WorkloadBuilder) -> WorkloadBuilder:
+    """Register the builder behind every ``(domain, kind)`` workload."""
+    _BUILDERS[(domain, kind)] = builder
+    return builder
+
+
+def get_workload(name: str, **overrides: Any) -> WorkloadSpec:
+    """Look up a registered workload, with optional parameter overrides."""
+    _ensure_builtins()
+    try:
+        spec = _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from exc
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+def available_workloads(domain: Optional[str] = None) -> List[str]:
+    """Names of every registered workload (optionally for one domain)."""
+    _ensure_builtins()
+    return sorted(
+        name
+        for name, spec in _REGISTRY.items()
+        if domain is None or spec.domain == domain
+    )
+
+
+def resolve_workload_ref(
+    ref: Union[str, Mapping[str, Any], WorkloadSpec]
+) -> WorkloadSpec:
+    """Build a spec from a declarative reference.
+
+    A reference is a registry name (``"caching/zipf-hot"``), a dictionary
+    ``{"name": <registry name>, <param overrides>...}``, an inline spec
+    dictionary (with ``domain`` and ``kind`` keys), or an already-built
+    :class:`WorkloadSpec`.
+    """
+    if isinstance(ref, WorkloadSpec):
+        return ref
+    if isinstance(ref, str):
+        return get_workload(ref)
+    if isinstance(ref, Mapping):
+        if "domain" in ref and "kind" in ref:
+            return WorkloadSpec.from_dict(ref)
+        data = dict(ref)
+        try:
+            name = data.pop("name")
+        except KeyError:
+            raise ValueError(
+                "a workload reference dict needs a 'name' key (a registry "
+                "name plus overrides) or 'domain'+'kind' (an inline spec); "
+                f"got keys {sorted(ref)}"
+            ) from None
+        return get_workload(name, **data)
+    raise TypeError(f"cannot resolve a workload from {type(ref).__name__}")
+
+
+def build_workload(
+    ref: Union[str, Mapping[str, Any], WorkloadSpec], **overrides: Any
+) -> Any:
+    """Resolve a workload reference and build its domain object."""
+    _ensure_builtins()
+    spec = resolve_workload_ref(ref)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    try:
+        builder = _BUILDERS[(spec.domain, spec.kind)]
+    except KeyError as exc:
+        known = sorted(f"{d}/{k}" for d, k in _BUILDERS)
+        raise KeyError(
+            f"no builder registered for workload kind "
+            f"{spec.domain}/{spec.kind} (workload {spec.name!r}); "
+            f"registered kinds: {known}"
+        ) from exc
+    return builder(spec)

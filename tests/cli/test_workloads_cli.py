@@ -1,0 +1,92 @@
+"""CLI coverage for `repro workloads list|show` and matrix-run reports."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+MATRIX_SPEC = REPO_ROOT / "examples" / "specs" / "smoke_matrix.json"
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def artifact_dir_from(err: str) -> Path:
+    for line in err.splitlines():
+        if line.startswith("artifacts: "):
+            return Path(line.split("artifacts: ", 1)[1])
+    raise AssertionError(f"no artifacts line in stderr:\n{err}")
+
+
+def test_workloads_list(capsys):
+    code, out, _err = run_cli(capsys, "workloads", "list")
+    assert code == 0
+    for name in (
+        "caching/cloudphysics",
+        "caching/adversarial-loop",
+        "caching/shifting",
+        "cc/single-flow",
+        "cc/bursty-cross",
+        "cc/lossy-link",
+    ):
+        assert name in out
+    assert "est. length" in out
+
+
+def test_workloads_list_domain_filter(capsys):
+    code, out, _err = run_cli(capsys, "workloads", "list", "--domain", "cc")
+    assert code == 0
+    assert "cc/single-flow" in out
+    assert "caching/" not in out
+
+
+def test_workloads_show(capsys):
+    code, out, _err = run_cli(capsys, "workloads", "show", "cc/lossy-link")
+    assert code == 0
+    assert "workload   : cc/lossy-link" in out
+    assert "kind       : netsim" in out
+    assert '"loss_rate" = 0.01' in out or "loss_rate = 0.01" in out
+
+
+def test_workloads_show_unknown_name(capsys):
+    code, _out, err = run_cli(capsys, "workloads", "show", "caching/nope")
+    assert code == 2
+    assert "unknown workload" in err
+
+
+def test_workloads_show_requires_name(capsys):
+    code, _out, err = run_cli(capsys, "workloads", "show")
+    assert code == 2
+    assert "needs a workload name" in err
+
+
+def test_matrix_run_report_byte_identical_with_scenario_table(capsys, tmp_path):
+    code, run_out, run_err = run_cli(
+        capsys, "run", str(MATRIX_SPEC), "--artifacts", str(tmp_path), "--quiet"
+    )
+    assert code == 0
+    assert "Per-scenario scores" in run_out
+    assert "caching/zipf-hot" in run_out
+    assert "caching/adversarial-loop" in run_out
+
+    run_dir = artifact_dir_from(run_err)
+    code, report_out, _ = run_cli(capsys, "report", str(run_dir))
+    assert code == 0
+    assert report_out == run_out
+
+
+def test_workloads_list_subprocess_entry_point():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "workloads", "list", "--domain", "caching"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "caching/zipf-hot" in proc.stdout

@@ -1,10 +1,11 @@
-"""CloudPhysics-like and MSR-like corpus tests."""
+"""CloudPhysics-like and MSR-like corpus tests (via the workload registry)."""
 
 import pytest
 
 from repro.traces import cloudphysics, msr
 from repro.traces.cloudphysics import cloudphysics_config, cloudphysics_corpus, cloudphysics_trace
 from repro.traces.msr import msr_config, msr_corpus, msr_trace
+from repro.workloads import build_trace, corpus_traces
 
 
 def test_corpus_sizes_match_paper():
@@ -14,9 +15,9 @@ def test_corpus_sizes_match_paper():
 
 def test_trace_names_follow_dataset_conventions():
     assert cloudphysics.trace_names(3) == ["w01", "w02", "w03"]
-    assert cloudphysics_trace(89, num_requests=200).name == "w89"
+    assert build_trace("caching/cloudphysics", index=89, num_requests=200).name == "w89"
     assert msr.trace_names(2) == ["msr-proj", "msr-prxy"]
-    assert msr_trace(2, num_requests=200).name == "msr-prxy"
+    assert build_trace("caching/msr", index=2, num_requests=200).name == "msr-prxy"
 
 
 def test_invalid_indices_rejected():
@@ -29,16 +30,16 @@ def test_invalid_indices_rejected():
 
 
 def test_traces_are_deterministic():
-    a = cloudphysics_trace(7, num_requests=500)
-    b = cloudphysics_trace(7, num_requests=500)
+    a = build_trace("caching/cloudphysics", index=7, num_requests=500)
+    b = build_trace("caching/cloudphysics", index=7, num_requests=500)
     assert [(r.timestamp, r.key, r.size) for r in a] == [(r.timestamp, r.key, r.size) for r in b]
-    x = msr_trace(3, num_requests=500)
-    y = msr_trace(3, num_requests=500)
+    x = build_trace("caching/msr", index=3, num_requests=500)
+    y = build_trace("caching/msr", index=3, num_requests=500)
     assert [r.key for r in x] == [r.key for r in y]
 
 
 def test_corpus_traces_differ_from_each_other():
-    traces = list(cloudphysics_corpus(count=5, num_requests=800))
+    traces = list(corpus_traces("cloudphysics", count=5, num_requests=800))
     keys = [tuple(r.key for r in t) for t in traces]
     assert len(set(keys)) == len(keys)
     # Workload parameters should vary across the corpus (diversity!).
@@ -54,7 +55,9 @@ def test_corpus_diversity_of_archetypes():
 
     winners = set()
     for index in (1, 4, 9, 13, 17, 22):
-        trace = cloudphysics_trace(index, num_requests=1500, num_objects=400)
+        trace = build_trace(
+            "caching/cloudphysics", index=index, num_requests=1500, num_objects=400
+        )
         lru = simulate(LRUCache, trace, cache_fraction=0.08)
         lfu = simulate(LFUCache, trace, cache_fraction=0.08)
         winners.add("LRU" if lru.miss_ratio < lfu.miss_ratio else "LFU")
@@ -62,9 +65,25 @@ def test_corpus_diversity_of_archetypes():
 
 
 def test_corpus_count_limits():
-    assert len(list(cloudphysics_corpus(count=3, num_requests=300))) == 3
-    assert len(list(msr_corpus(count=2, num_requests=300))) == 2
-    assert len(list(msr_corpus(count=99, num_requests=300))) == 14
+    assert len(list(corpus_traces("cloudphysics", count=3, num_requests=300))) == 3
+    assert len(list(corpus_traces("msr", count=2, num_requests=300))) == 2
+    assert len(list(corpus_traces("msr", count=99, num_requests=300))) == 14
+
+
+def test_deprecated_loaders_warn_and_still_work():
+    """The one-release deprecation policy: old entry points warn but match."""
+    with pytest.warns(DeprecationWarning, match="workloads"):
+        old = cloudphysics_trace(7, num_requests=300)
+    new = build_trace("caching/cloudphysics", index=7, num_requests=300)
+    assert [(r.timestamp, r.key) for r in old] == [(r.timestamp, r.key) for r in new]
+    with pytest.warns(DeprecationWarning, match="corpus_traces"):
+        old_corpus = list(cloudphysics_corpus(count=2, num_requests=300))
+    new_corpus = list(corpus_traces("cloudphysics", count=2, num_requests=300))
+    assert [t.name for t in old_corpus] == [t.name for t in new_corpus]
+    with pytest.warns(DeprecationWarning, match="workloads"):
+        msr_trace(2, num_requests=300)
+    with pytest.warns(DeprecationWarning, match="corpus_traces"):
+        list(msr_corpus(count=1, num_requests=300))
 
 
 def test_msr_archetypes_cover_all_roles():

@@ -1,0 +1,161 @@
+"""Workload registry: specs, overrides, builders, RNG hygiene."""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.cache.request import Trace
+from repro.workloads import (
+    WorkloadSpec,
+    available_workloads,
+    build_trace,
+    build_workload,
+    get_workload,
+    resolve_workload_ref,
+)
+from repro.workloads.cache import (
+    generate_adversarial_trace,
+    generate_shifting_trace,
+)
+from repro.workloads.netsim import NetSimScenario
+
+
+def test_builtin_workloads_registered_for_both_domains():
+    names = available_workloads()
+    assert "caching/cloudphysics" in names
+    assert "caching/adversarial-loop" in names
+    assert "cc/single-flow" in names
+    assert "cc/lossy-link" in names
+    assert available_workloads(domain="cc") == [n for n in names if n.startswith("cc/")]
+
+
+def test_get_workload_with_overrides_and_unknown_param():
+    spec = get_workload("caching/zipf-hot", num_requests=1000, seed=99)
+    assert spec.param("num_requests") == 1000
+    assert spec.param("seed") == 99
+    # The registered entry is untouched.
+    assert get_workload("caching/zipf-hot").param("num_requests") == 6000
+    with pytest.raises(ValueError, match="no parameter"):
+        get_workload("caching/zipf-hot", num_request=1000)
+    with pytest.raises(KeyError, match="unknown workload"):
+        get_workload("caching/does-not-exist")
+
+
+def test_workload_spec_json_round_trip():
+    spec = get_workload("cc/bursty-cross")
+    clone = WorkloadSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert clone == spec
+    labelled = spec.with_overrides(label="bursty@2s", duration_s=2.0)
+    assert labelled.display_name == "bursty@2s"
+    assert labelled.param("duration_s") == 2.0
+    round_tripped = WorkloadSpec.from_dict(labelled.to_dict())
+    assert round_tripped == labelled
+
+
+def test_resolve_workload_ref_forms():
+    by_name = resolve_workload_ref("caching/scan-storm")
+    by_dict = resolve_workload_ref({"name": "caching/scan-storm", "seed": 5})
+    assert by_dict.param("seed") == 5
+    assert by_dict.name == by_name.name
+    inline = resolve_workload_ref(
+        {
+            "name": "tiny",
+            "domain": "caching",
+            "kind": "synthetic",
+            "params": {"num_requests": 50, "num_objects": 10, "seed": 1},
+        }
+    )
+    trace = build_workload(inline)
+    assert len(trace) == 50
+    with pytest.raises(ValueError, match="'name' key"):
+        resolve_workload_ref({"seed": 1})
+
+
+def test_build_trace_rejects_wrong_domain():
+    with pytest.raises(ValueError, match="not 'caching'"):
+        build_trace("cc/single-flow")
+
+
+def test_every_builtin_workload_builds():
+    for name in available_workloads():
+        if name == "caching/csv":
+            continue  # needs an on-disk file; covered in test_streaming
+        spec = get_workload(name)
+        if spec.domain == "caching":
+            built = build_workload(spec.with_overrides(num_requests=300))
+            assert isinstance(built, Trace)
+            assert len(built) == 300
+        else:
+            built = build_workload(name)
+            assert isinstance(built, NetSimScenario)
+
+
+# -- RNG hygiene --------------------------------------------------------------------
+
+
+def test_generators_take_explicit_seed_and_are_deterministic():
+    a = generate_shifting_trace(num_requests=400, num_objects=100, seed=7)
+    b = generate_shifting_trace(num_requests=400, num_objects=100, seed=7)
+    c = generate_shifting_trace(num_requests=400, num_objects=100, seed=8)
+    assert [(r.key, r.size) for r in a] == [(r.key, r.size) for r in b]
+    assert [r.key for r in a] != [r.key for r in c]
+
+    x = generate_adversarial_trace(num_requests=400, num_objects=100, seed=7)
+    y = generate_adversarial_trace(num_requests=400, num_objects=100, seed=7)
+    z = generate_adversarial_trace(num_requests=400, num_objects=100, seed=8)
+    assert [(r.key, r.size) for r in x] == [(r.key, r.size) for r in y]
+    assert [r.key for r in x] != [r.key for r in z]
+
+
+def test_generators_do_not_touch_module_global_rng_state():
+    """Sweep/pool workers must not perturb (or depend on) global RNGs."""
+    random.seed(1234)
+    np.random.seed(1234)
+    global_state = random.getstate()
+    np_state = np.random.get_state()
+
+    generate_shifting_trace(num_requests=200, num_objects=50, seed=1)
+    generate_adversarial_trace(num_requests=200, num_objects=50, seed=1)
+    build_workload(get_workload("caching/zipf-hot", num_requests=200))
+
+    assert random.getstate() == global_state
+    assert repr(np.random.get_state()) == repr(np_state)
+
+    # And the other direction: reseeding globals does not change outputs.
+    random.seed(1)
+    first = generate_adversarial_trace(num_requests=100, num_objects=30, seed=3)
+    random.seed(999)
+    second = generate_adversarial_trace(num_requests=100, num_objects=30, seed=3)
+    assert [r.key for r in first] == [r.key for r in second]
+
+
+def test_adversarial_loop_defeats_lru():
+    """The loop re-touches objects just after LRU evicts them; LFU-style
+    retention of the hot set must beat LRU here."""
+    from repro.cache.policies.lfu import LFUCache
+    from repro.cache.policies.lru import LRUCache
+    from repro.cache.simulator import simulate
+
+    trace = build_workload(get_workload("caching/adversarial-loop", num_requests=4000))
+    lru = simulate(LRUCache, trace, cache_fraction=0.10)
+    lfu = simulate(LFUCache, trace, cache_fraction=0.10)
+    assert lfu.miss_ratio < lru.miss_ratio
+
+
+def test_shifting_trace_shifts_working_set():
+    trace = generate_shifting_trace(
+        num_requests=2400, num_objects=600, seed=5, phase_length=800, hot_weight=0.9
+    )
+    phases = [
+        {r.key for r in list(trace)[start : start + 800]} for start in (0, 800, 1600)
+    ]
+    # Consecutive phases share little of their hot sets.
+    overlap = len(phases[0] & phases[1]) / max(1, len(phases[0]))
+    assert overlap < 0.6
+
+
+def test_estimated_length_rendering():
+    assert "reqs" in get_workload("caching/zipf-hot").estimated_length()
+    assert "sim" in get_workload("cc/single-flow").estimated_length()
