@@ -15,11 +15,35 @@ paper-scale versions (full 105-trace CloudPhysics corpus, 100 candidates,
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: Machine-readable headline numbers (req/s, candidates/s, hit rates),
+#: collected by whichever benchmarks ran and written to BENCH_engine.json at
+#: the repo root on session exit -- the start of the perf trajectory.
+BENCH_RECORDS_FILE = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+_BENCH_RECORDS: dict = {}
+
+
+@pytest.fixture(scope="session")
+def bench_records() -> dict:
+    """Mutable record sink; benchmarks drop their headline numbers here."""
+    return _BENCH_RECORDS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _BENCH_RECORDS:
+        payload = dict(sorted(_BENCH_RECORDS.items()))
+        payload["bench_full"] = FULL
+        BENCH_RECORDS_FILE.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
 
 
 @pytest.fixture(scope="session")

@@ -49,7 +49,9 @@ SEARCH_VARIANTS = {
 
 
 @pytest.mark.parametrize("variant", sorted(SEARCH_VARIANTS))
-def test_search_candidate_throughput(benchmark, engine_trace, bench_scale, variant):
+def test_search_candidate_throughput(
+    benchmark, engine_trace, bench_scale, bench_records, variant
+):
     """Candidates/second of the full search pipeline, §4.2.1 shape."""
 
     def run():
@@ -74,6 +76,10 @@ def test_search_candidate_throughput(benchmark, engine_trace, bench_scale, varia
     benchmark.extra_info["eval_cache_hit_rate"] = round(
         result.eval_cache_hit_rate(), 3
     )
+    bench_records[f"search_{variant}"] = {
+        "candidates_per_sec": round(result.total_candidates / elapsed, 1),
+        "eval_cache_hit_rate": round(result.eval_cache_hit_rate(), 3),
+    }
     print(
         f"\n[{variant}] {result.total_candidates} candidates in {elapsed:.2f}s "
         f"= {result.total_candidates / elapsed:.1f} cand/s, "
@@ -82,7 +88,7 @@ def test_search_candidate_throughput(benchmark, engine_trace, bench_scale, varia
 
 
 @pytest.mark.parametrize("backend", ["interpreter", "compiled"])
-def test_simulator_request_throughput(benchmark, engine_trace, backend):
+def test_simulator_request_throughput(benchmark, engine_trace, bench_records, backend):
     """Requests/second of the Template cache under each DSL backend."""
     size = cache_size_for(engine_trace)
     program = program_for("Heuristic A")
@@ -95,6 +101,9 @@ def test_simulator_request_throughput(benchmark, engine_trace, backend):
     assert result.requests == len(engine_trace)
     ops = benchmark.stats.stats.mean
     benchmark.extra_info["requests_per_sec"] = round(len(engine_trace) / ops)
+    bench_records[f"simulate_{backend}"] = {
+        "requests_per_sec": round(len(engine_trace) / ops)
+    }
 
 
 def test_parallel_compiled_search_matches_serial_interpreted(engine_trace):

@@ -6,7 +6,9 @@ Commands
 ``run <experiment | spec.json>``
     Run a registered experiment (overriding parameters with ``--set k=v``) or
     a declarative :class:`~repro.core.spec.RunSpec` file, store the run as a
-    versioned artifact directory, and print the report.
+    versioned artifact directory, and print the report.  ``--executor`` /
+    ``--max-workers`` override the spec's engine parallelism without editing
+    the JSON.
 ``sweep <spec.json>``
     Run the spec once per seed (``--seeds`` overrides the spec's list),
     seeds in parallel, and print the sweep table.
@@ -18,6 +20,11 @@ Commands
     The workload registry: every named evaluation scenario (cache traces,
     netsim topologies) a spec's ``domain_kwargs["workloads"]`` matrix can
     reference.
+``store stats|gc|clear``
+    Inspect and maintain the persistent evaluation store (the engine's disk
+    memo tier, default ``<artifact root>/evalstore``); searches warm-start
+    from it across processes.  ``--eval-store PATH`` / ``--no-eval-store``
+    on ``run``/``sweep``/``resume`` redirect or disable it.
 ``report <run dir>``
     Re-render a stored run's report from its artifacts, byte-identical to
     the original ``run`` output, without re-running anything.
@@ -38,7 +45,9 @@ from typing import Any, Dict, List, Optional
 from repro.cli.render import render_search_report, render_sweep_report
 from repro.core import artifacts
 from repro.core.events import ProgressPrinter
-from repro.core.spec import RunSpec, run, run_sweep
+from repro.core.executors import available_executors
+from repro.core.spec import EVAL_STORE_DIRNAME, RunSpec, run, run_sweep
+from repro.core.store import EvaluationStore
 from repro.experiments import registry
 
 DEFAULT_ARTIFACT_ROOT = "runs"
@@ -81,6 +90,35 @@ def _progress_subscribers(args: argparse.Namespace) -> list:
     if getattr(args, "quiet", False):
         return []
     return [ProgressPrinter(sys.stderr, verbose=getattr(args, "verbose", False))]
+
+
+def _eval_store_arg(args: argparse.Namespace):
+    """The ``eval_store`` argument for run()/run_sweep() from the CLI flags."""
+    if getattr(args, "no_eval_store", False):
+        return None
+    explicit = getattr(args, "eval_store", None)
+    return explicit if explicit is not None else "auto"
+
+
+def _engine_overrides(args: argparse.Namespace) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    if getattr(args, "executor", None) is not None:
+        overrides["executor"] = args.executor
+    if getattr(args, "max_workers", None) is not None:
+        if args.max_workers <= 0:
+            raise CliError("--max-workers must be positive")
+        overrides["max_workers"] = args.max_workers
+    return overrides
+
+
+def _apply_engine_overrides(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
+    """Layer ``--executor`` / ``--max-workers`` onto a spec's engine block."""
+    overrides = _engine_overrides(args)
+    if not overrides:
+        return spec
+    data = spec.to_dict()
+    data["engine"] = {**data["engine"], **overrides}
+    return RunSpec.from_dict(data)
 
 
 def _search_report(outcome) -> str:
@@ -133,12 +171,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         if args.seed is not None:
             spec = spec.for_seed(args.seed)
-        outcome = run(spec, store=store, subscribers=_progress_subscribers(args))
+        spec = _apply_engine_overrides(spec, args)
+        outcome = run(
+            spec,
+            store=store,
+            subscribers=_progress_subscribers(args),
+            eval_store=_eval_store_arg(args),
+        )
         print(_search_report(outcome))
         if outcome.artifact_dir is not None:
             _note(f"artifacts: {outcome.artifact_dir}")
         return 0
 
+    if _engine_overrides(args):
+        raise CliError(
+            "--executor/--max-workers apply to RunSpec runs; registered "
+            "experiments manage their own engine configuration"
+        )
+    if getattr(args, "eval_store", None) is not None or getattr(
+        args, "no_eval_store", False
+    ):
+        raise CliError(
+            "--eval-store/--no-eval-store apply to RunSpec runs; registered "
+            "experiments do not use the evaluation store"
+        )
     try:
         experiment = registry.get_experiment(target)
     except KeyError as exc:
@@ -176,6 +232,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.seeds:
         seeds = [int(s) for s in args.seeds]
         spec = RunSpec.from_dict({**spec.to_dict(), "seeds": seeds})
+    spec = _apply_engine_overrides(spec, args)
     # Progress printing only when seeds run one at a time: concurrent seeds
     # would interleave unattributed lines through one shared printer.
     serial = args.parallel == 1 or len(spec.seed_list) == 1
@@ -184,6 +241,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store=_store(args),
         subscribers=_progress_subscribers(args) if serial else (),
         max_parallel=args.parallel,
+        eval_store=_eval_store_arg(args),
     )
     if outcome.artifact_dir is not None:
         print(render_sweep_report(artifacts.load_sweep(outcome.artifact_dir)))
@@ -228,7 +286,12 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         raise CliError(
             f"spec {spec.name!r} was run without checkpointing; nothing to resume"
         )
-    outcome = run(spec, run_dir=run_dir, subscribers=_progress_subscribers(args))
+    outcome = run(
+        spec,
+        run_dir=run_dir,
+        subscribers=_progress_subscribers(args),
+        eval_store=_eval_store_arg(args),
+    )
     print(_search_report(outcome))
     _note(f"artifacts: {outcome.artifact_dir}")
     return 0
@@ -285,6 +348,38 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = EvaluationStore(args.store)
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+            return 0
+        print(f"store         : {stats.root}")
+        print(f"schema version: {stats.schema_version}")
+        print(f"entries       : {stats.entries}")
+        print(f"total bytes   : {stats.total_bytes}")
+        print(f"eval configs  : {stats.eval_configs}")
+        return 0
+    if args.action == "gc":
+        if args.max_bytes is None and args.max_entries is None:
+            raise CliError(
+                "store gc needs a bound: --max-bytes and/or --max-entries"
+            )
+        outcome = store.gc(max_entries=args.max_entries, max_bytes=args.max_bytes)
+        print(
+            f"removed {outcome.removed_entries} entries "
+            f"({outcome.freed_bytes} bytes); "
+            f"{outcome.remaining_entries} entries "
+            f"({outcome.remaining_bytes} bytes) remain"
+        )
+        return 0
+    # clear
+    removed = store.clear()
+    print(f"removed {removed} entries from {store.root}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     path = Path(args.run_dir)
     if artifacts.is_sweep_dir(path):
@@ -337,6 +432,35 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--verbose", action="store_true", help="per-candidate progress lines"
         )
+        add_eval_store(p)
+
+    def add_eval_store(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--eval-store",
+            default=None,
+            metavar="PATH",
+            help="evaluation-store directory (default: <artifacts>/"
+            f"{EVAL_STORE_DIRNAME}; searches warm-start from it)",
+        )
+        p.add_argument(
+            "--no-eval-store",
+            action="store_true",
+            help="disable the persistent evaluation store for this run",
+        )
+
+    def add_engine_overrides(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--executor",
+            default=None,
+            choices=available_executors(),
+            help="override the spec's engine executor backend",
+        )
+        p.add_argument(
+            "--max-workers",
+            type=int,
+            default=None,
+            help="override the spec's engine worker count",
+        )
 
     p_run = sub.add_parser("run", help="run an experiment by name or a RunSpec file")
     p_run.add_argument("target", help="registered experiment name or path to spec.json")
@@ -348,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("--seed", type=int, default=None, help="override the spec seed")
     add_common(p_run)
+    add_engine_overrides(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="run a RunSpec once per seed, in parallel")
@@ -359,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", type=int, default=None, help="max concurrent seeds"
     )
     add_common(p_sweep)
+    add_engine_overrides(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_resume = sub.add_parser(
@@ -369,7 +495,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_resume.add_argument(
         "--verbose", action="store_true", help="per-candidate progress lines"
     )
+    add_eval_store(p_resume)
     p_resume.set_defaults(func=_cmd_resume)
+
+    p_store = sub.add_parser(
+        "store", help="inspect/maintain the persistent evaluation store"
+    )
+    p_store.add_argument("action", choices=["stats", "gc", "clear"])
+    p_store.add_argument(
+        "--store",
+        default=os.path.join(DEFAULT_ARTIFACT_ROOT, EVAL_STORE_DIRNAME),
+        help="store directory (default: "
+        f"./{os.path.join(DEFAULT_ARTIFACT_ROOT, EVAL_STORE_DIRNAME)})",
+    )
+    p_store.add_argument(
+        "--max-bytes", type=int, default=None, help="gc: byte budget to shrink to"
+    )
+    p_store.add_argument(
+        "--max-entries", type=int, default=None, help="gc: entry budget to shrink to"
+    )
+    p_store.add_argument(
+        "--json", action="store_true", help="stats: machine-readable output"
+    )
+    p_store.set_defaults(func=_cmd_store)
 
     p_exp = sub.add_parser("experiments", help="inspect the experiment registry")
     p_exp.add_argument("action", choices=["list"])

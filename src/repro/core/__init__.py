@@ -30,6 +30,20 @@ from repro.core.generator import Generator, LLMGenerator
 from repro.core.results import Candidate, ScoredCandidate, RoundSummary, SearchResult
 from repro.core.search import EvolutionarySearch, SearchConfig
 from repro.core.engine import BatchStats, EngineConfig, EvaluationEngine
+from repro.core.executors import (
+    EvalUnit,
+    Executor,
+    available_executors,
+    create_executor,
+    register_executor,
+)
+from repro.core.store import (
+    STORE_SCHEMA_VERSION,
+    BoundEvalStore,
+    EvaluationStore,
+    GcOutcome,
+    StoreStats,
+)
 from repro.core.domain import (
     SearchDomain,
     SearchSetup,
@@ -37,7 +51,6 @@ from repro.core.domain import (
     build_search,
     get_domain,
     register_domain,
-    run_search,
 )
 from repro.core.archive import HeuristicArchive, ArchiveEntry, SearchCheckpoint
 from repro.core.cost import CostModel, GPT_4O_MINI_PRICING, SearchCostReport
@@ -93,13 +106,22 @@ __all__ = [
     "BatchStats",
     "EngineConfig",
     "EvaluationEngine",
+    "EvalUnit",
+    "Executor",
+    "available_executors",
+    "create_executor",
+    "register_executor",
+    "STORE_SCHEMA_VERSION",
+    "BoundEvalStore",
+    "EvaluationStore",
+    "GcOutcome",
+    "StoreStats",
     "SearchDomain",
     "SearchSetup",
     "available_domains",
     "build_search",
     "get_domain",
     "register_domain",
-    "run_search",
     "HeuristicArchive",
     "ArchiveEntry",
     "SearchCheckpoint",

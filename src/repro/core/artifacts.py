@@ -61,14 +61,22 @@ def _write_json(path: Path, data: Any) -> None:
 # -- SearchResult <-> dict ----------------------------------------------------------
 
 
+def _strip_volatile_round(data: dict) -> dict:
+    """Zero a round dictionary's store counters (volatile: they depend on
+    what the attached evaluation store happened to contain, not the spec)."""
+    return dict(data, store_lookups=0, store_hits=0)
+
+
 def search_result_to_dict(result: SearchResult, include_timing: bool = False) -> dict:
     """JSON form of a whole :class:`SearchResult`.
 
     With ``include_timing=False`` (the artifact-store default) per-candidate
-    and total wall-clock fields are zeroed, so the dictionary -- and therefore
-    ``result.json`` -- is a pure function of the spec: rerunning an identical
-    spec yields byte-identical output.  Timing goes to ``metadata.json``,
-    which is allowed to differ between reruns.
+    and total wall-clock fields are zeroed -- and so are the evaluation-store
+    hit counters, which depend on the store's state rather than the spec --
+    so the dictionary -- and therefore ``result.json`` -- is a pure function
+    of the spec: rerunning an identical spec yields byte-identical output,
+    with the store cold, warm or disabled.  Timing and live store statistics
+    go to ``metadata.json``, which is allowed to differ between reruns.
     """
     candidates = []
     for scored in result.candidates:
@@ -76,12 +84,15 @@ def search_result_to_dict(result: SearchResult, include_timing: bool = False) ->
         if not include_timing and data["evaluation"] is not None:
             data["evaluation"] = dict(data["evaluation"], wall_time_s=0.0)
         candidates.append(data)
+    rounds = [round_summary_to_dict(r) for r in result.rounds]
+    if not include_timing:
+        rounds = [_strip_volatile_round(r) for r in rounds]
     return {
         "best_candidate_id": (
             result.best.candidate.candidate_id if result.best is not None else None
         ),
         "candidates": candidates,
-        "rounds": [round_summary_to_dict(r) for r in result.rounds],
+        "rounds": rounds,
         "context_name": result.context_name,
         "template_name": result.template_name,
         "total_candidates": result.total_candidates,
@@ -91,6 +102,8 @@ def search_result_to_dict(result: SearchResult, include_timing: bool = False) ->
         "estimated_cost_usd": result.estimated_cost_usd,
         "eval_cache_lookups": result.eval_cache_lookups,
         "eval_cache_hits": result.eval_cache_hits,
+        "store_lookups": result.store_lookups if include_timing else 0,
+        "store_hits": result.store_hits if include_timing else 0,
     }
 
 
@@ -122,6 +135,8 @@ def search_result_from_dict(data: dict) -> SearchResult:
         estimated_cost_usd=float(data.get("estimated_cost_usd", 0.0)),
         eval_cache_lookups=int(data.get("eval_cache_lookups", 0)),
         eval_cache_hits=int(data.get("eval_cache_hits", 0)),
+        store_lookups=int(data.get("store_lookups", 0)),
+        store_hits=int(data.get("store_hits", 0)),
     )
 
 
@@ -231,28 +246,36 @@ def finalize_run_dir(
     *,
     config_hash: str,
     seed: int,
+    eval_store: Optional[Dict[str, Any]] = None,
 ) -> Path:
-    """Write result.json / rounds.jsonl / metadata.json for a finished search."""
+    """Write result.json / rounds.jsonl / metadata.json for a finished search.
+
+    ``eval_store`` (optional) is the run's live evaluation-store record --
+    path, eval-config hash, lookup/hit/write counters -- stored in
+    ``metadata.json`` only: like wall time, it describes *this* execution,
+    not the spec.
+    """
     path = Path(path)
     _write_json(path / RESULT_FILE, search_result_to_dict(result))
     rounds_lines = [
-        json.dumps(round_summary_to_dict(r), sort_keys=True) for r in result.rounds
+        json.dumps(_strip_volatile_round(round_summary_to_dict(r)), sort_keys=True)
+        for r in result.rounds
     ]
     (path / ROUNDS_FILE).write_text(
         "".join(line + "\n" for line in rounds_lines), encoding="utf-8"
     )
-    _write_json(
-        path / METADATA_FILE,
-        {
-            "artifact_version": ARTIFACT_VERSION,
-            "kind": "search",
-            "config_hash": config_hash,
-            "seed": seed,
-            "seeds": [seed],
-            "repro_version": _REPRO_VERSION,
-            "wall_time_s": result.wall_time_s,
-        },
-    )
+    metadata = {
+        "artifact_version": ARTIFACT_VERSION,
+        "kind": "search",
+        "config_hash": config_hash,
+        "seed": seed,
+        "seeds": [seed],
+        "repro_version": _REPRO_VERSION,
+        "wall_time_s": result.wall_time_s,
+    }
+    if eval_store is not None:
+        metadata["eval_store"] = eval_store
+    _write_json(path / METADATA_FILE, metadata)
     return path
 
 

@@ -19,7 +19,6 @@ client, experiments at the evaluator).
 from __future__ import annotations
 
 import importlib
-import warnings
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -328,23 +327,13 @@ def build_search(
     )
 
 
-def run_search(domain_name: str, **kwargs: Any):
-    """Build and run a search in one call; returns its :class:`SearchResult`.
-
-    .. deprecated::
-        ``run_search`` drops the assembled :class:`SearchSetup`, so callers
-        cannot reach checkpoint/engine statistics after the run.  Use
-        :func:`repro.core.spec.run` with a :class:`~repro.core.spec.RunSpec`
-        instead -- its :class:`~repro.core.spec.RunOutcome` carries the
-        result, the full setup *and* the artifact path.  The return shape
-        here is unchanged so existing callers keep working while they see
-        the warning.
-    """
-    warnings.warn(
-        "run_search() is deprecated; use repro.core.spec.run(RunSpec(...)), "
-        "whose RunOutcome carries the result, the SearchSetup and the run's "
-        "artifact directory",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return build_search(domain_name, **kwargs).search.run()
+def __getattr__(name: str):
+    if name == "run_search":
+        # Removed after its one-release deprecation window (PR 2 deprecated,
+        # PR 4 deleted); a helpful error beats an AttributeError.
+        raise AttributeError(
+            "run_search() was removed; use repro.core.spec.run(RunSpec(...)), "
+            "whose RunOutcome carries the result, the SearchSetup and the "
+            "run's artifact directory"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,4 +1,4 @@
-"""Batched candidate-evaluation engine (dedup, memoization, parallel fan-out).
+"""Batched candidate-evaluation engine (dedup, memo tiers, pluggable fan-out).
 
 The evolutionary search used to validate and evaluate candidates one at a
 time, straight through the tree-walking interpreter.  This module is the
@@ -12,52 +12,49 @@ shared execution substrate that replaces that loop for every domain:
   *canonical* source (the parsed program re-rendered by ``to_source``), so
   syntactic duplicates -- which LLMs re-emit constantly -- collapse to one
   evaluation per batch.
-* **Memoization** -- evaluation results are cached across batches/rounds in
-  the same canonical-key table, so a candidate regenerated in round 7 reuses
-  its round-2 score.  Hit counters feed the per-round
-  :class:`~repro.core.results.RoundSummary` statistics.
-* **Parallel evaluation** -- unique programs fan out over a
-  ``concurrent.futures`` thread or process pool with an optional
-  per-candidate timeout.  Failures inside a worker (including a broken
-  process pool) degrade to an in-process serial evaluation, so one bad
-  candidate cannot take down the search.
+* **Memo tiers** -- evaluation is served from the cheapest tier that has the
+  answer: the in-memory memo (cross-round, same process), then -- when a
+  :class:`~repro.core.store.BoundEvalStore` is attached -- the persistent
+  content-addressed disk store (cross-*process*: sweep seeds, ``repro
+  resume`` and repeated runs warm-start from it), and only then a fresh
+  evaluation, whose result back-fills both tiers.
+* **Pluggable fan-out** -- unique units of work run on a registered
+  :class:`~repro.core.executors.Executor` backend (``serial`` / ``thread`` /
+  ``process`` / ``async``), selected by :class:`EngineConfig`, with optional
+  per-unit timeouts and crash isolation.
 * **Scenario sharding** -- when the evaluator is a
-  :class:`~repro.core.scenarios.MultiScenarioEvaluator`, the unit of parallel
-  work becomes one (candidate, scenario) pair: every scenario of every unique
-  candidate is its own pool task (with its own timeout and crash isolation),
-  and per-candidate results are recombined with the same ``combine`` the
-  serial path uses.
+  :class:`~repro.core.scenarios.MultiScenarioEvaluator` and a parallel
+  backend is configured, the unit of work becomes one (candidate, scenario)
+  pair: every scenario of every unique candidate is its own executor task
+  (with its own timeout and crash isolation), and per-candidate results are
+  recombined with the same ``combine`` the serial path uses.
 
-Each candidate that receives an evaluation result (fresh or cached) is
-announced as a :class:`~repro.core.events.CandidateEvaluated` event on the
-engine's :class:`~repro.core.events.EventBus`, after the batch's results are
-assigned and in submission order.
+Each candidate that receives an evaluation result is announced as a
+:class:`~repro.core.events.CandidateEvaluated` event on the engine's
+:class:`~repro.core.events.EventBus`, after the batch's results are assigned
+and in submission order; the event's ``cache_tier`` records where the result
+came from (``"memory"`` / ``"disk"`` / ``"fresh"``).
 
 Evaluation is assumed deterministic and side-effect free per candidate
 (true for both shipped domains), which is what makes reordering, dedup and
-memoization result-preserving: a fixed seed yields the same search outcome
-with any engine configuration.
+the memo tiers result-preserving: a fixed seed yields the same search
+outcome with any engine configuration and any store state.
 """
 
 from __future__ import annotations
 
 import hashlib
-from concurrent.futures import (
-    BrokenExecutor,
-    Future,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    TimeoutError as FutureTimeoutError,
-)
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.checker import Checker
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.core.events import CandidateEvaluated, EventBus
+from repro.core.executors import EvalUnit, available_executors, create_executor
 from repro.core.generator import Generator
 from repro.core.results import Candidate, ScoredCandidate
 from repro.core.scenarios import MultiScenarioEvaluator
+from repro.core.store import BoundEvalStore
 from repro.dsl.ast import Program
 from repro.dsl.codegen import to_source
 
@@ -67,18 +64,20 @@ class EngineConfig:
     """Execution knobs of the evaluation engine.
 
     ``max_workers=1`` (the default) keeps evaluation serial and in-process;
-    anything larger fans unique candidates out over ``executor`` workers.
+    anything larger fans unique candidates out over the ``executor`` backend
+    (any name in :func:`~repro.core.executors.available_executors`).
     ``eval_timeout_s`` bounds how long the engine waits for one candidate's
     evaluation; a timed-out candidate gets a failure result and its worker is
     abandoned (threads cannot be killed; the DSL step budget still bounds the
     stray work).  Timeouts and crash isolation require a worker pool: with
     ``max_workers=1`` or ``executor="serial"`` evaluation runs in-process and
     ``eval_timeout_s`` has no effect.  ``dedup`` collapses canonical duplicates within a batch;
-    ``memoize`` reuses evaluation results across batches.
+    ``memoize`` reuses evaluation results across batches (and gates the disk
+    store tier, which is a persistent memo).
     """
 
     max_workers: int = 1
-    executor: str = "thread"  # "thread" | "process" | "serial"
+    executor: str = "thread"  # any registered backend; see core/executors.py
     eval_timeout_s: Optional[float] = None
     dedup: bool = True
     memoize: bool = True
@@ -86,15 +85,25 @@ class EngineConfig:
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
             raise ValueError("max_workers must be positive")
-        if self.executor not in ("thread", "process", "serial"):
-            raise ValueError(f"unknown executor {self.executor!r}")
+        if self.executor not in available_executors():
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"available: {available_executors()}"
+            )
         if self.eval_timeout_s is not None and self.eval_timeout_s <= 0:
             raise ValueError("eval_timeout_s must be positive")
 
 
 @dataclass
 class BatchStats:
-    """What happened while processing one batch of candidates."""
+    """What happened while processing one batch of candidates.
+
+    ``store_lookups`` counts unique programs that missed the in-memory tier
+    while a disk store was attached; ``store_hits`` how many of those were
+    served from disk instead of a fresh evaluation.  ``unique_evaluations``
+    counts memory-tier misses whether they were then satisfied from disk or
+    evaluated fresh, so it is independent of the store's state.
+    """
 
     checked: int = 0
     passed_check: int = 0
@@ -104,6 +113,8 @@ class BatchStats:
     eval_cache_hits: int = 0
     unique_evaluations: int = 0
     eval_timeouts: int = 0
+    store_lookups: int = 0
+    store_hits: int = 0
 
 
 @dataclass
@@ -112,27 +123,6 @@ class BatchResult:
 
     scored: List[ScoredCandidate]
     stats: BatchStats
-
-
-# -- process-pool plumbing ----------------------------------------------------------
-
-_WORKER_EVALUATOR: Optional[Evaluator] = None
-
-
-def _init_worker(evaluator: Evaluator) -> None:
-    global _WORKER_EVALUATOR
-    _WORKER_EVALUATOR = evaluator
-
-
-def _evaluate_in_worker(program: Program) -> EvaluationResult:
-    assert _WORKER_EVALUATOR is not None, "worker pool not initialised"
-    return _WORKER_EVALUATOR.evaluate(program)
-
-
-def _evaluate_scenario_in_worker(program: Program, index: int) -> EvaluationResult:
-    assert _WORKER_EVALUATOR is not None, "worker pool not initialised"
-    assert isinstance(_WORKER_EVALUATOR, MultiScenarioEvaluator)
-    return _WORKER_EVALUATOR.evaluate_scenario(program, index)
 
 
 def canonical_key(program: Program) -> str:
@@ -151,6 +141,7 @@ class EvaluationEngine:
         repair_attempts: int = 1,
         config: Optional[EngineConfig] = None,
         events: Optional[EventBus] = None,
+        store: Optional[BoundEvalStore] = None,
     ):
         self.checker = checker
         self.evaluator = evaluator
@@ -158,12 +149,16 @@ class EvaluationEngine:
         self.repair_attempts = repair_attempts
         self.config = config or EngineConfig()
         self.events = events if events is not None else EventBus()
+        self.store = store
         self._memo: Dict[str, EvaluationResult] = {}
-        self._pool = None  # lazily-created executor, reused across batches
+        self._executor = None  # lazily-created backend, reused across batches
         # Cumulative counters across the engine's lifetime.
         self.cache_lookups = 0
         self.cache_hits = 0
         self.unique_evaluations = 0
+        self.store_lookups = 0
+        self.store_hits = 0
+        self.store_writes = 0
 
     # -- memo management ----------------------------------------------------------
 
@@ -174,6 +169,10 @@ class EvaluationEngine:
     def restore_memo(self, memo: Dict[str, EvaluationResult]) -> None:
         """Preload memoized evaluations (used when resuming a search)."""
         self._memo.update(memo)
+
+    def attach_store(self, store: Optional[BoundEvalStore]) -> None:
+        """Attach (or detach, with ``None``) the persistent disk memo tier."""
+        self.store = store
 
     # -- check/repair phase -------------------------------------------------------
 
@@ -219,15 +218,21 @@ class EvaluationEngine:
                         stats.failure_codes.get(issue.code, 0) + 1
                     )
 
-        # Group evaluable candidates by canonical key; memo hits resolve
-        # immediately, the rest evaluate once per unique key.
+        # Group evaluable candidates by canonical key; memory-tier hits
+        # resolve immediately, disk-tier hits next, the rest evaluate once
+        # per unique key.  The disk tier only engages under the default
+        # dedup+memoize configuration: with either disabled the engine is
+        # deliberately re-evaluating copies (ablation mode), and a persistent
+        # memo would defeat that.
+        use_store = self.store is not None and self.config.dedup and self.config.memoize
         pending: Dict[str, List[ScoredCandidate]] = {}
         order: List[Tuple[str, Program]] = []
-        fresh_ids: set = set()
+        tiers: Dict[str, str] = {}  # candidate_id -> "memory" | "disk" | "fresh"
         fallback_id = 0
         for item in scored:
             if not item.check_ok or item.program is None:
                 continue
+            candidate_id = item.candidate.candidate_id
             stats.eval_cache_lookups += 1
             if self.config.dedup or self.config.memoize:
                 key = canonical_key(item.program)
@@ -237,39 +242,63 @@ class EvaluationEngine:
             if self.config.memoize and key in self._memo:
                 item.evaluation = self._memo[key]
                 stats.eval_cache_hits += 1
+                tiers[candidate_id] = "memory"
                 continue
             group = pending.get(key)
-            if group is None or not self.config.dedup:
-                if group is None:
-                    pending[key] = [item]
-                else:  # dedup disabled but memoize on: evaluate each copy
-                    fallback_id += 1
-                    key = f"{key}#copy-{fallback_id}"
-                    pending[key] = [item]
-                order.append((key, item.program))
-                fresh_ids.add(item.candidate.candidate_id)
-            else:
+            if group is not None and self.config.dedup:
                 group.append(item)
                 stats.eval_cache_hits += 1
+                tiers[candidate_id] = "memory"
+                continue
+            if use_store and not key.startswith("#"):
+                # This key is about to cost a fresh evaluation: try the disk
+                # tier first.  ``store_lookups``/``unique_evaluations`` count
+                # the memory-tier miss either way, so the eval-cache
+                # statistics are identical whatever the store contains.
+                stats.store_lookups += 1
+                stats.unique_evaluations += 1
+                stored = self.store.get(key)
+                if stored is not None:
+                    self._memo[key] = stored
+                    item.evaluation = stored
+                    stats.store_hits += 1
+                    tiers[candidate_id] = "disk"
+                    continue
+            if group is None:
+                pending[key] = [item]
+            else:  # dedup disabled but memoize on: evaluate each copy
+                fallback_id += 1
+                key = f"{key}#copy-{fallback_id}"
+                pending[key] = [item]
+            order.append((key, item.program))
+            tiers[candidate_id] = "fresh"
 
         results = self._evaluate_many([program for _key, program in order], stats)
         for (key, _program), result in zip(order, results):
             # Transient failures (timeouts, dead workers) are not the
-            # candidate's fault; never memoize them.
+            # candidate's fault; never memoize or persist them.
             if self.config.memoize and not key.startswith("#") and not result.transient:
-                self._memo[key.split("#copy-")[0]] = result
+                base_key = key.split("#copy-")[0]
+                self._memo[base_key] = result
+                if use_store and self.store.put(base_key, result):
+                    self.store_writes += 1
             for item in pending[key]:
                 item.evaluation = result
-        stats.unique_evaluations = len(order)
+        if not use_store:
+            # Without a disk tier every memory miss evaluates fresh.
+            stats.unique_evaluations = len(order)
 
         self.cache_lookups += stats.eval_cache_lookups
         self.cache_hits += stats.eval_cache_hits
         self.unique_evaluations += stats.unique_evaluations
+        self.store_lookups += stats.store_lookups
+        self.store_hits += stats.store_hits
 
         if self.events:
             for item in scored:
                 if item.evaluation is None:
                     continue
+                tier = tiers.get(item.candidate.candidate_id, "fresh")
                 self.events.emit(
                     CandidateEvaluated(
                         candidate_id=item.candidate.candidate_id,
@@ -277,7 +306,8 @@ class EvaluationEngine:
                         origin=item.candidate.origin,
                         valid=item.valid,
                         score=item.evaluation.score,
-                        cached=item.candidate.candidate_id not in fresh_ids,
+                        cached=tier != "fresh",
+                        cache_tier=tier,
                         scenario_scores=dict(item.evaluation.scenario_scores),
                     )
                 )
@@ -286,156 +316,73 @@ class EvaluationEngine:
     # -- executors ----------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool (recreated lazily on next use)."""
-        self._discard_pool(wait=True)
+        """Shut down the executor backend (recreated lazily on next use)."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
-    def _ensure_pool(self):
-        if self._pool is None:
-            cfg = self.config
-            if cfg.executor == "thread":
-                self._pool = ThreadPoolExecutor(max_workers=cfg.max_workers)
-            else:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=cfg.max_workers,
-                    initializer=_init_worker,
-                    initargs=(self.evaluator,),
-                )
-        return self._pool
+    def _backend_name(self) -> str:
+        # A single worker cannot fan out: run serially whatever the backend,
+        # which also keeps the legacy max_workers=1 behaviour (no timeout,
+        # no pool startup cost).
+        if self.config.max_workers <= 1:
+            return "serial"
+        return self.config.executor
 
-    def _discard_pool(self, wait: bool) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=wait, cancel_futures=True)
-            self._pool = None
+    def _ensure_executor(self, backend: str):
+        if self._executor is not None and self._executor.name != backend:
+            self._executor.close()
+            self._executor = None
+        if self._executor is None:
+            self._executor = create_executor(backend, self.config, self.evaluator)
+        return self._executor
 
     def _evaluate_many(
         self, programs: List[Program], stats: BatchStats
     ) -> List[EvaluationResult]:
         if not programs:
             return []
-        cfg = self.config
-        # Note: single-program batches still go through the pool when one is
-        # configured -- the serial shortcut would silently drop the timeout
-        # and crash isolation.
-        serial = cfg.executor == "serial" or cfg.max_workers <= 1
-        if serial:
-            return [self.evaluator.evaluate(program) for program in programs]
-        if isinstance(self.evaluator, MultiScenarioEvaluator):
-            return self._evaluate_many_sharded(programs, self.evaluator, stats)
-        pool = self._ensure_pool()
-        if cfg.executor == "thread":
-            futures = [pool.submit(self.evaluator.evaluate, p) for p in programs]
-        else:
-            futures = [pool.submit(_evaluate_in_worker, p) for p in programs]
-        results: List[EvaluationResult] = []
-        abandon = False
-        for program, future in zip(programs, futures):
-            # Once the pool is known-bad, rescue queued candidates in-process
-            # instead of charging each a full timeout it never got to use.
-            if abandon and future.cancel():
-                results.append(self.evaluator.evaluate(program))
-                continue
-            result, healthy = self._collect(
-                future,
-                stats,
-                retry=lambda p=program: self.evaluator.evaluate(p),
-                failure_score=self.evaluator.failure_score,
-            )
-            results.append(result)
-            abandon = abandon or not healthy
-        if abandon:
-            # A timed-out or dead worker cannot be reclaimed; abandon the
-            # pool rather than blocking the search (the DSL step budget
-            # bounds any stray work) and let the next batch start fresh.
-            self._discard_pool(wait=False)
-        return results
+        backend = self._backend_name()
+        executor = self._ensure_executor(backend)
+        # Note: single-program batches still go through the configured
+        # backend -- a serial shortcut would silently drop the timeout and
+        # crash isolation.
+        if backend != "serial" and isinstance(self.evaluator, MultiScenarioEvaluator):
+            return self._evaluate_many_sharded(programs, self.evaluator, executor, stats)
+        units = [
+            EvalUnit(program=program, failure_score=self.evaluator.failure_score)
+            for program in programs
+        ]
+        return executor.run_units(units, stats)
 
     def _evaluate_many_sharded(
         self,
         programs: List[Program],
         evaluator: MultiScenarioEvaluator,
+        executor,
         stats: BatchStats,
     ) -> List[EvaluationResult]:
-        """Fan candidate x scenario tasks over the pool, then combine per candidate.
+        """Fan candidate x scenario units over the executor, then recombine.
 
-        Sharding at scenario granularity keeps the pool busy even for small
-        batches (one slow scenario no longer serialises the others) and makes
-        the per-candidate timeout a per-*scenario* timeout, preserving crash
-        isolation at the finer grain.  ``combine`` is the same aggregation the
-        serial path uses, so results are configuration-independent.
+        Sharding at scenario granularity keeps the backend busy even for
+        small batches (one slow scenario no longer serialises the others) and
+        makes the per-candidate timeout a per-*scenario* timeout, preserving
+        crash isolation at the finer grain.  ``combine`` is the same
+        aggregation the serial path uses, so results are
+        configuration-independent.
         """
-        cfg = self.config
-        pool = self._ensure_pool()
-        tasks = [
-            (program_index, scenario_index)
+        units = [
+            EvalUnit(
+                program=programs[program_index],
+                scenario=scenario_index,
+                failure_score=evaluator.scenario_failure_score(scenario_index),
+            )
             for program_index in range(len(programs))
             for scenario_index in range(evaluator.scenario_count)
         ]
-        if cfg.executor == "thread":
-            futures = [
-                pool.submit(evaluator.evaluate_scenario, programs[pi], si)
-                for pi, si in tasks
-            ]
-        else:
-            futures = [
-                pool.submit(_evaluate_scenario_in_worker, programs[pi], si)
-                for pi, si in tasks
-            ]
-        per_program: List[List[Optional[EvaluationResult]]] = [
-            [None] * evaluator.scenario_count for _ in programs
+        flat = executor.run_units(units, stats)
+        count = evaluator.scenario_count
+        return [
+            evaluator.combine(flat[start : start + count])
+            for start in range(0, len(flat), count)
         ]
-        abandon = False
-        for (pi, si), future in zip(tasks, futures):
-            if abandon and future.cancel():
-                per_program[pi][si] = evaluator.evaluate_scenario(programs[pi], si)
-                continue
-            result, healthy = self._collect(
-                future,
-                stats,
-                retry=lambda p=programs[pi], s=si: evaluator.evaluate_scenario(p, s),
-                failure_score=evaluator.scenario_failure_score(si),
-            )
-            per_program[pi][si] = result
-            abandon = abandon or not healthy
-        if abandon:
-            self._discard_pool(wait=False)
-        return [evaluator.combine(results) for results in per_program]
-
-    def _collect(
-        self, future: Future, stats: BatchStats, *, retry, failure_score: float
-    ) -> tuple:
-        """Collect one future; returns ``(result, pool_still_healthy)``.
-
-        ``retry`` re-runs the unit of work in-process when the pool died
-        beneath it; ``failure_score`` scores a timed-out unit (the wrapped
-        evaluator's -- or, under scenario sharding, that scenario's -- failure
-        score).
-        """
-        cfg = self.config
-        try:
-            return future.result(timeout=cfg.eval_timeout_s), True
-        except FutureTimeoutError:
-            future.cancel()
-            stats.eval_timeouts += 1
-            return (
-                EvaluationResult.failure(
-                    f"evaluation timed out after {cfg.eval_timeout_s}s",
-                    failure_score,
-                    transient=True,
-                ),
-                False,
-            )
-        except BrokenExecutor:
-            # Crash isolation: a worker died (e.g. a hard crash in a process
-            # pool).  Re-evaluate this unit in-process, where
-            # Evaluator.evaluate converts ordinary failures into invalid
-            # results.
-            return retry(), False
-        except Exception as exc:  # noqa: BLE001 - worker boundary
-            return (
-                EvaluationResult.failure(
-                    f"evaluation failed in worker: {type(exc).__name__}: {exc}",
-                    failure_score,
-                    transient=True,
-                ),
-                True,
-            )

@@ -82,9 +82,12 @@ class CandidateEvaluated(RunEvent):
     origin: str = "generated"
     valid: bool = False
     score: float = float("-inf")
-    #: True when the result came from the engine's dedup/memoization cache
-    #: instead of a fresh simulation.
+    #: True when the result came from a cache tier (memory or disk) instead
+    #: of a fresh simulation.
     cached: bool = False
+    #: Which tier served the result: ``"memory"`` (dedup/memo), ``"disk"``
+    #: (the persistent evaluation store) or ``"fresh"`` (evaluated now).
+    cache_tier: str = "fresh"
     #: Per-scenario score breakdown (empty for single-scenario evaluation).
     scenario_scores: Dict[str, float] = field(default_factory=dict)
 
@@ -102,6 +105,9 @@ class RoundCompleted(RunEvent):
     best_overall_score: float = float("-inf")
     eval_cache_lookups: int = 0
     eval_cache_hits: int = 0
+    #: Persistent-store traffic this round (0/0 when no store is attached).
+    store_lookups: int = 0
+    store_hits: int = 0
     #: Best per-scenario score among this round's valid candidates (empty
     #: for single-scenario runs).
     scenario_best: Dict[str, float] = field(default_factory=dict)
@@ -215,17 +221,21 @@ class ProgressPrinter:
             )
         elif isinstance(event, CandidateEvaluated):
             if self.verbose:
-                flag = "cached" if event.cached else "fresh"
                 self._line(
                     f"  {event.candidate_id}: score {event.score:.4f} "
-                    f"({'valid' if event.valid else 'invalid'}, {flag})"
+                    f"({'valid' if event.valid else 'invalid'}, {event.cache_tier})"
                 )
         elif isinstance(event, RoundCompleted):
+            disk = (
+                f", disk {event.store_hits}/{event.store_lookups}"
+                if event.store_lookups
+                else ""
+            )
             self._line(
                 f"round {event.round_index}/{self._total_rounds}: "
                 f"evaluated {event.evaluated}/{event.generated}, "
                 f"best {event.best_score:.4f}, best so far {event.best_overall_score:.4f} "
-                f"(cache {event.eval_cache_hits}/{event.eval_cache_lookups})"
+                f"(cache {event.eval_cache_hits}/{event.eval_cache_lookups}{disk})"
             )
         elif isinstance(event, CheckpointWritten):
             self._line(

@@ -57,10 +57,15 @@ class RoundSummary:
     ``eval_cache_lookups`` counts candidates that reached the evaluation
     stage; ``eval_cache_hits`` how many of those were satisfied from the
     engine's dedup/memoization cache instead of a fresh simulation, and
-    ``unique_evaluations`` the simulations actually run.  Under
-    multi-scenario fitness, ``scenario_best`` maps each workload scenario to
-    the best per-scenario score any valid candidate of this round achieved
-    (empty for single-scenario runs).
+    ``unique_evaluations`` the unique programs that missed the in-memory
+    tier (``store_hits`` of those were then served by the persistent
+    evaluation store rather than simulated).  ``store_lookups`` /
+    ``store_hits`` are volatile -- they depend on what an attached store
+    happens to contain -- so the artifact writer zeroes them in
+    ``result.json`` / ``rounds.jsonl``; live values land in
+    ``metadata.json``.  Under multi-scenario fitness, ``scenario_best`` maps
+    each workload scenario to the best per-scenario score any valid
+    candidate of this round achieved (empty for single-scenario runs).
     """
 
     round_index: int
@@ -74,6 +79,8 @@ class RoundSummary:
     eval_cache_lookups: int = 0
     eval_cache_hits: int = 0
     unique_evaluations: int = 0
+    store_lookups: int = 0
+    store_hits: int = 0
     scenario_best: Dict[str, float] = field(default_factory=dict)
 
     def eval_cache_hit_rate(self) -> float:
@@ -99,6 +106,8 @@ class SearchResult:
     estimated_cost_usd: float = 0.0
     eval_cache_lookups: int = 0
     eval_cache_hits: int = 0
+    store_lookups: int = 0
+    store_hits: int = 0
 
     def best_source(self) -> str:
         if self.best is None:
@@ -151,3 +160,10 @@ class SearchResult:
         if not self.eval_cache_lookups:
             return 0.0
         return self.eval_cache_hits / self.eval_cache_lookups
+
+    def store_hit_rate(self) -> float:
+        """Fraction of memory-tier misses the persistent evaluation store
+        served from disk (0.0 when the run had no store attached)."""
+        if not self.store_lookups:
+            return 0.0
+        return self.store_hits / self.store_lookups

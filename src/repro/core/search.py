@@ -147,7 +147,12 @@ class EvolutionarySearch:
         population: List[ScoredCandidate] = []
         rounds: List[RoundSummary] = []
         counter = 0
-        seed_stats: Dict[str, int] = {"lookups": 0, "hits": 0}
+        seed_stats: Dict[str, int] = {
+            "lookups": 0,
+            "hits": 0,
+            "store_lookups": 0,
+            "store_hits": 0,
+        }
 
         checkpoint = self._load_checkpoint()
         self.events.emit(
@@ -182,6 +187,8 @@ class EvolutionarySearch:
             population.extend(batch.scored)
             seed_stats["lookups"] = batch.stats.eval_cache_lookups
             seed_stats["hits"] = batch.stats.eval_cache_hits
+            seed_stats["store_lookups"] = batch.stats.store_lookups
+            seed_stats["store_hits"] = batch.stats.store_hits
 
         for round_index in range(len(rounds) + 1, self.config.rounds + 1):
             summary = self._run_round(round_index, population, counter)
@@ -196,6 +203,8 @@ class EvolutionarySearch:
                     best_overall_score=summary.best_overall_score,
                     eval_cache_lookups=summary.eval_cache_lookups,
                     eval_cache_hits=summary.eval_cache_hits,
+                    store_lookups=summary.store_lookups,
+                    store_hits=summary.store_hits,
                     scenario_best=dict(summary.scenario_best),
                 )
             )
@@ -224,6 +233,10 @@ class EvolutionarySearch:
             + sum(r.eval_cache_lookups for r in rounds),
             eval_cache_hits=seed_stats["hits"]
             + sum(r.eval_cache_hits for r in rounds),
+            store_lookups=seed_stats.get("store_lookups", 0)
+            + sum(r.store_lookups for r in rounds),
+            store_hits=seed_stats.get("store_hits", 0)
+            + sum(r.store_hits for r in rounds),
         )
         usage = getattr(self.generator, "usage", None)
         if usage is not None:
@@ -310,6 +323,8 @@ class EvolutionarySearch:
         summary.eval_cache_lookups = stats.eval_cache_lookups
         summary.eval_cache_hits = stats.eval_cache_hits
         summary.unique_evaluations = stats.unique_evaluations
+        summary.store_lookups = stats.store_lookups
+        summary.store_hits = stats.store_hits
 
     # -- checkpointing ---------------------------------------------------------------
 

@@ -37,7 +37,11 @@ from repro.core.engine import EngineConfig
 from repro.core.events import EventBus, JsonlEventLog, Subscriber
 from repro.core.results import SearchResult
 from repro.core.search import SearchConfig
+from repro.core.store import STORE_SCHEMA_VERSION, EvaluationStore
 from repro.llm.mock import SyntheticLLMConfig
+
+#: Directory name of the shared evaluation store under an artifact root.
+EVAL_STORE_DIRNAME = "evalstore"
 
 SPEC_VERSION = 1
 
@@ -187,6 +191,35 @@ class RunSpec:
     def config_hash(self) -> str:
         """SHA-256 of the canonical spec JSON: the run's reproducibility key."""
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def eval_config_hash(self) -> str:
+        """The evaluation-store key: a hash of everything that determines a
+        candidate program's *score*.
+
+        That is the domain plus its declarative ``domain_kwargs`` (trace
+        references, scenario matrix, reducer, backend, ...) -- and nothing
+        else: search shape, seeds, LLM behaviour and engine parallelism
+        change *which* programs are generated, never what one program
+        scores.  Every seed of a sweep therefore shares one eval config,
+        which is exactly what lets sweep seeds warm-start from each other's
+        evaluations.  The store schema version and the repro package version
+        are folded in, so neither a payload-format change nor a release that
+        touches evaluator/simulator behaviour can alias old entries (after
+        *uncommitted* changes to scoring code, run ``repro store clear``).
+        """
+        from repro import __version__ as repro_version
+
+        canonical = json.dumps(
+            {
+                "domain": self.domain,
+                "domain_kwargs": self.domain_kwargs,
+                "store_schema": STORE_SCHEMA_VERSION,
+                "repro_version": repro_version,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # -- layering onto the domain defaults -----------------------------------------
@@ -350,6 +383,29 @@ def build_from_spec(
     )
 
 
+def resolve_eval_store(
+    eval_store: Union[None, str, Path, EvaluationStore],
+    artifact_root: Optional[Path],
+) -> Optional[EvaluationStore]:
+    """Materialise an evaluation-store argument.
+
+    ``"auto"`` (the :func:`run` / :func:`run_sweep` default) places the
+    store at ``<artifact root>/evalstore`` -- shared by every run, sweep and
+    resume under that root -- and disables it when the run writes no
+    artifacts at all.  A path or :class:`EvaluationStore` pins it
+    explicitly; ``None`` disables the disk tier.
+    """
+    if eval_store is None:
+        return None
+    if isinstance(eval_store, EvaluationStore):
+        return eval_store
+    if eval_store == "auto":
+        if artifact_root is None:
+            return None
+        return EvaluationStore(artifact_root / EVAL_STORE_DIRNAME)
+    return EvaluationStore(Path(eval_store))
+
+
 def run(
     spec: RunSpec,
     *,
@@ -357,6 +413,7 @@ def run(
     run_dir: Optional[Union[str, Path]] = None,
     subscribers: Sequence[Subscriber] = (),
     seed: Optional[int] = None,
+    eval_store: Union[None, str, Path, EvaluationStore] = "auto",
 ) -> RunOutcome:
     """Execute one spec; returns the result plus the artifact directory.
 
@@ -365,6 +422,14 @@ def run(
     explicit directory instead (used by sweeps and ``repro resume``).
     Without either, nothing touches disk and ``artifact_dir`` is ``None``.
     ``subscribers`` join the run's event stream (progress printers, logs).
+
+    ``eval_store`` attaches the persistent evaluation store (the engine's
+    disk memo tier): ``"auto"`` (default) uses ``<artifact root>/evalstore``
+    whenever artifacts are written, a path or
+    :class:`~repro.core.store.EvaluationStore` selects one explicitly,
+    ``None`` disables it.  The store only ever changes *where* evaluation
+    results come from, never what they are -- a fixed seed produces a
+    byte-identical ``result.json`` with the store cold, warm or disabled.
     """
     if spec.is_sweep and seed is None:
         raise ValueError(
@@ -374,10 +439,17 @@ def run(
     effective_spec = spec.for_seed(effective_seed)
 
     artifact_dir: Optional[Path] = None
+    artifact_root: Optional[Path] = None
     if run_dir is not None:
         artifact_dir = artifact_store.prepare_run_dir(
             run_dir, effective_spec.to_dict()
         )
+        # A sweep seed directory lives one level below the artifact root
+        # (<root>/<sweep>/seed-N); the shared store sits beside the sweep,
+        # not inside it, so resuming a seed finds what the sweep populated.
+        artifact_root = artifact_dir.parent
+        if artifact_store.is_sweep_dir(artifact_root):
+            artifact_root = artifact_root.parent
     elif store is not None:
         if not isinstance(store, artifact_store.ArtifactStore):
             store = artifact_store.ArtifactStore(store)
@@ -385,6 +457,8 @@ def run(
             store.run_dir(spec.name, effective_spec.config_hash(), effective_seed),
             effective_spec.to_dict(),
         )
+        artifact_root = store.root
+    evaluation_store = resolve_eval_store(eval_store, artifact_root)
 
     if spec.checkpoint and artifact_dir is None:
         raise ValueError(
@@ -413,18 +487,32 @@ def run(
             events=events,
             resolved_kwargs=resolved_kwargs,
         )
+        if evaluation_store is not None and setup.engine is not None:
+            setup.engine.attach_store(
+                evaluation_store.bind(effective_spec.eval_config_hash())
+            )
         result = setup.search.run()
     finally:
         if event_log is not None:
             event_log.close()
 
     if artifact_dir is not None:
+        eval_store_record = None
+        if evaluation_store is not None and setup.engine is not None:
+            eval_store_record = {
+                "path": str(evaluation_store.root),
+                "eval_config_hash": effective_spec.eval_config_hash(),
+                "lookups": setup.engine.store_lookups,
+                "hits": setup.engine.store_hits,
+                "writes": setup.engine.store_writes,
+            }
         artifact_store.finalize_run_dir(
             artifact_dir,
             effective_spec.to_dict(),
             result,
             config_hash=effective_spec.config_hash(),
             seed=effective_seed,
+            eval_store=eval_store_record,
         )
     return RunOutcome(
         spec=spec,
@@ -442,6 +530,7 @@ def run_sweep(
     store: Optional[Union[str, Path, "artifact_store.ArtifactStore"]] = None,
     subscribers: Sequence[Subscriber] = (),
     max_parallel: Optional[int] = None,
+    eval_store: Union[None, str, Path, EvaluationStore] = "auto",
 ) -> SweepOutcome:
     """Run every seed of a sweep spec; seeds execute in parallel.
 
@@ -450,16 +539,26 @@ def run_sweep(
     are returned in the spec's seed order.  Per-seed artifacts land in
     ``<sweep dir>/seed-<n>/`` with a ``sweep.json`` index at the top.
 
+    All seeds share one evaluation store (and one eval-config hash, since
+    seeds differ only in trajectory, never in scoring), so a candidate
+    program evaluated by any seed is a disk hit for every other -- and a
+    repeated sweep over a populated store warm-starts entirely from disk.
+    Store reads/writes are atomic, so concurrent seeds (and concurrent
+    sweeps on one machine) can share a directory safely.
+
     ``subscribers`` are shared by every seed's event stream and may be
     called from multiple threads concurrently -- pass stateless/thread-safe
     subscribers, or cap ``max_parallel=1``.
     """
     seeds = spec.seed_list
     sweep_dir: Optional[Path] = None
+    artifact_root: Optional[Path] = None
     if store is not None:
         if not isinstance(store, artifact_store.ArtifactStore):
             store = artifact_store.ArtifactStore(store)
         sweep_dir = store.sweep_dir(spec.name, spec.config_hash())
+        artifact_root = store.root
+    evaluation_store = resolve_eval_store(eval_store, artifact_root)
 
     def _one(seed: int) -> RunOutcome:
         return run(
@@ -467,6 +566,7 @@ def run_sweep(
             seed=seed,
             run_dir=(sweep_dir / f"seed-{seed}") if sweep_dir is not None else None,
             subscribers=subscribers,
+            eval_store=evaluation_store,
         )
 
     workers = max_parallel or min(len(seeds), os.cpu_count() or 1)

@@ -18,12 +18,8 @@ from repro.traces.synthetic import (
     generate_trace,
     zipf_weights,
 )
-from repro.traces.cloudphysics import (
-    cloudphysics_config,
-    cloudphysics_corpus,
-    cloudphysics_trace,
-)
-from repro.traces.msr import msr_config, msr_corpus, msr_trace
+from repro.traces.cloudphysics import cloudphysics_config
+from repro.traces.msr import msr_config
 from repro.traces.streaming import (
     CsvRequestSource,
     DecodedArraySource,
@@ -32,23 +28,36 @@ from repro.traces.streaming import (
     open_csv_trace,
 )
 
-#: Deprecated loader entry points (``cloudphysics_trace`` / ``msr_trace`` /
-#: ``*_corpus``): use the workload registry instead --
-#: ``repro.workloads.build_trace("caching/cloudphysics", index=...)`` and
-#: ``repro.workloads.corpus_traces(dataset, ...)``.  The ``*_config``
-#: parameter sources and :func:`generate_trace` are the supported machinery
-#: beneath both.
+#: The old loader entry points (``cloudphysics_trace`` / ``msr_trace`` /
+#: ``*_corpus``) were removed after their one-release deprecation window:
+#: use ``repro.workloads.build_trace("caching/cloudphysics", index=...)``
+#: and ``repro.workloads.corpus_traces(dataset, ...)``.  The ``*_config``
+#: parameter sources and :func:`generate_trace` remain the supported
+#: machinery beneath the workload registry.
+
+_REMOVED_LOADERS = {
+    "cloudphysics_trace": 'repro.workloads.build_trace("caching/cloudphysics", index=...)',
+    "msr_trace": 'repro.workloads.build_trace("caching/msr", index=...)',
+    "cloudphysics_corpus": 'repro.workloads.corpus_traces("cloudphysics", ...)',
+    "msr_corpus": 'repro.workloads.corpus_traces("msr", ...)',
+}
+
+
+def __getattr__(name: str):
+    if name in _REMOVED_LOADERS:
+        raise AttributeError(
+            f"{name}() was removed; use {_REMOVED_LOADERS[name]} -- the "
+            "workload registry is the canonical loader entry point"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "SyntheticWorkloadConfig",
     "generate_trace",
     "zipf_weights",
     "cloudphysics_config",
-    "cloudphysics_corpus",
-    "cloudphysics_trace",
     "msr_config",
-    "msr_corpus",
-    "msr_trace",
     "CsvRequestSource",
     "DecodedArraySource",
     "StreamingTrace",

@@ -15,13 +15,11 @@ so that the paper's "trace w89" has a concrete counterpart here.
 
 from __future__ import annotations
 
-import warnings
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
-from repro.cache.request import Trace
-from repro.traces.synthetic import SyntheticWorkloadConfig, generate_trace
+from repro.traces.synthetic import SyntheticWorkloadConfig
 
 #: Number of traces in the corpus, matching the real dataset.
 NUM_TRACES = 105
@@ -71,67 +69,6 @@ def cloudphysics_config(
         reuse_distance_scale=float(rng.uniform(30, 200)),
         size_log_mean=float(rng.uniform(8.6, 9.8)),
         size_log_sigma=float(rng.uniform(0.8, 1.4)),
-    )
-
-
-def cloudphysics_trace(
-    index: int,
-    num_requests: int = 6000,
-    num_objects: int = 1500,
-    corpus_seed: int = CORPUS_SEED,
-) -> Trace:
-    """Generate CloudPhysics-like trace ``w<index>`` (1-based, deterministic).
-
-    .. deprecated::
-        Loader entry points moved to the workload registry (same one-release
-        policy as ``run_search()``).  Use
-        ``repro.workloads.build_trace("caching/cloudphysics", index=...)``;
-        ``cloudphysics_config`` remains the supported parameter source.
-    """
-    warnings.warn(
-        "cloudphysics_trace() is deprecated; use repro.workloads.build_trace("
-        "'caching/cloudphysics', index=...) -- the workload registry is the "
-        "canonical loader entry point",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return generate_trace(
-        cloudphysics_config(index, num_requests, num_objects, corpus_seed)
-    )
-
-
-def cloudphysics_corpus(
-    count: Optional[int] = None,
-    num_requests: int = 6000,
-    num_objects: int = 1500,
-    corpus_seed: int = CORPUS_SEED,
-) -> Iterator[Trace]:
-    """Yield the corpus (all 105 traces by default, or the first ``count``).
-
-    .. deprecated::
-        Use ``repro.workloads.corpus_traces("cloudphysics", ...)`` (the same
-        deterministic traces through the workload registry).
-    """
-    warnings.warn(
-        "cloudphysics_corpus() is deprecated; use "
-        "repro.workloads.corpus_traces('cloudphysics', ...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    if corpus_seed != CORPUS_SEED:
-        total = NUM_TRACES if count is None else min(count, NUM_TRACES)
-        for index in range(1, total + 1):
-            yield generate_trace(
-                cloudphysics_config(index, num_requests, num_objects, corpus_seed)
-            )
-        return
-    from repro.workloads.cache import corpus_traces
-
-    yield from corpus_traces(
-        "cloudphysics",
-        count=count,
-        num_requests=num_requests,
-        num_objects=num_objects,
     )
 
 

@@ -11,13 +11,11 @@ kind rather than degree.
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.cache.request import Trace
-from repro.traces.synthetic import SyntheticWorkloadConfig, generate_trace
+from repro.traces.synthetic import SyntheticWorkloadConfig
 
 CORPUS_SEED = 77_414
 
@@ -80,61 +78,6 @@ def msr_config(
         reuse_distance_scale=float(rng.uniform(40, 150)),
         size_log_mean=float(rng.uniform(8.8, 10.0)),
         size_log_sigma=float(rng.uniform(0.7, 1.3)),
-    )
-
-
-def msr_trace(
-    index: int,
-    num_requests: int = 8000,
-    num_objects: int = 2000,
-    corpus_seed: int = CORPUS_SEED,
-) -> Trace:
-    """Generate MSR-like trace ``index`` (1-based, deterministic).
-
-    .. deprecated::
-        Loader entry points moved to the workload registry (same one-release
-        policy as ``run_search()``).  Use
-        ``repro.workloads.build_trace("caching/msr", index=...)``;
-        ``msr_config`` remains the supported parameter source.
-    """
-    warnings.warn(
-        "msr_trace() is deprecated; use repro.workloads.build_trace("
-        "'caching/msr', index=...) -- the workload registry is the canonical "
-        "loader entry point",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return generate_trace(msr_config(index, num_requests, num_objects, corpus_seed))
-
-
-def msr_corpus(
-    count: Optional[int] = None,
-    num_requests: int = 8000,
-    num_objects: int = 2000,
-    corpus_seed: int = CORPUS_SEED,
-) -> Iterator[Trace]:
-    """Yield the corpus (all 14 traces by default, or the first ``count``).
-
-    .. deprecated::
-        Use ``repro.workloads.corpus_traces("msr", ...)`` (the same
-        deterministic traces through the workload registry).
-    """
-    warnings.warn(
-        "msr_corpus() is deprecated; use repro.workloads.corpus_traces('msr', ...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    if corpus_seed != CORPUS_SEED:
-        total = NUM_TRACES if count is None else min(count, NUM_TRACES)
-        for index in range(1, total + 1):
-            yield generate_trace(
-                msr_config(index, num_requests, num_objects, corpus_seed)
-            )
-        return
-    from repro.workloads.cache import corpus_traces
-
-    yield from corpus_traces(
-        "msr", count=count, num_requests=num_requests, num_objects=num_objects
     )
 
 

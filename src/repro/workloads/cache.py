@@ -165,9 +165,9 @@ def corpus_traces(
 ) -> Iterator[Trace]:
     """Yield a corpus's traces through the workload machinery.
 
-    The canonical replacement for the deprecated
-    ``repro.traces.cloudphysics_corpus`` / ``msr_corpus`` loader entry
-    points (which now delegate here).
+    The canonical loader (the old ``repro.traces.cloudphysics_corpus`` /
+    ``msr_corpus`` entry points were removed after their deprecation
+    window).
     """
     if dataset == "cloudphysics":
         from repro.traces.cloudphysics import NUM_TRACES as total

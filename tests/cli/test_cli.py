@@ -243,6 +243,135 @@ def test_sweep_and_report(capsys, tmp_path):
     assert report_out == out
 
 
+# -- the evaluation store -----------------------------------------------------------
+
+
+def test_run_populates_eval_store_and_second_run_hits_it(capsys, tmp_path):
+    # checkpoint=false so the rerun re-searches (a completed checkpoint
+    # would short-circuit the whole run) and warm-starts from the store.
+    spec = json.loads(SMOKE_SPEC.read_text())
+    spec["checkpoint"] = False
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps(spec))
+    first_code, first_out, _ = run_cli(
+        capsys, "run", str(spec_file), "--artifacts", str(tmp_path), "--quiet"
+    )
+    assert first_code == 0
+    evalstore = tmp_path / "evalstore"
+    assert evalstore.exists()
+    code, out, err = run_cli(
+        capsys, "run", str(spec_file), "--artifacts", str(tmp_path), "--quiet"
+    )
+    assert code == 0
+    assert out == first_out
+    run_dir = artifact_dir_from(err)
+    metadata = json.loads((run_dir / "metadata.json").read_text())
+    record = metadata["eval_store"]
+    assert record["hits"] == record["lookups"] > 0
+
+
+def test_no_eval_store_flag(capsys, tmp_path):
+    code, _out, _err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path),
+        "--no-eval-store", "--quiet",
+    )
+    assert code == 0
+    assert not (tmp_path / "evalstore").exists()
+
+
+def test_explicit_eval_store_path(capsys, tmp_path):
+    store_dir = tmp_path / "shared-cache"
+    code, _out, _err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path / "runs"),
+        "--eval-store", str(store_dir), "--quiet",
+    )
+    assert code == 0
+    assert store_dir.exists()
+
+
+def test_store_stats_gc_clear(capsys, tmp_path):
+    run_cli(capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path), "--quiet")
+    store_dir = str(tmp_path / "evalstore")
+
+    code, out, _ = run_cli(capsys, "store", "stats", "--store", store_dir)
+    assert code == 0
+    assert "entries" in out
+
+    code, out, _ = run_cli(capsys, "store", "stats", "--store", store_dir, "--json")
+    assert code == 0
+    stats = json.loads(out)
+    assert stats["entries"] > 0
+    assert stats["eval_configs"] == 1
+
+    code, out, _ = run_cli(
+        capsys, "store", "gc", "--store", store_dir, "--max-entries", "2"
+    )
+    assert code == 0
+    assert "removed" in out
+    code, out, _ = run_cli(capsys, "store", "stats", "--store", store_dir, "--json")
+    assert json.loads(out)["entries"] <= 2
+
+    code, out, _ = run_cli(capsys, "store", "clear", "--store", store_dir)
+    assert code == 0
+    code, out, _ = run_cli(capsys, "store", "stats", "--store", store_dir, "--json")
+    assert json.loads(out)["entries"] == 0
+
+
+def test_store_gc_requires_a_bound(capsys, tmp_path):
+    code, _out, err = run_cli(
+        capsys, "store", "gc", "--store", str(tmp_path / "evalstore")
+    )
+    assert code == 2
+    assert "--max-bytes" in err
+
+
+# -- engine overrides ---------------------------------------------------------------
+
+
+def test_executor_and_max_workers_flags(capsys, tmp_path):
+    baseline_code, baseline_out, _ = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path / "a"), "--quiet"
+    )
+    assert baseline_code == 0
+    code, out, err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path / "b"),
+        "--executor", "thread", "--max-workers", "2", "--quiet",
+    )
+    assert code == 0
+    # Same search trajectory, different engine configuration.
+    assert out.splitlines()[0] == baseline_out.splitlines()[0]
+    run_dir = artifact_dir_from(err)
+    stored = json.loads((run_dir / "spec.json").read_text())
+    assert stored["engine"] == {"executor": "thread", "max_workers": 2}
+
+
+def test_engine_flags_rejected_for_experiments(capsys):
+    code, _out, err = run_cli(
+        capsys, "run", "table2", "--executor", "thread"
+    )
+    assert code == 2
+    assert "RunSpec" in err
+
+
+def test_eval_store_flags_rejected_for_experiments(capsys, tmp_path):
+    code, _out, err = run_cli(
+        capsys, "run", "table2", "--eval-store", str(tmp_path / "es")
+    )
+    assert code == 2
+    assert "RunSpec" in err
+    code, _out, err = run_cli(capsys, "run", "table2", "--no-eval-store")
+    assert code == 2
+    assert "RunSpec" in err
+
+
+def test_invalid_max_workers(capsys, tmp_path):
+    code, _out, err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--max-workers", "0", "--no-artifacts"
+    )
+    assert code == 2
+    assert "positive" in err
+
+
 # -- report errors ------------------------------------------------------------------
 
 

@@ -143,15 +143,17 @@ def test_timeouts_are_not_memoized():
     assert all(s.evaluation.valid for s in batch.scored)
 
 
-def test_worker_pool_is_reused_across_batches():
+def test_executor_is_reused_across_batches():
     engine = make_engine(CountingEvaluator(), max_workers=2, executor="thread")
     engine.process_batch(candidates(["def f(x) { return 1 }", "def f(x) { return 2 }"]))
-    pool = engine._pool
+    executor = engine._executor
+    assert executor is not None and executor.name == "thread"
+    pool = executor._pool
     assert pool is not None
     engine.process_batch(candidates(["def f(x) { return 3 }", "def f(x) { return 4 }"]))
-    assert engine._pool is pool
+    assert engine._executor is executor and executor._pool is pool
     engine.close()
-    assert engine._pool is None
+    assert engine._executor is None
 
 
 def test_engine_config_validation():
@@ -161,6 +163,105 @@ def test_engine_config_validation():
         EngineConfig(executor="gpu")
     with pytest.raises(ValueError):
         EngineConfig(eval_timeout_s=0)
+
+
+# -- the disk memo tier -------------------------------------------------------------
+
+
+def make_store_engine(tmp_path, evaluator=None, **config_kwargs):
+    from repro.core.store import EvaluationStore
+
+    engine = make_engine(evaluator, **config_kwargs)
+    engine.attach_store(EvaluationStore(tmp_path / "evalstore").bind("k" * 64))
+    return engine
+
+
+def test_fresh_evaluations_are_persisted_and_warm_start(tmp_path):
+    first_evaluator = CountingEvaluator()
+    first = make_store_engine(tmp_path, first_evaluator)
+    batch = first.process_batch(candidates(["def f(x) { return 7 }"]))
+    assert first_evaluator.calls == 1
+    assert first.store_writes == 1
+    assert batch.stats.store_lookups == 1 and batch.stats.store_hits == 0
+
+    # A brand-new engine (fresh process, cold memory) hits the disk tier.
+    second_evaluator = CountingEvaluator()
+    second = make_store_engine(tmp_path, second_evaluator)
+    batch = second.process_batch(candidates(["def f(x) { return 7 }"]))
+    assert second_evaluator.calls == 0
+    assert batch.stats.store_hits == 1
+    assert batch.stats.unique_evaluations == 1  # memory miss, same as cold
+    assert batch.scored[0].score == 7.0
+
+
+def test_disk_hit_fills_memory_tier(tmp_path):
+    make_store_engine(tmp_path).process_batch(candidates(["def f(x) { return 7 }"]))
+    engine = make_store_engine(tmp_path, evaluator := CountingEvaluator())
+    engine.process_batch(candidates(["def f(x) { return 7 }"]))
+    batch = engine.process_batch(candidates(["def f(x) { return 7 }"]))
+    assert evaluator.calls == 0
+    assert batch.stats.store_lookups == 0  # second batch is a memory hit
+    assert batch.stats.eval_cache_hits == 1
+
+
+def test_cache_tier_events(tmp_path):
+    from repro.core.events import CandidateEvaluated
+
+    make_store_engine(tmp_path).process_batch(candidates(["def f(x) { return 7 }"]))
+    engine = make_store_engine(tmp_path)
+    events = []
+    engine.events.subscribe(events.append)
+    engine.process_batch(
+        candidates(
+            [
+                "def f(x) { return 7 }",   # disk hit
+                "def f(x) {  return 7 }",  # canonical duplicate -> memory
+                "def f(x) { return 8 }",   # fresh
+            ]
+        )
+    )
+    tiers = [e.cache_tier for e in events if isinstance(e, CandidateEvaluated)]
+    assert tiers == ["disk", "memory", "fresh"]
+    cached = [e.cached for e in events if isinstance(e, CandidateEvaluated)]
+    assert cached == [True, True, False]
+
+
+def test_eval_cache_stats_identical_with_and_without_store(tmp_path):
+    """The store must not perturb the deterministic round statistics."""
+    sources = [
+        "def f(x) { return 7 }",
+        "def f(x) {  return 7 }",
+        "def f(x) { return 8 }",
+    ]
+    plain = make_engine().process_batch(candidates(list(sources)))
+    cold = make_store_engine(tmp_path).process_batch(candidates(list(sources)))
+    warm = make_store_engine(tmp_path).process_batch(candidates(list(sources)))
+    for batch in (cold, warm):
+        assert batch.stats.eval_cache_lookups == plain.stats.eval_cache_lookups
+        assert batch.stats.eval_cache_hits == plain.stats.eval_cache_hits
+        assert batch.stats.unique_evaluations == plain.stats.unique_evaluations
+    assert cold.stats.store_hits == 0
+    assert warm.stats.store_hits == 2
+
+
+def test_transient_failures_not_written_to_store(tmp_path):
+    evaluator = CountingEvaluator(delay_s=5.0)
+    engine = make_store_engine(
+        tmp_path, evaluator, max_workers=2, executor="thread", eval_timeout_s=0.1
+    )
+    engine.process_batch(candidates(["def f(x) { return 1 }"]))
+    assert engine.store_writes == 0
+    evaluator.delay_s = 0.0
+    fresh = make_store_engine(tmp_path, evaluator)
+    batch = fresh.process_batch(candidates(["def f(x) { return 1 }"]))
+    assert batch.scored[0].evaluation.valid
+    assert batch.scored[0].score == 1.0
+
+
+def test_store_ignored_when_memoization_disabled(tmp_path):
+    engine = make_store_engine(tmp_path, memoize=False)
+    engine.process_batch(candidates(["def f(x) { return 7 }"]))
+    assert engine.store_lookups == 0 and engine.store_writes == 0
 
 
 def test_memo_snapshot_roundtrip():

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core.domain import build_search, run_search
+from repro.core.domain import build_search
 from repro.core.spec import (
     RunSpec,
     build_trace,
@@ -203,18 +203,33 @@ def test_run_sweep_outcomes_match_individual_runs(tmp_path):
     )
 
 
-# -- deprecated run_search ----------------------------------------------------------
+# -- removed run_search -------------------------------------------------------------
 
 
-def test_run_search_deprecated_with_unchanged_return_shape():
-    with pytest.warns(DeprecationWarning, match="run_search"):
-        result = run_search(
-            "caching",
-            rounds=1,
-            candidates_per_round=3,
-            seed=0,
-            trace=build_trace(TRACE_REF),
-        )
-    # Old callers' usage keeps working while the warning points at run().
-    assert result.total_candidates > 0
-    assert result.best_source()
+def test_run_search_removed_with_pointer_to_run():
+    """The one-release deprecation policy completed: run_search is gone."""
+    import repro.core
+    import repro.core.domain
+
+    with pytest.raises(AttributeError, match="run\\(RunSpec"):
+        repro.core.domain.run_search
+    with pytest.raises(AttributeError):
+        repro.core.run_search
+
+
+# -- eval_config_hash ---------------------------------------------------------------
+
+
+def test_eval_config_hash_ignores_search_shape_and_seed():
+    """Only the domain + domain_kwargs determine what a program scores."""
+    base = tiny_spec()
+    assert base.eval_config_hash() == tiny_spec(seed=7).eval_config_hash()
+    assert base.eval_config_hash() == tiny_spec(
+        search={"rounds": 5, "candidates_per_round": 9}, name="other"
+    ).eval_config_hash()
+    assert base.eval_config_hash() == tiny_spec(seeds=[1, 2]).eval_config_hash()
+    changed = tiny_spec(
+        domain_kwargs={"trace": dict(TRACE_REF), "cache_fraction": 0.05}
+    )
+    assert base.eval_config_hash() != changed.eval_config_hash()
+    assert base.eval_config_hash() != tiny_spec(domain="cc", domain_kwargs={}).eval_config_hash()

@@ -1,0 +1,317 @@
+"""The persistent evaluation store: addressing, robustness, GC, contention.
+
+The store's contract is "never wrong, at worst slow": any malformed entry --
+truncated JSON, a corrupt or missing npz sidecar, another schema version, a
+key mismatch -- must read as a miss (falling back to fresh evaluation), and
+concurrent processes sharing one directory must never observe a torn entry.
+"""
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.evaluator import EvaluationResult
+from repro.core.store import (
+    NPZ_THRESHOLD,
+    STORE_SCHEMA_VERSION,
+    EvaluationStore,
+)
+
+EVAL_KEY = "e" * 64
+OTHER_EVAL_KEY = "f" * 64
+
+
+def result_for(score: float, **kwargs) -> EvaluationResult:
+    return EvaluationResult(score=score, valid=True, **kwargs)
+
+
+def store_in(tmp_path, **kwargs) -> EvaluationStore:
+    return EvaluationStore(tmp_path / "evalstore", **kwargs)
+
+
+# -- round-trip ---------------------------------------------------------------------
+
+
+def test_roundtrip_preserves_result_fields(tmp_path):
+    store = store_in(tmp_path)
+    original = EvaluationResult(
+        score=-0.25,
+        valid=True,
+        details={"miss_ratio": 0.25, "evictions": 12.0},
+        scenario_scores={"zipf": -0.2, "scan": -0.3},
+        wall_time_s=0.5,
+    )
+    assert store.put(EVAL_KEY, "prog1", original)
+    loaded = store.get(EVAL_KEY, "prog1")
+    assert loaded is not None
+    assert loaded.score == original.score
+    assert loaded.valid is True
+    assert loaded.details == original.details
+    assert loaded.scenario_scores == original.scenario_scores
+
+
+def test_roundtrip_nonfinite_scores(tmp_path):
+    store = store_in(tmp_path)
+    failure = EvaluationResult.failure("crashed", float("-inf"))
+    store.put(EVAL_KEY, "bad", failure)
+    loaded = store.get(EVAL_KEY, "bad")
+    assert loaded is not None
+    assert loaded.score == float("-inf")
+    assert not loaded.valid
+    assert loaded.error == "crashed"
+
+
+def test_miss_on_unknown_keys(tmp_path):
+    store = store_in(tmp_path)
+    store.put(EVAL_KEY, "prog1", result_for(1.0))
+    assert store.get(EVAL_KEY, "prog2") is None
+    assert store.get(OTHER_EVAL_KEY, "prog1") is None
+
+
+def test_eval_configs_are_isolated(tmp_path):
+    """The same program under two evaluator configs has two entries."""
+    store = store_in(tmp_path)
+    store.put(EVAL_KEY, "prog", result_for(1.0))
+    store.put(OTHER_EVAL_KEY, "prog", result_for(2.0))
+    assert store.get(EVAL_KEY, "prog").score == 1.0
+    assert store.get(OTHER_EVAL_KEY, "prog").score == 2.0
+    assert store.stats().eval_configs == 2
+
+
+def test_unwritable_store_degrades_to_not_persisted(tmp_path):
+    """A broken store (unwritable path, full disk) must never abort the
+    search: put() returns False instead of raising."""
+    store = store_in(tmp_path)
+    # A regular file where the schema tree should be makes every mkdir fail
+    # with an OSError (chmod tricks don't work when tests run as root).
+    store.root.mkdir(parents=True)
+    store.schema_root.touch()
+    assert not store.put(EVAL_KEY, "prog", result_for(1.0))
+    assert store.write_errors == 1
+    assert store.get(EVAL_KEY, "prog") is None
+
+
+def test_transient_results_are_never_persisted(tmp_path):
+    store = store_in(tmp_path)
+    timeout = EvaluationResult.failure("timed out", -1.0, transient=True)
+    assert not store.put(EVAL_KEY, "slow", timeout)
+    assert store.get(EVAL_KEY, "slow") is None
+    assert store.stats().entries == 0
+
+
+# -- npz sidecar --------------------------------------------------------------------
+
+
+def wide_result() -> EvaluationResult:
+    scores = {f"scenario-{i:03d}": -i / 100 for i in range(NPZ_THRESHOLD + 4)}
+    return EvaluationResult(score=-0.5, valid=True, scenario_scores=scores)
+
+
+def test_wide_scenario_maps_use_npz_sidecar(tmp_path):
+    store = store_in(tmp_path)
+    original = wide_result()
+    store.put(EVAL_KEY, "wide", original)
+    entry = store.entry_path(EVAL_KEY, "wide")
+    assert entry.with_suffix(".npz").exists()
+    payload = json.loads(entry.read_text())
+    assert payload["sidecar"] is True
+    assert "scenario_scores" not in payload["result"]
+    loaded = store.get(EVAL_KEY, "wide")
+    assert loaded.scenario_scores == original.scenario_scores
+
+
+def test_truncated_npz_sidecar_degrades_to_miss(tmp_path):
+    store = store_in(tmp_path)
+    store.put(EVAL_KEY, "wide", wide_result())
+    sidecar = store.entry_path(EVAL_KEY, "wide").with_suffix(".npz")
+    sidecar.write_bytes(sidecar.read_bytes()[:10])
+    assert store.get(EVAL_KEY, "wide") is None
+    assert store.corrupt_reads == 1
+
+
+def test_missing_npz_sidecar_degrades_to_miss(tmp_path):
+    store = store_in(tmp_path)
+    store.put(EVAL_KEY, "wide", wide_result())
+    store.entry_path(EVAL_KEY, "wide").with_suffix(".npz").unlink()
+    assert store.get(EVAL_KEY, "wide") is None
+
+
+# -- corruption / schema tolerance --------------------------------------------------
+
+
+def test_truncated_json_entry_degrades_to_miss(tmp_path):
+    store = store_in(tmp_path)
+    store.put(EVAL_KEY, "prog", result_for(1.0))
+    entry = store.entry_path(EVAL_KEY, "prog")
+    entry.write_text(entry.read_text()[:20])
+    assert store.get(EVAL_KEY, "prog") is None
+    assert store.corrupt_reads == 1
+
+
+def test_garbage_entry_degrades_to_miss(tmp_path):
+    store = store_in(tmp_path)
+    entry = store.entry_path(EVAL_KEY, "prog")
+    entry.parent.mkdir(parents=True)
+    entry.write_text("not json at all {{{")
+    assert store.get(EVAL_KEY, "prog") is None
+
+
+def test_schema_version_mismatch_is_a_silent_miss(tmp_path):
+    """A future (or past) payload schema must be ignored, never misread."""
+    store = store_in(tmp_path)
+    store.put(EVAL_KEY, "prog", result_for(1.0))
+    entry = store.entry_path(EVAL_KEY, "prog")
+    payload = json.loads(entry.read_text())
+    payload["schema_version"] = STORE_SCHEMA_VERSION + 1
+    entry.write_text(json.dumps(payload))
+    assert store.get(EVAL_KEY, "prog") is None
+    # Not corruption -- a cleanly-written foreign schema.
+    assert store.corrupt_reads == 0
+
+
+def test_key_mismatch_inside_payload_is_a_miss(tmp_path):
+    """A copied/renamed file cannot resurface under the wrong address."""
+    store = store_in(tmp_path)
+    store.put(EVAL_KEY, "prog", result_for(1.0))
+    src = store.entry_path(EVAL_KEY, "prog")
+    dst = store.entry_path(EVAL_KEY, "other")
+    dst.write_text(src.read_text())
+    assert store.get(EVAL_KEY, "other") is None
+    assert store.corrupt_reads == 1
+
+
+# -- stats / gc / clear -------------------------------------------------------------
+
+
+def test_stats_counts_entries_and_bytes(tmp_path):
+    store = store_in(tmp_path)
+    for i in range(5):
+        store.put(EVAL_KEY, f"prog{i}", result_for(float(i)))
+    stats = store.stats()
+    assert stats.entries == 5
+    assert stats.total_bytes > 0
+    assert stats.eval_configs == 1
+    assert stats.schema_version == STORE_SCHEMA_VERSION
+
+
+def test_gc_evicts_least_recently_used_first(tmp_path):
+    store = store_in(tmp_path)
+    for i in range(4):
+        store.put(EVAL_KEY, f"prog{i}", result_for(float(i)))
+        # Distinct mtimes even on coarse-grained filesystems.
+        entry = store.entry_path(EVAL_KEY, f"prog{i}")
+        os.utime(entry, (1_000_000 + i, 1_000_000 + i))
+    # Touch prog0 (a hit refreshes recency) so prog1 becomes the LRU victim.
+    os.utime(store.entry_path(EVAL_KEY, "prog0"), (2_000_000, 2_000_000))
+    outcome = store.gc(max_entries=2)
+    assert outcome.removed_entries == 2
+    assert outcome.remaining_entries == 2
+    assert store.get(EVAL_KEY, "prog1") is None
+    assert store.get(EVAL_KEY, "prog2") is None
+    assert store.get(EVAL_KEY, "prog0") is not None
+    assert store.get(EVAL_KEY, "prog3") is not None
+
+
+def test_gc_byte_bound(tmp_path):
+    store = store_in(tmp_path)
+    for i in range(6):
+        store.put(EVAL_KEY, f"prog{i}", result_for(float(i)))
+    total = store.stats().total_bytes
+    outcome = store.gc(max_bytes=total // 2)
+    assert outcome.remaining_bytes <= total // 2
+    assert outcome.removed_entries >= 3
+
+
+def test_bounded_store_self_collects_on_put(tmp_path):
+    store = store_in(tmp_path, max_entries=3, gc_interval=1)
+    for i in range(8):
+        store.put(EVAL_KEY, f"prog{i}", result_for(float(i)))
+    assert store.stats().entries <= 3
+
+
+def test_gc_removes_foreign_schema_trees_and_dangling_sidecars(tmp_path):
+    store = store_in(tmp_path)
+    store.put(EVAL_KEY, "prog", result_for(1.0))
+    old = store.root / "v0" / "aa" / ("a" * 64)
+    old.mkdir(parents=True)
+    (old / "stale.json").write_text("{}")
+    dangling = store.entry_path(EVAL_KEY, "gone").with_suffix(".npz")
+    dangling.write_bytes(b"orphan")
+    store.gc(max_entries=10)
+    assert not (store.root / "v0").exists()
+    assert not dangling.exists()
+    assert store.get(EVAL_KEY, "prog") is not None
+
+
+def test_gc_and_clear_never_touch_foreign_directories(tmp_path):
+    """Pointing the store at a directory holding other data (say, an
+    artifact root) must not destroy it: only v<N> schema trees are ours."""
+    store = store_in(tmp_path)
+    store.put(EVAL_KEY, "prog", result_for(1.0))
+    run_dir = store.root / "smoke-caching-abc-s0"
+    run_dir.mkdir(parents=True)
+    (run_dir / "result.json").write_text("{}")
+    (store.root / "sweep.json").write_text("{}")
+    store.gc(max_entries=0)
+    store.clear()
+    assert (run_dir / "result.json").exists()
+    assert (store.root / "sweep.json").exists()
+
+
+def test_clear_removes_everything(tmp_path):
+    store = store_in(tmp_path)
+    for i in range(3):
+        store.put(EVAL_KEY, f"prog{i}", result_for(float(i)))
+    assert store.clear() == 3
+    assert store.stats().entries == 0
+    assert store.get(EVAL_KEY, "prog0") is None
+
+
+def test_store_validation():
+    with pytest.raises(ValueError):
+        EvaluationStore("x", max_entries=-1)
+    with pytest.raises(ValueError):
+        EvaluationStore("x", max_bytes=-1)
+    with pytest.raises(ValueError):
+        EvaluationStore("x", gc_interval=0)
+    store = EvaluationStore("x")
+    with pytest.raises(ValueError):
+        store.entry_path("", "p")
+    with pytest.raises(ValueError):
+        store.bind("")
+
+
+# -- contention: two processes, one directory ---------------------------------------
+
+
+def _hammer_store(args):
+    """Worker: interleave writes and reads against the shared directory."""
+    root, worker, rounds = args
+    store = EvaluationStore(root)
+    mismatches = 0
+    for i in range(rounds):
+        key = f"prog{i % 10}"
+        expected = float(i % 10)
+        store.put(EVAL_KEY, key, EvaluationResult(score=expected, valid=True))
+        loaded = store.get(EVAL_KEY, key)
+        # A concurrent GC/clear could make this a miss; a *wrong* score never.
+        if loaded is not None and loaded.score != expected:
+            mismatches += 1
+    return mismatches
+
+
+def test_two_processes_share_one_store_directory(tmp_path):
+    """Concurrent writers/readers: atomic replace means no torn entries and
+    never a wrong score -- the write-same-content race is benign."""
+    root = str(tmp_path / "shared-store")
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        outcomes = list(
+            pool.map(_hammer_store, [(root, w, 60) for w in range(2)])
+        )
+    assert outcomes == [0, 0]
+    store = EvaluationStore(root)
+    assert store.stats().entries == 10
+    for i in range(10):
+        assert store.get(EVAL_KEY, f"prog{i}").score == float(i)

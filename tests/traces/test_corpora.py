@@ -2,9 +2,10 @@
 
 import pytest
 
+import repro.traces
 from repro.traces import cloudphysics, msr
-from repro.traces.cloudphysics import cloudphysics_config, cloudphysics_corpus, cloudphysics_trace
-from repro.traces.msr import msr_config, msr_corpus, msr_trace
+from repro.traces.cloudphysics import cloudphysics_config
+from repro.traces.msr import msr_config
 from repro.workloads import build_trace, corpus_traces
 
 
@@ -70,20 +71,19 @@ def test_corpus_count_limits():
     assert len(list(corpus_traces("msr", count=99, num_requests=300))) == 14
 
 
-def test_deprecated_loaders_warn_and_still_work():
-    """The one-release deprecation policy: old entry points warn but match."""
-    with pytest.warns(DeprecationWarning, match="workloads"):
-        old = cloudphysics_trace(7, num_requests=300)
-    new = build_trace("caching/cloudphysics", index=7, num_requests=300)
-    assert [(r.timestamp, r.key) for r in old] == [(r.timestamp, r.key) for r in new]
-    with pytest.warns(DeprecationWarning, match="corpus_traces"):
-        old_corpus = list(cloudphysics_corpus(count=2, num_requests=300))
-    new_corpus = list(corpus_traces("cloudphysics", count=2, num_requests=300))
-    assert [t.name for t in old_corpus] == [t.name for t in new_corpus]
-    with pytest.warns(DeprecationWarning, match="workloads"):
-        msr_trace(2, num_requests=300)
-    with pytest.warns(DeprecationWarning, match="corpus_traces"):
-        list(msr_corpus(count=1, num_requests=300))
+def test_removed_loaders_point_at_the_workload_registry():
+    """The one-release deprecation policy completed: the old entry points
+    are gone, and reaching for one names its replacement."""
+    for name in (
+        "cloudphysics_trace",
+        "msr_trace",
+        "cloudphysics_corpus",
+        "msr_corpus",
+    ):
+        with pytest.raises(AttributeError, match="workloads"):
+            getattr(repro.traces, name)
+    with pytest.raises(ImportError):
+        from repro.traces.cloudphysics import cloudphysics_trace  # noqa: F401
 
 
 def test_msr_archetypes_cover_all_roles():
