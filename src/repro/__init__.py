@@ -28,6 +28,6 @@ Start with ``examples/quickstart.py``, ``python -m repro experiments list``,
 or DESIGN.md.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -16,7 +16,7 @@ are simple argmax selectors -- which is exactly what they are in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 from repro.cache.metrics import SimulationResult
 

@@ -11,7 +11,7 @@ formulation to variable object sizes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.cache.policies.base import CachedObject, EvictionPolicy
 from repro.cache.request import Request

@@ -21,7 +21,7 @@ paper).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.cache.policies.base import CachedObject, EvictionPolicy
 from repro.cache.request import Request

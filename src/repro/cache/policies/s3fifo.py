@@ -15,8 +15,8 @@ non-zero frequency another lap (reinsertion with decremented frequency).
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
-from typing import Deque, Dict, Optional
+from collections import OrderedDict
+from typing import Optional
 
 from repro.cache.policies.base import CachedObject, EvictionPolicy
 from repro.cache.request import Request

@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import csv
 import io
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
+from itertools import islice
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
@@ -63,6 +65,12 @@ class Trace:
 
     def __getitem__(self, index: int) -> Request:
         return self._requests[index]
+
+    def prefix(self, count: int, name: Optional[str] = None) -> "Trace":
+        """The first ``count`` requests as a new trace (fidelity scaling)."""
+        if count < 0:
+            raise ValueError(f"prefix length cannot be negative, got {count}")
+        return Trace(self._requests[:count], name=name or self.name)
 
     # -- statistics ----------------------------------------------------------
 
@@ -156,3 +164,23 @@ class Trace:
     def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Trace":
         """Return a sub-trace of requests ``[start:stop]``."""
         return Trace(self._requests[start:stop], name=name or f"{self.name}[{start}:{stop}]")
+
+
+def prefix_trace(trace, fraction: float) -> "Trace":
+    """The first ``fraction`` of any sized trace as an in-memory :class:`Trace`.
+
+    This is how the fidelity ladder (:mod:`repro.core.fidelity`) truncates a
+    caching workload: the scaled trace is an exact *prefix* of the full one,
+    so a rung simulation replays the first ``fraction`` of the full
+    simulation verbatim -- the strongest possible rank correlation a
+    truncation can offer.  Works on anything sized and iterable (an
+    in-memory :class:`Trace` or a
+    :class:`~repro.traces.streaming.StreamingTrace`; the prefix is
+    materialised, which is bounded by ``fraction`` of the source).
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+    count = max(1, int(math.ceil(len(trace) * fraction)))
+    if isinstance(trace, Trace):
+        return trace.prefix(count)
+    return Trace(islice(iter(trace), count), name=getattr(trace, "name", "trace"))

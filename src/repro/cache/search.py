@@ -22,7 +22,7 @@ from typing import Any, List, Optional
 
 from repro.cache.metrics import SimulationResult
 from repro.cache.priority_cache import PriorityFunctionCache, TEMPLATE_PARAMS
-from repro.cache.request import Trace
+from repro.cache.request import Trace, prefix_trace
 from repro.cache.simulator import CacheSimulator, cache_size_for
 from repro.core.checker import StructuralChecker
 from repro.core.context import Context
@@ -223,6 +223,27 @@ class CachingEvaluator(Evaluator):
                 "evictions": float(result.evictions),
             },
         )
+
+    def at_fidelity(self, fraction: float) -> "CachingEvaluator":
+        """A reduced-budget copy: the first ``fraction`` of the trace.
+
+        The cache size stays the *full-trace* size -- the cache is the
+        deployment under test, the trace merely samples its workload -- so a
+        rung simulation is an exact prefix of the full simulation.  The
+        warmup window scales with the trace: keeping it absolute could
+        swallow a cheap rung's entire prefix and leave every candidate tied
+        at zero measured requests.
+        """
+        if fraction == 1.0:
+            return self
+        scaled = CachingEvaluator(
+            prefix_trace(self.trace, fraction),
+            cache_size=self.cache_size,
+            warmup=int(self.warmup * fraction),
+            refresh_interval=self.refresh_interval,
+            backend=self.backend,
+        )
+        return scaled
 
 
 class CachingDomain(SearchDomain):

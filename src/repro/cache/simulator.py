@@ -8,11 +8,11 @@ policies are measured by exactly the same loop.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, Optional, Protocol, Union
+from typing import Callable, Dict, Iterator, Optional, Protocol, Union
 
 from repro.cache.metrics import SimulationResult
 from repro.cache.policies.base import EvictionPolicy
-from repro.cache.request import Request, Trace
+from repro.cache.request import Request
 
 PolicyLike = Union[EvictionPolicy, Callable[[int], EvictionPolicy]]
 

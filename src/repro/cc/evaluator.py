@@ -17,7 +17,7 @@ from repro.cc.dsl_controller import DslCongestionController
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.dsl.ast import Program
 from repro.netsim.link import LinkConfig
-from repro.netsim.simulator import NetworkSimulator, SimulationConfig, SimulationMetrics
+from repro.netsim.simulator import SimulationConfig, SimulationMetrics
 from repro.workloads.netsim import NetSimScenario, build_scenario
 
 
@@ -135,6 +135,17 @@ class CongestionControlEvaluator(Evaluator):
     def run_candidate(self, program: Program) -> SimulationMetrics:
         """Simulate ``program`` on the scenario and return raw metrics."""
         return self._run_scenario(program)[0]
+
+    def at_fidelity(self, fraction: float) -> "CongestionControlEvaluator":
+        """A reduced-budget copy: the same link, ``fraction`` of the run."""
+        if fraction == 1.0:
+            return self
+        return CongestionControlEvaluator(
+            objective=self.objective,
+            initial_window=self.initial_window,
+            backend=self.backend,
+            scenario=self.scenario.scaled(fraction),
+        )
 
     def evaluate_program(self, program: Program) -> EvaluationResult:
         metrics, candidate_ids = self._run_scenario(program)

@@ -24,7 +24,7 @@ are also reported.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable
 
 from repro.core.checker import CheckIssue, CheckResult, CompositeChecker, StructuralChecker
 from repro.core.template import Template

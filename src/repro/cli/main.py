@@ -121,6 +121,41 @@ def _apply_engine_overrides(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
     return RunSpec.from_dict(data)
 
 
+def _apply_fidelity_override(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
+    """Layer ``--fidelity`` onto a spec without editing the JSON.
+
+    Accepted forms: ``off`` (disable the spec's ladder), a comma-separated
+    rung list (``0.1,0.3,1.0``), or a JSON object
+    (``{"rungs": [...], "eta": 4, "mode": "shadow"}``).
+    """
+    raw = getattr(args, "fidelity", None)
+    if raw is None:
+        return spec
+    if raw.strip().lower() in ("off", "none"):
+        ref = None
+    else:
+        try:
+            ref = json.loads(raw)
+        except json.JSONDecodeError:
+            try:
+                ref = [float(part) for part in raw.split(",") if part.strip()]
+            except ValueError:
+                raise CliError(
+                    f"--fidelity expects 'off', a comma-separated rung list "
+                    f"or a JSON object, got {raw!r}"
+                ) from None
+        if not isinstance(ref, (list, dict)):
+            # e.g. a bare number: json.loads accepts it but a schedule needs
+            # a rung list or a mapping.
+            raise CliError(
+                f"--fidelity expects 'off', a comma-separated rung list "
+                f"or a JSON object, got {raw!r}"
+            )
+    data = spec.to_dict()
+    data["fidelity"] = ref
+    return RunSpec.from_dict(data)
+
+
 def _search_report(outcome) -> str:
     """Render a finished search run's report.
 
@@ -172,6 +207,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.seed is not None:
             spec = spec.for_seed(args.seed)
         spec = _apply_engine_overrides(spec, args)
+        spec = _apply_fidelity_override(spec, args)
         outcome = run(
             spec,
             store=store,
@@ -187,6 +223,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise CliError(
             "--executor/--max-workers apply to RunSpec runs; registered "
             "experiments manage their own engine configuration"
+        )
+    if getattr(args, "fidelity", None) is not None:
+        raise CliError(
+            "--fidelity applies to RunSpec runs; registered experiments "
+            "do not use the multi-fidelity scheduler"
         )
     if getattr(args, "eval_store", None) is not None or getattr(
         args, "no_eval_store", False
@@ -233,6 +274,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds = [int(s) for s in args.seeds]
         spec = RunSpec.from_dict({**spec.to_dict(), "seeds": seeds})
     spec = _apply_engine_overrides(spec, args)
+    spec = _apply_fidelity_override(spec, args)
     # Progress printing only when seeds run one at a time: concurrent seeds
     # would interleave unattributed lines through one shared printer.
     serial = args.parallel == 1 or len(spec.seed_list) == 1
@@ -461,6 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="override the spec's engine worker count",
         )
+        p.add_argument(
+            "--fidelity",
+            default=None,
+            metavar="LADDER",
+            help="override the spec's multi-fidelity schedule: 'off', a "
+            "comma-separated rung list (e.g. 0.1,0.3,1.0) or a JSON object "
+            '(e.g. {"rungs": [0.1, 1.0], "eta": 4, "mode": "shadow"})',
+        )
 
     p_run = sub.add_parser("run", help="run an experiment by name or a RunSpec file")
     p_run.add_argument("target", help="registered experiment name or path to spec.json")
@@ -548,6 +598,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyError as exc:
+        # Registry misses (unknown workload/domain/experiment names) raise
+        # KeyError with an "unknown <thing> ...; available: ..." message;
+        # surface those without a traceback.  Any other KeyError is an
+        # internal bug and must stay loud and debuggable.
+        message = exc.args[0] if exc.args else ""
+        if isinstance(message, str) and message.startswith("unknown "):
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        raise
     except (ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -43,7 +43,9 @@ from repro.core.store import (
     EvaluationStore,
     GcOutcome,
     StoreStats,
+    fidelity_eval_key,
 )
+from repro.core.fidelity import DEFAULT_RUNGS, FidelitySchedule
 from repro.core.domain import (
     SearchDomain,
     SearchSetup,
@@ -55,7 +57,9 @@ from repro.core.domain import (
 from repro.core.archive import HeuristicArchive, ArchiveEntry, SearchCheckpoint
 from repro.core.cost import CostModel, GPT_4O_MINI_PRICING, SearchCostReport
 from repro.core.events import (
+    CandidateEliminated,
     CandidateEvaluated,
+    CandidatePromoted,
     CheckpointWritten,
     EventBus,
     JsonlEventLog,
@@ -116,6 +120,9 @@ __all__ = [
     "EvaluationStore",
     "GcOutcome",
     "StoreStats",
+    "fidelity_eval_key",
+    "DEFAULT_RUNGS",
+    "FidelitySchedule",
     "SearchDomain",
     "SearchSetup",
     "available_domains",
@@ -131,6 +138,8 @@ __all__ = [
     "RunEvent",
     "RunStarted",
     "CandidateEvaluated",
+    "CandidatePromoted",
+    "CandidateEliminated",
     "RoundCompleted",
     "CheckpointWritten",
     "RunFinished",

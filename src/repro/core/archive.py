@@ -149,6 +149,7 @@ def _evaluation_to_dict(evaluation: EvaluationResult) -> dict:
         "scenario_scores": {
             k: _encode_float(v) for k, v in evaluation.scenario_scores.items()
         },
+        "fidelity": evaluation.fidelity,
     }
 
 
@@ -162,6 +163,7 @@ def _evaluation_from_dict(data: dict) -> EvaluationResult:
         scenario_scores={
             k: _decode_float(v) for k, v in data.get("scenario_scores", {}).items()
         },
+        fidelity=float(data.get("fidelity", 1.0)),
     )
 
 

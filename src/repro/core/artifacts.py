@@ -62,9 +62,22 @@ def _write_json(path: Path, data: Any) -> None:
 
 
 def _strip_volatile_round(data: dict) -> dict:
-    """Zero a round dictionary's store counters (volatile: they depend on
-    what the attached evaluation store happened to contain, not the spec)."""
-    return dict(data, store_lookups=0, store_hits=0)
+    """Zero a round dictionary's store and fidelity-rung counters.
+
+    The store counters depend on what the attached evaluation store happened
+    to contain; the rung counters describe how the fidelity ladder budgeted
+    evaluation, not what the search found (and a shadow-mode ladder run must
+    stay byte-identical to a ladder-disabled one).  Both are execution
+    telemetry: live values go to ``metadata.json``.
+    """
+    return dict(
+        data,
+        store_lookups=0,
+        store_hits=0,
+        rung_evaluations=0,
+        rung_promotions=0,
+        rung_eliminations=0,
+    )
 
 
 def search_result_to_dict(result: SearchResult, include_timing: bool = False) -> dict:
@@ -104,6 +117,9 @@ def search_result_to_dict(result: SearchResult, include_timing: bool = False) ->
         "eval_cache_hits": result.eval_cache_hits,
         "store_lookups": result.store_lookups if include_timing else 0,
         "store_hits": result.store_hits if include_timing else 0,
+        "rung_evaluations": result.rung_evaluations if include_timing else 0,
+        "rung_promotions": result.rung_promotions if include_timing else 0,
+        "rung_eliminations": result.rung_eliminations if include_timing else 0,
     }
 
 
@@ -137,6 +153,9 @@ def search_result_from_dict(data: dict) -> SearchResult:
         eval_cache_hits=int(data.get("eval_cache_hits", 0)),
         store_lookups=int(data.get("store_lookups", 0)),
         store_hits=int(data.get("store_hits", 0)),
+        rung_evaluations=int(data.get("rung_evaluations", 0)),
+        rung_promotions=int(data.get("rung_promotions", 0)),
+        rung_eliminations=int(data.get("rung_eliminations", 0)),
     )
 
 
@@ -247,13 +266,15 @@ def finalize_run_dir(
     config_hash: str,
     seed: int,
     eval_store: Optional[Dict[str, Any]] = None,
+    fidelity: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Write result.json / rounds.jsonl / metadata.json for a finished search.
 
     ``eval_store`` (optional) is the run's live evaluation-store record --
     path, eval-config hash, lookup/hit/write counters -- stored in
     ``metadata.json`` only: like wall time, it describes *this* execution,
-    not the spec.
+    not the spec.  ``fidelity`` (optional) is the run's live ladder record
+    (schedule + rung counters), stored the same way.
     """
     path = Path(path)
     _write_json(path / RESULT_FILE, search_result_to_dict(result))
@@ -275,6 +296,8 @@ def finalize_run_dir(
     }
     if eval_store is not None:
         metadata["eval_store"] = eval_store
+    if fidelity is not None:
+        metadata["fidelity"] = fidelity
     _write_json(path / METADATA_FILE, metadata)
     return path
 

@@ -28,6 +28,14 @@ shared execution substrate that replaces that loop for every domain:
   pair: every scenario of every unique candidate is its own executor task
   (with its own timeout and crash isolation), and per-candidate results are
   recombined with the same ``combine`` the serial path uses.
+* **Multi-fidelity screening** -- with a
+  :class:`~repro.core.fidelity.FidelitySchedule` attached, the batch's
+  fresh unique programs walk a successive-halving budget ladder: everyone
+  is evaluated at the cheapest rung (a trace prefix / shortened netsim
+  run), only the top ``1/eta`` fraction is promoted, and the final
+  surviving pool runs at full fidelity.  Rung results are memoized and
+  persisted under fidelity-qualified keys; ranking and selection only ever
+  consume full-fidelity scores.
 
 Each candidate that receives an evaluation result is announced as a
 :class:`~repro.core.events.CandidateEvaluated` event on the engine's
@@ -49,8 +57,14 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.checker import Checker
 from repro.core.evaluator import EvaluationResult, Evaluator
-from repro.core.events import CandidateEvaluated, EventBus
+from repro.core.events import (
+    CandidateEliminated,
+    CandidateEvaluated,
+    CandidatePromoted,
+    EventBus,
+)
 from repro.core.executors import EvalUnit, available_executors, create_executor
+from repro.core.fidelity import FidelitySchedule
 from repro.core.generator import Generator
 from repro.core.results import Candidate, ScoredCandidate
 from repro.core.scenarios import MultiScenarioEvaluator
@@ -115,6 +129,12 @@ class BatchStats:
     eval_timeouts: int = 0
     store_lookups: int = 0
     store_hits: int = 0
+    #: Fidelity-ladder traffic (0 without a schedule): fresh sub-full-rung
+    #: evaluations, and how many promotion/elimination decisions the ladder
+    #: took (in ``shadow`` mode these are would-be decisions).
+    rung_evaluations: int = 0
+    rung_promotions: int = 0
+    rung_eliminations: int = 0
 
 
 @dataclass
@@ -130,6 +150,11 @@ def canonical_key(program: Program) -> str:
     return hashlib.sha1(to_source(program).encode("utf-8")).hexdigest()
 
 
+def _plain_key(key: str) -> str:
+    """Strip the dedup-disabled ``#copy-`` suffix off a batch key."""
+    return key.split("#copy-")[0]
+
+
 class EvaluationEngine:
     """Shared check/repair/evaluate pipeline used by every search domain."""
 
@@ -142,6 +167,7 @@ class EvaluationEngine:
         config: Optional[EngineConfig] = None,
         events: Optional[EventBus] = None,
         store: Optional[BoundEvalStore] = None,
+        fidelity: Optional[FidelitySchedule] = None,
     ):
         self.checker = checker
         self.evaluator = evaluator
@@ -150,8 +176,11 @@ class EvaluationEngine:
         self.config = config or EngineConfig()
         self.events = events if events is not None else EventBus()
         self.store = store
+        self.fidelity: Optional[FidelitySchedule] = None
         self._memo: Dict[str, EvaluationResult] = {}
         self._executor = None  # lazily-created backend, reused across batches
+        self._scaled_evaluators: Dict[float, Evaluator] = {}
+        self._rung_executors: Dict[float, object] = {}
         # Cumulative counters across the engine's lifetime.
         self.cache_lookups = 0
         self.cache_hits = 0
@@ -159,6 +188,11 @@ class EvaluationEngine:
         self.store_lookups = 0
         self.store_hits = 0
         self.store_writes = 0
+        self.rung_evaluations = 0
+        self.rung_promotions = 0
+        self.rung_eliminations = 0
+        if fidelity is not None:
+            self.attach_fidelity(fidelity)
 
     # -- memo management ----------------------------------------------------------
 
@@ -173,6 +207,30 @@ class EvaluationEngine:
     def attach_store(self, store: Optional[BoundEvalStore]) -> None:
         """Attach (or detach, with ``None``) the persistent disk memo tier."""
         self.store = store
+
+    def attach_fidelity(self, fidelity: Optional[FidelitySchedule]) -> None:
+        """Attach (or detach, with ``None``) the multi-fidelity schedule.
+
+        Attaching validates that the evaluator can scale (every screening
+        rung needs an ``at_fidelity`` evaluator), so a misconfigured ladder
+        fails here rather than mid-search.
+        """
+        self._scaled_evaluators = {}
+        self._close_rung_executors()
+        self.fidelity = fidelity
+        if fidelity is not None and fidelity.screening_rungs:
+            try:
+                self._scaled_evaluator(fidelity.screening_rungs[0])
+            except NotImplementedError as exc:
+                self.fidelity = None
+                raise ValueError(
+                    f"fidelity scheduling needs a scalable evaluator: {exc}"
+                ) from exc
+
+    def _scaled_evaluator(self, fraction: float) -> Evaluator:
+        if fraction not in self._scaled_evaluators:
+            self._scaled_evaluators[fraction] = self.evaluator.at_fidelity(fraction)
+        return self._scaled_evaluators[fraction]
 
     # -- check/repair phase -------------------------------------------------------
 
@@ -250,11 +308,14 @@ class EvaluationEngine:
                 stats.eval_cache_hits += 1
                 tiers[candidate_id] = "memory"
                 continue
-            if use_store and not key.startswith("#"):
+            if use_store and not key.startswith("#") and not self._ladder_active():
                 # This key is about to cost a fresh evaluation: try the disk
                 # tier first.  ``store_lookups``/``unique_evaluations`` count
                 # the memory-tier miss either way, so the eval-cache
                 # statistics are identical whatever the store contains.
+                # (With a fidelity ladder attached the disk lookup is
+                # deferred until after screening -- see below -- so the
+                # ladder's pool cannot depend on the store's state.)
                 stats.store_lookups += 1
                 stats.unique_evaluations += 1
                 stored = self.store.get(key)
@@ -273,15 +334,38 @@ class EvaluationEngine:
             order.append((key, item.program))
             tiers[candidate_id] = "fresh"
 
-        results = self._evaluate_many([program for _key, program in order], stats)
-        for (key, _program), result in zip(order, results):
+        # The fidelity ladder (when attached) screens the fresh unique
+        # programs at cheap rungs first; only the promoted pool reaches the
+        # full-fidelity evaluation below.  ``screened`` carries the rung
+        # results that become screened-out candidates' recorded evaluations
+        # (empty in shadow mode, where everyone is still evaluated in full).
+        final_order, screened, ladder_events = self._screen_ladder(order, pending, stats)
+        if self._ladder_active():
+            # The ladder pool was every memory-tier miss (the plain-key disk
+            # lookup was deferred so the screening decisions are independent
+            # of the store's state); resolve the promoted pool against the
+            # disk tier now.
+            stats.unique_evaluations = len(order)
+            if use_store:
+                final_order = self._resolve_from_store(
+                    final_order, pending, tiers, stats
+                )
+
+        results = self._evaluate_many([program for _key, program in final_order], stats)
+        for (key, _program), result in zip(final_order, results):
             # Transient failures (timeouts, dead workers) are not the
             # candidate's fault; never memoize or persist them.
             if self.config.memoize and not key.startswith("#") and not result.transient:
-                base_key = key.split("#copy-")[0]
+                base_key = _plain_key(key)
                 self._memo[base_key] = result
                 if use_store and self.store.put(base_key, result):
                     self.store_writes += 1
+            for item in pending[key]:
+                item.evaluation = result
+        for key, result in screened:
+            # A screened-out candidate's recorded result is its highest-rung
+            # evaluation (fidelity < 1.0); it never enters the plain-key memo
+            # or store, so it can never masquerade as a full-fidelity score.
             for item in pending[key]:
                 item.evaluation = result
         if not use_store:
@@ -293,8 +377,13 @@ class EvaluationEngine:
         self.unique_evaluations += stats.unique_evaluations
         self.store_lookups += stats.store_lookups
         self.store_hits += stats.store_hits
+        self.rung_evaluations += stats.rung_evaluations
+        self.rung_promotions += stats.rung_promotions
+        self.rung_eliminations += stats.rung_eliminations
 
         if self.events:
+            for event in ladder_events:
+                self.events.emit(event)
             for item in scored:
                 if item.evaluation is None:
                     continue
@@ -313,13 +402,174 @@ class EvaluationEngine:
                 )
         return BatchResult(scored=scored, stats=stats)
 
+    # -- fidelity ladder ----------------------------------------------------------
+
+    def _ladder_active(self) -> bool:
+        return self.fidelity is not None and bool(self.fidelity.screening_rungs)
+
+    def _resolve_from_store(
+        self,
+        order: List[Tuple[str, Program]],
+        pending: Dict[str, List[ScoredCandidate]],
+        tiers: Dict[str, str],
+        stats: BatchStats,
+    ) -> List[Tuple[str, Program]]:
+        """Serve ladder-promoted programs from the full-fidelity disk tier.
+
+        Mirrors the inline lookup the non-ladder path does before
+        evaluation; only called under ``use_store`` (dedup+memoize on, so
+        every key is a plain canonical hash).
+        """
+        still_fresh: List[Tuple[str, Program]] = []
+        for key, program in order:
+            stats.store_lookups += 1
+            stored = self.store.get(key)
+            if stored is None:
+                still_fresh.append((key, program))
+                continue
+            self._memo[key] = stored
+            stats.store_hits += 1
+            for position, item in enumerate(pending[key]):
+                item.evaluation = stored
+                if position == 0:
+                    # Duplicates that joined the group keep their "memory"
+                    # tier, exactly as on the non-ladder path.
+                    tiers[item.candidate.candidate_id] = "disk"
+        return still_fresh
+
+    def _screen_ladder(
+        self,
+        order: List[Tuple[str, Program]],
+        pending: Dict[str, List[ScoredCandidate]],
+        stats: BatchStats,
+    ) -> Tuple[
+        List[Tuple[str, Program]],
+        List[Tuple[str, EvaluationResult]],
+        List[object],
+    ]:
+        """Successive halving over the batch's fresh unique programs.
+
+        Walks the schedule's screening rungs: evaluate the surviving pool at
+        the rung's fidelity, keep the top ``keep_count`` (score descending,
+        submission order breaking ties), repeat.  Returns the
+        ``(key, program)`` pairs still due a full-fidelity evaluation, the
+        rung results assigned to screened-out keys, and the
+        promotion/elimination events to publish.  In ``shadow`` mode the
+        decisions (and their telemetry) are identical but every program is
+        returned for full evaluation and nothing is screened out.
+        """
+        schedule = self.fidelity
+        if schedule is None or not schedule.screening_rungs or len(order) <= 1:
+            return order, [], []
+        use_store = self.store is not None and self.config.dedup and self.config.memoize
+        pool = list(range(len(order)))
+        screened: List[Tuple[str, EvaluationResult]] = []
+        events: List[object] = []
+        # plan() owns the rung-skip rule (a rung that cannot eliminate is
+        # pure overhead, in shadow mode too); the final full-fidelity step
+        # is ours to execute below, not here.
+        for rung_index, fraction, _pool_size in schedule.plan(len(order))[:-1]:
+            rung_results = self._evaluate_rung(
+                fraction, [order[index] for index in pool], stats, use_store
+            )
+            scores = [result.score for result in rung_results]
+            survivors = set(schedule.select_survivors(scores))
+            stats.rung_promotions += len(survivors)
+            stats.rung_eliminations += len(pool) - len(survivors)
+            next_pool: List[int] = []
+            for position, order_index in enumerate(pool):
+                key = order[order_index][0]
+                representative = pending[key][0].candidate
+                promoted = position in survivors
+                event_cls = CandidatePromoted if promoted else CandidateEliminated
+                events.append(
+                    event_cls(
+                        candidate_id=representative.candidate_id,
+                        round_index=representative.round_index,
+                        rung=rung_index,
+                        fraction=fraction,
+                        score=scores[position],
+                        kept=len(survivors),
+                        pool=len(pool),
+                    )
+                )
+                if promoted:
+                    next_pool.append(order_index)
+                elif schedule.mode == "screen":
+                    screened.append((key, rung_results[position]))
+            pool = next_pool
+        if schedule.mode == "shadow":
+            return order, [], events
+        return [order[index] for index in pool], screened, events
+
+    def _evaluate_rung(
+        self,
+        fraction: float,
+        subset: List[Tuple[str, Program]],
+        stats: BatchStats,
+        use_store: bool,
+    ) -> List[EvaluationResult]:
+        """Evaluate ``subset`` at one screening rung, through the memo tiers.
+
+        Rung results live under fidelity-qualified keys -- in the in-memory
+        memo (``<key>@f=<fraction>``) and, when a store is attached, under
+        :meth:`~repro.core.store.BoundEvalStore.at_fidelity` -- so partial
+        scores are reused across rounds and processes exactly like full ones
+        without ever colliding with them.
+        """
+        evaluator = self._scaled_evaluator(fraction)
+        rung_store = self.store.at_fidelity(fraction) if use_store else None
+        results: List[Optional[EvaluationResult]] = [None] * len(subset)
+        fresh: List[int] = []
+        for position, (key, _program) in enumerate(subset):
+            memo_key = self._rung_memo_key(key, fraction)
+            if memo_key is not None and memo_key in self._memo:
+                results[position] = self._memo[memo_key]
+                continue
+            if memo_key is not None and rung_store is not None:
+                stored = rung_store.get(_plain_key(key))
+                if stored is not None:
+                    self._memo[memo_key] = stored
+                    results[position] = stored
+                    continue
+            fresh.append(position)
+        fresh_results = self._evaluate_many(
+            [subset[position][1] for position in fresh],
+            stats,
+            evaluator=evaluator,
+            fraction=fraction,
+        )
+        stats.rung_evaluations += len(fresh)
+        for position, result in zip(fresh, fresh_results):
+            result.fidelity = fraction
+            memo_key = self._rung_memo_key(subset[position][0], fraction)
+            if memo_key is not None and not result.transient:
+                self._memo[memo_key] = result
+                if rung_store is not None and rung_store.put(
+                    _plain_key(subset[position][0]), result
+                ):
+                    self.store_writes += 1
+            results[position] = result
+        return results
+
+    def _rung_memo_key(self, key: str, fraction: float) -> Optional[str]:
+        if key.startswith("#") or not self.config.memoize:
+            return None
+        return f"{_plain_key(key)}@f={fraction!r}"
+
     # -- executors ----------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the executor backend (recreated lazily on next use)."""
+        """Shut down the executor backends (recreated lazily on next use)."""
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+        self._close_rung_executors()
+
+    def _close_rung_executors(self) -> None:
+        for executor in self._rung_executors.values():
+            executor.close()
+        self._rung_executors = {}
 
     def _backend_name(self) -> str:
         # A single worker cannot fan out: run serially whatever the backend,
@@ -337,20 +587,44 @@ class EvaluationEngine:
             self._executor = create_executor(backend, self.config, self.evaluator)
         return self._executor
 
+    def _ensure_rung_executor(self, backend: str, fraction: float, evaluator: Evaluator):
+        executor = self._rung_executors.get(fraction)
+        if executor is not None and executor.name != backend:
+            executor.close()
+            executor = None
+        if executor is None:
+            executor = create_executor(backend, self.config, evaluator)
+            self._rung_executors[fraction] = executor
+        return executor
+
     def _evaluate_many(
-        self, programs: List[Program], stats: BatchStats
+        self,
+        programs: List[Program],
+        stats: BatchStats,
+        evaluator: Optional[Evaluator] = None,
+        fraction: float = 1.0,
     ) -> List[EvaluationResult]:
+        """Evaluate ``programs`` on the configured backend.
+
+        ``evaluator`` overrides the engine's evaluator for fidelity-rung
+        evaluation (``fraction`` keys the rung's dedicated executor, so e.g.
+        a process pool ships each scaled evaluator to its workers once).
+        """
         if not programs:
             return []
         backend = self._backend_name()
-        executor = self._ensure_executor(backend)
+        if evaluator is None:
+            evaluator = self.evaluator
+            executor = self._ensure_executor(backend)
+        else:
+            executor = self._ensure_rung_executor(backend, fraction, evaluator)
         # Note: single-program batches still go through the configured
         # backend -- a serial shortcut would silently drop the timeout and
         # crash isolation.
-        if backend != "serial" and isinstance(self.evaluator, MultiScenarioEvaluator):
-            return self._evaluate_many_sharded(programs, self.evaluator, executor, stats)
+        if backend != "serial" and isinstance(evaluator, MultiScenarioEvaluator):
+            return self._evaluate_many_sharded(programs, evaluator, executor, stats)
         units = [
-            EvalUnit(program=program, failure_score=self.evaluator.failure_score)
+            EvalUnit(program=program, failure_score=evaluator.failure_score)
             for program in programs
         ]
         return executor.run_units(units, stats)

@@ -34,6 +34,12 @@ class EvaluationResult:
     :mod:`repro.core.scenarios`): one score per named workload scenario, with
     ``score`` holding the reduced aggregate.  Single-scenario evaluation
     leaves it empty.
+
+    ``fidelity`` records the fraction of the full evaluation budget this
+    result was produced at (see :mod:`repro.core.fidelity`).  ``1.0`` -- the
+    default, and the only value ordinary evaluation ever produces -- marks a
+    full-fidelity score; anything smaller is a screening-rung score, which
+    ranking and selection must never consume.
     """
 
     score: float
@@ -43,6 +49,11 @@ class EvaluationResult:
     details: Dict[str, float] = field(default_factory=dict)
     transient: bool = False
     scenario_scores: Dict[str, float] = field(default_factory=dict)
+    fidelity: float = 1.0
+
+    @property
+    def full_fidelity(self) -> bool:
+        return self.fidelity >= 1.0
 
     @classmethod
     def failure(
@@ -60,6 +71,21 @@ class Evaluator(ABC):
     @abstractmethod
     def evaluate_program(self, program: Program) -> EvaluationResult:
         """Score ``program``; may raise -- :meth:`evaluate` handles errors."""
+
+    def at_fidelity(self, fraction: float) -> "Evaluator":
+        """A reduced-budget copy of this evaluator (fidelity scheduling).
+
+        ``fraction`` is in ``(0, 1]``; the returned evaluator scores
+        candidates on that fraction of the evaluation budget (a trace
+        prefix, a shortened simulation, ...).  Evaluators that cannot scale
+        raise, which the engine turns into a configuration error at
+        schedule-attach time rather than a surprise mid-search.
+        """
+        if fraction == 1.0:
+            return self
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support fidelity scaling"
+        )
 
     def evaluate(self, program: Program) -> EvaluationResult:
         """Score ``program``, converting runtime failures into invalid results."""
@@ -88,3 +114,8 @@ class FunctionEvaluator(Evaluator):
     def evaluate_program(self, program: Program) -> EvaluationResult:
         score = float(self._fn(program))
         return EvaluationResult(score=score, valid=True)
+
+    def at_fidelity(self, fraction: float) -> "FunctionEvaluator":
+        # A plain function has no budget to scale: rung scores equal full
+        # scores, which makes this the exact-ranking reference in tests.
+        return self

@@ -93,6 +93,47 @@ class CandidateEvaluated(RunEvent):
 
 
 @dataclass(frozen=True)
+class CandidatePromoted(RunEvent):
+    """A candidate survived one screening rung of the fidelity ladder.
+
+    ``fraction`` is the rung's fidelity (a sub-1.0 budget fraction);
+    ``score`` the rung score the promotion decision ranked on -- telemetry
+    only, never consumed by ranking or selection.  ``kept`` / ``pool`` sizes
+    the decision (top ``kept`` of ``pool`` survived).
+    """
+
+    kind: ClassVar[str] = "candidate_promoted"
+
+    candidate_id: str = ""
+    round_index: int = 0
+    rung: int = 0
+    fraction: float = 1.0
+    score: float = float("-inf")
+    kept: int = 0
+    pool: int = 0
+
+
+@dataclass(frozen=True)
+class CandidateEliminated(RunEvent):
+    """A candidate was screened out at one rung of the fidelity ladder.
+
+    In ``screen`` mode the candidate's recorded evaluation stays at this
+    rung's fidelity; in ``shadow`` mode the event is telemetry only and the
+    candidate still receives a full-fidelity evaluation.
+    """
+
+    kind: ClassVar[str] = "candidate_eliminated"
+
+    candidate_id: str = ""
+    round_index: int = 0
+    rung: int = 0
+    fraction: float = 1.0
+    score: float = float("-inf")
+    kept: int = 0
+    pool: int = 0
+
+
+@dataclass(frozen=True)
 class RoundCompleted(RunEvent):
     """One search round finished (mirrors the round's RoundSummary)."""
 
@@ -224,6 +265,16 @@ class ProgressPrinter:
                 self._line(
                     f"  {event.candidate_id}: score {event.score:.4f} "
                     f"({'valid' if event.valid else 'invalid'}, {event.cache_tier})"
+                )
+        elif isinstance(event, (CandidatePromoted, CandidateEliminated)):
+            if self.verbose:
+                verb = (
+                    "promoted" if isinstance(event, CandidatePromoted) else "eliminated"
+                )
+                self._line(
+                    f"  {event.candidate_id}: {verb} at rung {event.rung} "
+                    f"({event.fraction:.0%} fidelity, score {event.score:.4f}, "
+                    f"kept {event.kept}/{event.pool})"
                 )
         elif isinstance(event, RoundCompleted):
             disk = (

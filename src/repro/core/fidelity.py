@@ -1,0 +1,215 @@
+"""Multi-fidelity evaluation schedules: successive halving over a budget ladder.
+
+Most candidates a search round produces are eliminated immediately -- they
+never become parents and never become the winner -- yet the engine pays the
+full evaluation budget (the whole trace, the whole netsim run) for every one
+of them.  A :class:`FidelitySchedule` describes a *budget ladder*: an
+ascending list of fidelity fractions (e.g. 10% -> 30% -> 100% of the
+workload), plus a successive-halving promotion rule.  The
+:class:`~repro.core.engine.EvaluationEngine` evaluates a batch's fresh
+candidates at the cheapest rung, keeps the top ``1/eta`` fraction (never
+fewer than ``min_keep``), promotes the survivors one rung up, and repeats
+until the surviving pool runs at full fidelity.
+
+Two modes:
+
+``screen`` (the default)
+    Real elimination: candidates dropped at a low rung keep that rung's
+    (cheap) evaluation as their recorded result, marked with
+    ``fidelity < 1.0``.  Ranking and selection -- parents, the final winner,
+    per-round bests -- only ever consume full-fidelity scores, so a screened
+    candidate can never steer the search with a low-fidelity number.  This
+    is the fast path; its final quality equals the full-fidelity run
+    whenever the ladder's keep policy retains the true top candidates (which
+    ``shadow`` mode lets you validate).
+
+``shadow``
+    Audit-only: the ladder runs -- rung evaluations, promotion/elimination
+    telemetry and events all happen -- but *every* candidate is still
+    evaluated at full fidelity and nothing is eliminated.  Because rung
+    scores are consumed by nothing except telemetry, a fixed-seed shadow run
+    produces byte-identical ``result.json`` to a ladder-disabled run; use it
+    to measure a ladder's rank fidelity before trusting ``screen`` mode.
+
+Rung evaluations are memoized and persisted like any other evaluation, but
+under a *fidelity-qualified* content address (see
+:func:`~repro.core.store.fidelity_eval_key`), so partial scores can never
+collide with -- or masquerade as -- full-fidelity ones.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import abc
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+#: The ladder used when a spec or CLI flag enables fidelity scheduling
+#: without naming rungs.
+DEFAULT_RUNGS = (0.1, 0.3, 1.0)
+
+FIDELITY_MODES = ("screen", "shadow")
+
+
+@dataclass(frozen=True)
+class FidelitySchedule:
+    """A budget ladder plus the successive-halving promotion rule.
+
+    ``rungs`` are strictly ascending fidelity fractions in ``(0, 1]``; the
+    last rung must be ``1.0`` (final scores are always full-fidelity).
+    ``eta`` is the halving rate: each rung keeps the top ``ceil(n / eta)``
+    of its pool.  ``min_keep`` floors the survivor count so a ladder can
+    never starve the search of parents (set it to at least the search's
+    ``top_k_parents``).  The schedule round-trips through JSON (a bare rung
+    list or ``{"rungs": ..., "eta": ..., ...}``) so a
+    :class:`~repro.core.spec.RunSpec` can declare it.
+    """
+
+    rungs: Tuple[float, ...] = DEFAULT_RUNGS
+    eta: float = 3.0
+    min_keep: int = 2
+    mode: str = "screen"
+
+    def __post_init__(self) -> None:
+        if not self.rungs:
+            raise ValueError("a FidelitySchedule needs at least one rung")
+        for fraction in self.rungs:
+            if not 0 < fraction <= 1:
+                raise ValueError(
+                    f"rung fractions must be in (0, 1], got {fraction!r}"
+                )
+        if list(self.rungs) != sorted(set(self.rungs)):
+            raise ValueError(
+                f"rungs must be strictly ascending, got {list(self.rungs)}"
+            )
+        if self.rungs[-1] != 1.0:
+            raise ValueError(
+                "the final rung must be 1.0 (final scores are always "
+                f"full-fidelity), got {list(self.rungs)}"
+            )
+        if self.eta <= 1:
+            raise ValueError("eta must be greater than 1")
+        if self.min_keep < 1:
+            raise ValueError("min_keep must be at least 1")
+        if self.mode not in FIDELITY_MODES:
+            raise ValueError(
+                f"unknown fidelity mode {self.mode!r}; "
+                f"available: {list(FIDELITY_MODES)}"
+            )
+
+    # -- construction --------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        rungs: Sequence[float] = DEFAULT_RUNGS,
+        eta: float = 3.0,
+        min_keep: int = 2,
+        mode: str = "screen",
+    ) -> "FidelitySchedule":
+        # Everything here may come from user-authored JSON (a spec file or a
+        # CLI flag), so shape mistakes must be ValueErrors the frontends
+        # already surface, never bare TypeErrors.
+        if isinstance(rungs, (str, bytes)) or not isinstance(rungs, abc.Sequence):
+            raise ValueError(
+                f"rungs must be a list of fidelity fractions, got {rungs!r}"
+            )
+        try:
+            return cls(
+                rungs=tuple(float(f) for f in rungs),
+                eta=float(eta),
+                min_keep=int(min_keep),
+                mode=mode,
+            )
+        except TypeError as exc:
+            raise ValueError(f"malformed fidelity schedule: {exc}") from exc
+
+    @classmethod
+    def from_ref(
+        cls, ref: Union[None, "FidelitySchedule", Sequence[float], Mapping]
+    ) -> Optional["FidelitySchedule"]:
+        """Build a schedule from its declarative reference.
+
+        ``None`` stays ``None`` (fidelity scheduling disabled); a list is a
+        rung ladder with default promotion parameters; a mapping may set any
+        of ``rungs`` / ``eta`` / ``min_keep`` / ``mode``.
+        """
+        if ref is None:
+            return None
+        if isinstance(ref, FidelitySchedule):
+            return ref
+        if isinstance(ref, Mapping):
+            extra = set(ref) - {"rungs", "eta", "min_keep", "mode"}
+            if extra:
+                raise ValueError(
+                    f"unknown fidelity key(s) {sorted(extra)}; "
+                    "allowed: ['eta', 'min_keep', 'mode', 'rungs']"
+                )
+            return cls.create(
+                rungs=ref.get("rungs", DEFAULT_RUNGS),
+                eta=ref.get("eta", 3.0),
+                min_keep=ref.get("min_keep", 2),
+                mode=ref.get("mode", "screen"),
+            )
+        if isinstance(ref, (list, tuple)):
+            return cls.create(rungs=ref)
+        # A ref usually arrives from JSON (spec file / CLI flag): a wrong
+        # shape is bad *data*, so it raises the ValueError the frontends map
+        # to a clean exit-2 message.
+        raise ValueError(
+            f"cannot build a FidelitySchedule from {type(ref).__name__}; "
+            "use a rung list or a {'rungs': ..., 'eta': ..., 'min_keep': ..., "
+            "'mode': ...} mapping"
+        )
+
+    def to_ref(self) -> dict:
+        """The declarative form stored in specs (inverse of :meth:`from_ref`)."""
+        return {
+            "rungs": list(self.rungs),
+            "eta": self.eta,
+            "min_keep": self.min_keep,
+            "mode": self.mode,
+        }
+
+    # -- promotion rule ------------------------------------------------------------
+
+    @property
+    def screening_rungs(self) -> Tuple[float, ...]:
+        """The sub-full rungs candidates are screened at (may be empty)."""
+        return self.rungs[:-1]
+
+    def keep_count(self, pool_size: int) -> int:
+        """How many of a ``pool_size`` pool survive one rung."""
+        if pool_size <= 0:
+            return 0
+        return min(pool_size, max(self.min_keep, math.ceil(pool_size / self.eta)))
+
+    def select_survivors(self, scores: Sequence[float]) -> List[int]:
+        """Indices of the survivors of one rung, in submission order.
+
+        Ranking is by score (descending) with submission order breaking
+        ties, so promotion is deterministic for any scheduling of the rung's
+        evaluations.
+        """
+        keep = self.keep_count(len(scores))
+        ranked = sorted(range(len(scores)), key=lambda i: (-scores[i], i))
+        return sorted(ranked[:keep])
+
+    def plan(self, pool_size: int) -> List[Tuple[int, float, int]]:
+        """The ``(rung index, fraction, pool size)`` ladder a pool walks.
+
+        Rungs that would not eliminate anyone are skipped (screening a pool
+        it must keep whole is pure overhead).  This is the single definition
+        of which rungs run: the engine's ``_screen_ladder`` iterates exactly
+        these steps, with the final ``(…, 1.0, …)`` entry sizing the
+        full-fidelity pool.
+        """
+        steps: List[Tuple[int, float, int]] = []
+        pool = pool_size
+        for rung_index, fraction in enumerate(self.screening_rungs):
+            if self.keep_count(pool) >= pool:
+                continue
+            steps.append((rung_index, fraction, pool))
+            pool = self.keep_count(pool)
+        steps.append((len(self.rungs) - 1, 1.0, pool))
+        return steps

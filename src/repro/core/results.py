@@ -38,6 +38,13 @@ class ScoredCandidate:
         return self.check_ok and self.evaluation is not None and self.evaluation.valid
 
     @property
+    def full_fidelity(self) -> bool:
+        """True unless the fidelity ladder screened this candidate out at a
+        sub-full rung -- ranking and selection must only consume candidates
+        for which this holds (a low-fidelity score is not comparable)."""
+        return self.evaluation is None or self.evaluation.full_fidelity
+
+    @property
     def score(self) -> float:
         if self.evaluation is None:
             return float("-inf")
@@ -66,6 +73,14 @@ class RoundSummary:
     ``metadata.json``.  Under multi-scenario fitness, ``scenario_best`` maps
     each workload scenario to the best per-scenario score any valid
     candidate of this round achieved (empty for single-scenario runs).
+
+    ``rung_evaluations`` / ``rung_promotions`` / ``rung_eliminations`` count
+    the fidelity ladder's traffic this round (0 without a schedule).  Like
+    the store counters they describe how evaluation was *budgeted*, not what
+    the search found, so the artifact writer zeroes them in ``result.json``
+    / ``rounds.jsonl`` (live values land in ``metadata.json``) -- which is
+    what keeps a shadow-mode ladder run byte-identical to a ladder-disabled
+    one.
     """
 
     round_index: int
@@ -82,6 +97,9 @@ class RoundSummary:
     store_lookups: int = 0
     store_hits: int = 0
     scenario_best: Dict[str, float] = field(default_factory=dict)
+    rung_evaluations: int = 0
+    rung_promotions: int = 0
+    rung_eliminations: int = 0
 
     def eval_cache_hit_rate(self) -> float:
         """Fraction of evaluation requests served from the cache this round."""
@@ -108,6 +126,9 @@ class SearchResult:
     eval_cache_hits: int = 0
     store_lookups: int = 0
     store_hits: int = 0
+    rung_evaluations: int = 0
+    rung_promotions: int = 0
+    rung_eliminations: int = 0
 
     def best_source(self) -> str:
         if self.best is None:

@@ -23,7 +23,7 @@ under any engine configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.evaluator import EvaluationResult, Evaluator
@@ -175,6 +175,18 @@ class MultiScenarioEvaluator(Evaluator):
     def evaluate_scenario(self, program: Program, index: int) -> EvaluationResult:
         """Score ``program`` on one scenario (the engine's unit of sharding)."""
         return self.scenarios[index][1].evaluate(program)
+
+    def at_fidelity(self, fraction: float) -> "MultiScenarioEvaluator":
+        """Scale every scenario of the matrix to ``fraction`` of its budget."""
+        if fraction == 1.0:
+            return self
+        return MultiScenarioEvaluator(
+            [
+                (name, evaluator.at_fidelity(fraction))
+                for name, evaluator in self.scenarios
+            ],
+            self.reducer,
+        )
 
     # -- aggregation --------------------------------------------------------------
 

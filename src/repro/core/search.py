@@ -39,6 +39,7 @@ from repro.core.context import Context
 from repro.core.cost import GPT_4O_MINI_PRICING, CostModel
 from repro.core.engine import BatchStats, EngineConfig, EvaluationEngine
 from repro.core.evaluator import Evaluator
+from repro.core.fidelity import FidelitySchedule
 from repro.core.events import (
     CheckpointWritten,
     EventBus,
@@ -90,6 +91,7 @@ class EvolutionarySearch:
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 1,
         events: Optional[EventBus] = None,
+        fidelity: Optional[FidelitySchedule] = None,
     ):
         self.template = template
         self.generator = generator
@@ -112,8 +114,11 @@ class EvolutionarySearch:
             repair_attempts=self.config.repair_attempts,
             config=engine_config,
             events=self.events,
+            fidelity=fidelity,
         )
         if engine is not None:
+            if fidelity is not None:
+                engine.attach_fidelity(fidelity)
             if events is not None:
                 # A prebuilt engine joins the caller's event stream.
                 engine.events = self.events
@@ -152,6 +157,9 @@ class EvolutionarySearch:
             "hits": 0,
             "store_lookups": 0,
             "store_hits": 0,
+            "rung_evaluations": 0,
+            "rung_promotions": 0,
+            "rung_eliminations": 0,
         }
 
         checkpoint = self._load_checkpoint()
@@ -189,6 +197,9 @@ class EvolutionarySearch:
             seed_stats["hits"] = batch.stats.eval_cache_hits
             seed_stats["store_lookups"] = batch.stats.store_lookups
             seed_stats["store_hits"] = batch.stats.store_hits
+            seed_stats["rung_evaluations"] = batch.stats.rung_evaluations
+            seed_stats["rung_promotions"] = batch.stats.rung_promotions
+            seed_stats["rung_eliminations"] = batch.stats.rung_eliminations
 
         for round_index in range(len(rounds) + 1, self.config.rounds + 1):
             summary = self._run_round(round_index, population, counter)
@@ -237,6 +248,12 @@ class EvolutionarySearch:
             + sum(r.store_lookups for r in rounds),
             store_hits=seed_stats.get("store_hits", 0)
             + sum(r.store_hits for r in rounds),
+            rung_evaluations=seed_stats.get("rung_evaluations", 0)
+            + sum(r.rung_evaluations for r in rounds),
+            rung_promotions=seed_stats.get("rung_promotions", 0)
+            + sum(r.rung_promotions for r in rounds),
+            rung_eliminations=seed_stats.get("rung_eliminations", 0)
+            + sum(r.rung_eliminations for r in rounds),
         )
         usage = getattr(self.generator, "usage", None)
         if usage is not None:
@@ -262,13 +279,18 @@ class EvolutionarySearch:
     # -- internals -------------------------------------------------------------------
 
     def _parents_of(self, population: List[ScoredCandidate]) -> List[ScoredCandidate]:
-        """The top-k valid candidates across *all* previous rounds (§4.2.1)."""
-        valid = [c for c in population if c.valid]
+        """The top-k valid candidates across *all* previous rounds (§4.2.1).
+
+        Only full-fidelity scores are comparable, so candidates the fidelity
+        ladder screened out at a sub-full rung are never parents -- a cheap
+        rung score must not steer the generator.
+        """
+        valid = [c for c in population if c.valid and c.full_fidelity]
         valid.sort(key=lambda c: c.score, reverse=True)
         return valid[: self.config.top_k_parents]
 
     def _best_of(self, population: List[ScoredCandidate]) -> Optional[ScoredCandidate]:
-        valid = [c for c in population if c.valid]
+        valid = [c for c in population if c.valid and c.full_fidelity]
         if not valid:
             return None
         return max(valid, key=lambda c: c.score)
@@ -302,9 +324,11 @@ class EvolutionarySearch:
         for scored in batch.scored:
             if scored.evaluation is not None:
                 summary.evaluated += 1
-                if scored.valid and scored.score > summary.best_score:
-                    summary.best_score = scored.score
-                if scored.valid:
+                # Round bests only track full-fidelity scores: a screened-out
+                # candidate's rung score is not comparable to the rest.
+                if scored.valid and scored.full_fidelity:
+                    if scored.score > summary.best_score:
+                        summary.best_score = scored.score
                     for name, score in scored.evaluation.scenario_scores.items():
                         if score > summary.scenario_best.get(name, float("-inf")):
                             summary.scenario_best[name] = score
@@ -325,6 +349,9 @@ class EvolutionarySearch:
         summary.unique_evaluations = stats.unique_evaluations
         summary.store_lookups = stats.store_lookups
         summary.store_hits = stats.store_hits
+        summary.rung_evaluations = stats.rung_evaluations
+        summary.rung_promotions = stats.rung_promotions
+        summary.rung_eliminations = stats.rung_eliminations
 
     # -- checkpointing ---------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from repro.core import artifacts as artifact_store
 from repro.core.domain import SearchDomain, SearchSetup, build_search, get_domain
 from repro.core.engine import EngineConfig
 from repro.core.events import EventBus, JsonlEventLog, Subscriber
+from repro.core.fidelity import FidelitySchedule
 from repro.core.results import SearchResult
 from repro.core.search import SearchConfig
 from repro.core.store import STORE_SCHEMA_VERSION, EvaluationStore
@@ -77,6 +78,9 @@ class RunSpec:
     sweep; ``seed`` is the single-run seed.  ``checkpoint`` enables
     per-round persistence into the run's artifact directory
     (``checkpoint.json``), which is what makes ``repro resume`` work.
+    ``fidelity`` (optional) declares a multi-fidelity evaluation schedule --
+    a rung list or a ``{"rungs": ..., "eta": ..., "min_keep": ...,
+    "mode": ...}`` mapping (see :mod:`repro.core.fidelity`).
     """
 
     domain: str
@@ -89,6 +93,7 @@ class RunSpec:
     seeds: Optional[List[int]] = None
     checkpoint: bool = False
     checkpoint_every: int = 1
+    fidelity: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if not self.domain:
@@ -103,6 +108,10 @@ class RunSpec:
         _check_overrides("search", self.search, SEARCH_FIELDS)
         _check_overrides("engine", self.engine, ENGINE_FIELDS)
         _check_overrides("llm", self.llm, LLM_FIELDS)
+        # Validate (and normalise) the declarative fidelity block early so a
+        # bad ladder fails at spec construction, not mid-run.
+        schedule = FidelitySchedule.from_ref(self.fidelity)
+        self.fidelity = schedule.to_ref() if schedule is not None else None
         if self.checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive")
         if self.seeds is not None:
@@ -147,6 +156,7 @@ class RunSpec:
             "seeds": list(self.seeds) if self.seeds is not None else None,
             "checkpoint": self.checkpoint,
             "checkpoint_every": self.checkpoint_every,
+            "fidelity": self.fidelity,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -178,6 +188,7 @@ class RunSpec:
             seeds=[int(s) for s in seeds] if seeds is not None else None,
             checkpoint=bool(data.get("checkpoint", False)),
             checkpoint_every=int(data.get("checkpoint_every", 1)),
+            fidelity=data.get("fidelity"),
         )
 
     @classmethod
@@ -203,7 +214,11 @@ class RunSpec:
         change *which* programs are generated, never what one program
         scores.  Every seed of a sweep therefore shares one eval config,
         which is exactly what lets sweep seeds warm-start from each other's
-        evaluations.  The store schema version and the repro package version
+        evaluations.  The ``fidelity`` block is deliberately excluded too:
+        full-fidelity scores are ladder-independent (so ladder and
+        non-ladder runs share one warm-start population), and sub-full rung
+        entries are segregated by
+        :func:`~repro.core.store.fidelity_eval_key` instead.  The store schema version and the repro package version
         are folded in, so neither a payload-format change nor a release that
         touches evaluator/simulator behaviour can alias old entries (after
         *uncommitted* changes to scoring code, run ``repro store clear``).
@@ -223,6 +238,10 @@ class RunSpec:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     # -- layering onto the domain defaults -----------------------------------------
+
+    def fidelity_schedule(self) -> Optional[FidelitySchedule]:
+        """The spec's multi-fidelity schedule (``None`` when disabled)."""
+        return FidelitySchedule.from_ref(self.fidelity)
 
     def search_config(self, domain: SearchDomain) -> SearchConfig:
         return replace(domain.default_search_config(), **self.search)
@@ -370,7 +389,7 @@ def build_from_spec(
     domain = get_domain(spec.domain)
     if resolved_kwargs is None:
         resolved_kwargs = resolve_domain_kwargs(spec.domain_kwargs)
-    return build_search(
+    setup = build_search(
         spec.domain,
         seed=spec.seed if seed is None else seed,
         search_config=spec.search_config(domain),
@@ -381,6 +400,10 @@ def build_from_spec(
         events=events,
         **resolved_kwargs,
     )
+    schedule = spec.fidelity_schedule()
+    if schedule is not None and setup.engine is not None:
+        setup.engine.attach_fidelity(schedule)
+    return setup
 
 
 def resolve_eval_store(
@@ -506,6 +529,15 @@ def run(
                 "hits": setup.engine.store_hits,
                 "writes": setup.engine.store_writes,
             }
+        fidelity_record = None
+        schedule = effective_spec.fidelity_schedule()
+        if schedule is not None and setup.engine is not None:
+            fidelity_record = {
+                "schedule": schedule.to_ref(),
+                "rung_evaluations": setup.engine.rung_evaluations,
+                "rung_promotions": setup.engine.rung_promotions,
+                "rung_eliminations": setup.engine.rung_eliminations,
+            }
         artifact_store.finalize_run_dir(
             artifact_dir,
             effective_spec.to_dict(),
@@ -513,6 +545,7 @@ def run(
             config_hash=effective_spec.config_hash(),
             seed=effective_seed,
             eval_store=eval_store_record,
+            fidelity=fidelity_record,
         )
     return RunOutcome(
         spec=spec,

@@ -34,6 +34,7 @@ oldest-first eviction an LRU.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -422,6 +423,23 @@ class EvaluationStore:
         return removed, freed
 
 
+def fidelity_eval_key(eval_key: str, fraction: float) -> str:
+    """The evaluation-config key of one fidelity rung.
+
+    The fidelity fraction joins the content address: a rung evaluation (10%
+    of the trace, 30% of the netsim run, ...) scores a *different* question
+    than the full-fidelity one, so its entries live under their own
+    evaluation-config key and can never collide with -- or be mistaken for
+    -- full-fidelity scores.  ``fraction == 1.0`` is the identity: full
+    fidelity keeps the unqualified key, so ladder and non-ladder runs share
+    one warm-start population of full results.
+    """
+    if fraction == 1.0:
+        return eval_key
+    qualified = f"{eval_key}|fidelity={fraction!r}"
+    return hashlib.sha256(qualified.encode("utf-8")).hexdigest()
+
+
 class BoundEvalStore:
     """An :class:`EvaluationStore` view pinned to one evaluation config.
 
@@ -440,3 +458,9 @@ class BoundEvalStore:
 
     def put(self, program_key: str, result: EvaluationResult) -> bool:
         return self.store.put(self.eval_key, program_key, result)
+
+    def at_fidelity(self, fraction: float) -> "BoundEvalStore":
+        """A view keyed for one fidelity rung (see :func:`fidelity_eval_key`)."""
+        if fraction == 1.0:
+            return self
+        return BoundEvalStore(self.store, fidelity_eval_key(self.eval_key, fraction))

@@ -18,7 +18,7 @@ caching Template only needs structural checks, while the kernel Template
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.dsl.ast import Program
 from repro.dsl.codegen import to_source

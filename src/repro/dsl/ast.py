@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field, fields
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import Iterator, List, Sequence, Union
 
 
 # --------------------------------------------------------------------------

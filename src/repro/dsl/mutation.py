@@ -22,13 +22,11 @@ from repro.dsl.ast import (
     AugAssign,
     BinOp,
     Compare,
-    If,
     Number,
     Program,
     Return,
     Stmt,
     Ternary,
-    UnaryOp,
     iter_blocks,
 )
 from repro.dsl.grammar import FeatureSpec, GrammarConfig, _score_update

@@ -16,9 +16,9 @@ Run via the unified CLI::
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import List, Optional
+from typing import List
 
-from repro.cc.evaluator import CongestionControlEvaluator, default_cc_simulation_config
+from repro.cc.evaluator import default_cc_simulation_config
 from repro.cc.policies import CubicController, RenoController
 from repro.core.domain import build_search
 from repro.experiments.registry import ExperimentDef, register_experiment

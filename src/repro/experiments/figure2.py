@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import sys
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.experiments.registry import ExperimentDef, register_experiment
 

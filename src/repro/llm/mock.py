@@ -27,7 +27,7 @@ from __future__ import annotations
 import random
 import re
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.dsl.ast import BinOp, Call, ForRange, Name, Number, Program, While
 from repro.dsl.codegen import to_source

@@ -13,7 +13,7 @@ simple, robust fence extractor.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.template import Template
 from repro.llm.client import ChatMessage

@@ -19,8 +19,8 @@ cluster around a few KiB with a heavy tail), fixed per object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 

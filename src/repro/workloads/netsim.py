@@ -17,7 +17,7 @@ all of them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Callable, List, Tuple
 
 from repro.netsim.flow import CCSignals
@@ -130,6 +130,25 @@ class NetSimScenario:
     @property
     def base_rtt_ms(self) -> float:
         return 2 * self.one_way_delay_us / 1000.0
+
+    def scaled(self, fraction: float) -> "NetSimScenario":
+        """A reduced-budget copy: the same topology, ``fraction`` of the run.
+
+        Shortening ``duration_s`` (and the event budget with it) is how the
+        fidelity ladder (:mod:`repro.core.fidelity`) screens controllers
+        cheaply: a rung simulation is a time-prefix of the full one.
+        Cross-traffic and flow staggering keep their absolute timings, so
+        short rungs still see the same early dynamics the full run does.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+        if fraction == 1.0:
+            return self
+        return replace(
+            self,
+            duration_s=self.duration_s * fraction,
+            max_events=max(1, int(self.max_events * fraction)),
+        )
 
     def build(
         self, controller_factory: Callable[[], object]

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import importlib
 import json
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 #: A builder turns a (fully-parameterised) spec into the domain object.
@@ -121,6 +122,47 @@ class WorkloadSpec:
             description=self.description,
             label=label,
         )
+
+    def scale(self, fraction: float, seed: Optional[int] = None) -> "WorkloadSpec":
+        """A reduced-budget variant of this workload (fidelity scaling).
+
+        ``fraction`` deterministically shrinks the workload's budget
+        parameter -- ``num_requests`` for trace generators, ``duration_s``
+        for netsim scenarios -- and suffixes the label so grid variants stay
+        distinct.  ``seed`` (optional) reseeds the scaled workload, for
+        ladders that want a different subsample per rung rather than a
+        prefix.  File-backed workloads (no budget parameter) refuse to
+        scale.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+        if fraction == 1.0 and seed is None:
+            return self
+        params = self.param_dict
+        overrides: Dict[str, Any] = {}
+        if fraction != 1.0:
+            if "num_requests" in params:
+                overrides["num_requests"] = max(
+                    1, int(math.ceil(params["num_requests"] * fraction))
+                )
+            elif "duration_s" in params:
+                overrides["duration_s"] = params["duration_s"] * fraction
+            else:
+                raise ValueError(
+                    f"workload {self.name!r} has no scalable budget parameter "
+                    "(num_requests or duration_s); file-backed workloads "
+                    "cannot be fidelity-scaled"
+                )
+        if seed is not None:
+            if "seed" not in params:
+                raise ValueError(
+                    f"workload {self.name!r} has no seed parameter to rescale"
+                )
+            overrides["seed"] = seed
+        if fraction != 1.0:
+            # A reseed-only copy keeps its label: it is not a rung variant.
+            overrides["label"] = f"{self.display_name}@{fraction:g}"
+        return self.with_overrides(**overrides)
 
     # -- serialization -------------------------------------------------------------
 

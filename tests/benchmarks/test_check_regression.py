@@ -1,0 +1,149 @@
+"""Tests of the benchmark-regression comparator (benchmarks/check_regression.py)."""
+
+import json
+
+import pytest
+
+from benchmarks.check_regression import compare, main, tracked_metrics
+
+BASELINE = {
+    "bench_full": False,
+    "simulate_compiled": {"requests_per_sec": 60000},
+    "store_warm_start": {
+        "cold_s": 3.2,
+        "warm_s": 0.2,
+        "speedup": 16.0,
+        "disk_hit_rate": 1.0,
+    },
+    "fidelity_ladder": {"speedup": 2.0, "screened_out": 20},
+}
+
+
+def write(tmp_path, name, data):
+    path = tmp_path / name
+    path.write_text(json.dumps(data), encoding="utf-8")
+    return str(path)
+
+
+def test_tracked_metrics_select_rate_shaped_numbers():
+    metrics = tracked_metrics(BASELINE)
+    assert set(metrics) == {
+        "simulate_compiled.requests_per_sec",
+        "store_warm_start.speedup",
+        "store_warm_start.disk_hit_rate",
+        "fidelity_ladder.speedup",
+    }
+    # Wall-clock seconds, counters and flags are untracked by design.
+    assert "store_warm_start.cold_s" not in metrics
+    assert "fidelity_ladder.screened_out" not in metrics
+
+
+def test_relative_profile_excludes_absolute_throughputs():
+    metrics = tracked_metrics(BASELINE, profile="relative")
+    assert set(metrics) == {
+        "store_warm_start.speedup",
+        "store_warm_start.disk_hit_rate",
+        "fidelity_ladder.speedup",
+    }
+
+
+def test_main_relative_profile_ignores_throughput_regressions(tmp_path):
+    baseline = write(tmp_path, "baseline.json", BASELINE)
+    worse = json.loads(json.dumps(BASELINE))
+    worse["simulate_compiled"]["requests_per_sec"] = 30000  # -50% absolute
+    current = write(tmp_path, "current.json", worse)
+    # A different machine class explains an absolute delta; relative gating
+    # (what CI uses) must not fail on it, while the default profile does.
+    assert main(["--baseline", baseline, "--current", current]) == 1
+    assert (
+        main(
+            ["--baseline", baseline, "--current", current, "--profile", "relative"]
+        )
+        == 0
+    )
+
+
+def test_compare_flags_only_regressions_beyond_threshold():
+    current = json.loads(json.dumps(BASELINE))
+    current["simulate_compiled"]["requests_per_sec"] = 46000  # -23%
+    current["store_warm_start"]["speedup"] = 13.0  # -19%: within threshold
+    rows, regressions, missing, _notes = compare(BASELINE, current, threshold=0.20)
+    assert len(rows) == 4
+    assert not missing
+    assert [name for name, *_rest in regressions] == [
+        "simulate_compiled.requests_per_sec"
+    ]
+
+
+def test_compare_reports_missing_and_new_metrics():
+    current = json.loads(json.dumps(BASELINE))
+    del current["fidelity_ladder"]
+    current["new_bench"] = {"requests_per_sec": 5.0}
+    _rows, regressions, missing, notes = compare(BASELINE, current, threshold=0.20)
+    assert not regressions
+    assert missing == ["fidelity_ladder.speedup"]
+    assert any("new metric new_bench.requests_per_sec" in note for note in notes)
+
+
+def test_main_fails_when_a_baseline_metric_vanishes(tmp_path, capsys):
+    """A benchmark that stops emitting a tracked metric must fail the gate
+    (a partial benchmark run produces a subset BENCH file), unless the
+    caller explicitly tolerates it."""
+    baseline = write(tmp_path, "baseline.json", BASELINE)
+    partial = json.loads(json.dumps(BASELINE))
+    del partial["store_warm_start"]
+    current = write(tmp_path, "partial.json", partial)
+    assert main(["--baseline", baseline, "--current", current]) == 1
+    out = capsys.readouterr().out
+    assert "missing: store_warm_start.speedup" in out
+    assert (
+        main(["--baseline", baseline, "--current", current, "--allow-missing"]) == 0
+    )
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    baseline = write(tmp_path, "baseline.json", BASELINE)
+
+    # Identical numbers: success.
+    assert main(["--baseline", baseline, "--current", baseline]) == 0
+
+    # A >20% regression fails with exit 1.
+    worse = json.loads(json.dumps(BASELINE))
+    worse["store_warm_start"]["speedup"] = 10.0
+    current = write(tmp_path, "current.json", worse)
+    assert main(["--baseline", baseline, "--current", current]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+
+    # Improvements never fail, whatever their size.
+    better = json.loads(json.dumps(BASELINE))
+    better["store_warm_start"]["speedup"] = 100.0
+    assert (
+        main(["--baseline", baseline, "--current", write(tmp_path, "b.json", better)])
+        == 0
+    )
+
+    # Mismatched benchmark scales are a usage error, not a pass.
+    full = json.loads(json.dumps(BASELINE))
+    full["bench_full"] = True
+    assert (
+        main(["--baseline", baseline, "--current", write(tmp_path, "f.json", full)])
+        == 2
+    )
+
+    # Unreadable input is a usage error.
+    assert main(["--baseline", str(tmp_path / "nope.json"), "--current", current]) == 2
+
+
+def test_main_threshold_is_tunable(tmp_path):
+    baseline = write(tmp_path, "baseline.json", BASELINE)
+    slightly_worse = json.loads(json.dumps(BASELINE))
+    slightly_worse["store_warm_start"]["speedup"] = 14.0  # -12.5%
+    current = write(tmp_path, "current.json", slightly_worse)
+    assert main(["--baseline", baseline, "--current", current]) == 0
+    assert (
+        main(["--baseline", baseline, "--current", current, "--threshold", "0.10"])
+        == 1
+    )
+    with pytest.raises(SystemExit):
+        main(["--baseline", baseline, "--current", current, "--threshold", "2"])

@@ -13,11 +13,9 @@ from repro.cache.policies.s3fifo import S3FIFOCache
 from repro.cache.policies.sr_lru import SRLRUCache
 from repro.cache.policies.twoq import TwoQCache
 from repro.cache.policies import ALL_POLICIES, BASELINES
-from repro.cache.request import Request
 from repro.cache.simulator import CacheSimulator, cache_size_for, simulate
 
 from tests.cache.test_policies_basic import feed, resident
-from tests.conftest import make_trace
 
 
 def test_baselines_registry_matches_paper():

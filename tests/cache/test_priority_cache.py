@@ -10,7 +10,6 @@ from repro.cache.priority_cache import (
     PriorityFunctionCache,
     as_priority_function,
 )
-from repro.cache.request import Request
 from repro.cache.simulator import CacheSimulator, cache_size_for, simulate
 from repro.dsl import parse
 from repro.dsl.errors import DslRuntimeError

@@ -17,7 +17,6 @@ from repro.cc.template import (
 from repro.dsl import parse
 from repro.dsl.errors import DslRuntimeError
 from repro.netsim.flow import CCSignals, HistoryInterval
-from repro.netsim.simulator import SimulationConfig, run_single_flow
 
 CC_SIG = f"def cong_control({', '.join(CC_TEMPLATE_PARAMS)})"
 

@@ -1,0 +1,184 @@
+"""CLI error paths and the ``--fidelity`` override.
+
+Every user mistake must exit 2 with a one-line ``error:`` message on stderr
+-- never a traceback -- and ``repro store gc`` must handle degenerate stores.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SMOKE_SPEC = REPO_ROOT / "examples" / "specs" / "smoke_caching.json"
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def write_spec(tmp_path, data) -> str:
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(data), encoding="utf-8")
+    return str(path)
+
+
+# -- bad specs ----------------------------------------------------------------------
+
+
+def test_run_malformed_spec_json_exits_2(capsys, tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text('{"domain": "caching",', encoding="utf-8")
+    code, _out, err = run_cli(capsys, "run", str(path), "--no-artifacts")
+    assert code == 2
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+
+
+def test_run_spec_with_unknown_workload_name_exits_2(capsys, tmp_path):
+    spec = write_spec(
+        tmp_path,
+        {
+            "domain": "caching",
+            "name": "bad-workload",
+            "domain_kwargs": {"workloads": ["caching/no-such-trace"]},
+            "search": {"rounds": 1, "candidates_per_round": 2},
+        },
+    )
+    code, _out, err = run_cli(capsys, "run", spec, "--no-artifacts", "--quiet")
+    assert code == 2
+    assert "unknown workload 'caching/no-such-trace'" in err
+    assert "available:" in err
+    assert "Traceback" not in err
+
+
+def test_run_spec_with_unknown_domain_exits_2(capsys, tmp_path):
+    spec = write_spec(
+        tmp_path, {"domain": "quantum", "search": {"rounds": 1}}
+    )
+    code, _out, err = run_cli(capsys, "run", spec, "--no-artifacts", "--quiet")
+    assert code == 2
+    assert "unknown search domain" in err
+
+
+def test_workloads_show_unknown_name_exits_2(capsys):
+    code, _out, err = run_cli(capsys, "workloads", "show", "caching/nope")
+    assert code == 2
+    assert "unknown workload" in err
+
+
+# -- the --fidelity override --------------------------------------------------------
+
+
+def test_fidelity_flag_rung_list_applies(capsys, tmp_path):
+    code, _out, err = run_cli(
+        capsys,
+        "run",
+        str(SMOKE_SPEC),
+        "--artifacts",
+        str(tmp_path),
+        "--fidelity",
+        "0.2,1.0",
+        "--quiet",
+    )
+    assert code == 0
+    run_dirs = [p for p in tmp_path.iterdir() if (p / "spec.json").exists()]
+    spec = json.loads((run_dirs[0] / "spec.json").read_text(encoding="utf-8"))
+    assert spec["fidelity"]["rungs"] == [0.2, 1.0]
+    assert spec["fidelity"]["mode"] == "screen"
+    metadata = json.loads((run_dirs[0] / "metadata.json").read_text(encoding="utf-8"))
+    assert metadata["fidelity"]["schedule"]["rungs"] == [0.2, 1.0]
+
+
+def test_fidelity_flag_json_and_off_forms(capsys, tmp_path):
+    spec = write_spec(
+        tmp_path,
+        {
+            "domain": "caching",
+            "name": "fid-off",
+            "domain_kwargs": {
+                "workloads": [
+                    {"name": "caching/zipf-hot", "num_requests": 300, "num_objects": 100}
+                ]
+            },
+            "search": {"rounds": 1, "candidates_per_round": 2},
+            "fidelity": {"rungs": [0.5, 1.0]},
+        },
+    )
+    code, _out, _err = run_cli(
+        capsys, "run", spec, "--artifacts", str(tmp_path / "a"),
+        "--fidelity", '{"rungs": [0.25, 1.0], "mode": "shadow", "eta": 4}', "--quiet",
+    )
+    assert code == 0
+    run_dir = next(
+        p for p in (tmp_path / "a").iterdir() if (p / "spec.json").exists()
+    )
+    stored = json.loads((run_dir / "spec.json").read_text(encoding="utf-8"))
+    assert stored["fidelity"] == {
+        "rungs": [0.25, 1.0], "eta": 4.0, "min_keep": 2, "mode": "shadow",
+    }
+    # "off" strips the spec's own ladder.
+    code, _out, _err = run_cli(
+        capsys, "run", spec, "--artifacts", str(tmp_path / "b"),
+        "--fidelity", "off", "--quiet",
+    )
+    assert code == 0
+    run_dir = next(
+        p for p in (tmp_path / "b").iterdir() if (p / "spec.json").exists()
+    )
+    stored = json.loads((run_dir / "spec.json").read_text(encoding="utf-8"))
+    assert stored["fidelity"] is None
+
+
+def test_fidelity_flag_rejects_garbage(capsys):
+    code, _out, err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--no-artifacts", "--fidelity", "fast,please"
+    )
+    assert code == 2
+    assert "--fidelity expects" in err
+
+
+def test_fidelity_flag_rejects_a_bare_number(capsys):
+    # json.loads happily parses "0.5"; it still is not a schedule.
+    code, _out, err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--no-artifacts", "--fidelity", "0.5"
+    )
+    assert code == 2
+    assert "--fidelity expects" in err
+    assert "Traceback" not in err
+
+
+def test_fidelity_flag_rejects_bad_ladders(capsys):
+    # Valid syntax, invalid schedule (last rung must be 1.0).
+    code, _out, err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--no-artifacts", "--fidelity", "0.1,0.5"
+    )
+    assert code == 2
+    assert "final rung" in err
+
+
+def test_fidelity_flag_rejected_for_experiments(capsys):
+    code, _out, err = run_cli(
+        capsys, "run", "figure2", "--no-artifacts", "--fidelity", "0.1,1.0"
+    )
+    assert code == 2
+    assert "--fidelity applies to RunSpec runs" in err
+
+
+# -- store maintenance on degenerate stores -----------------------------------------
+
+
+def test_store_gc_on_missing_directory(capsys, tmp_path):
+    code, out, _err = run_cli(
+        capsys, "store", "gc", "--store", str(tmp_path / "nope"), "--max-bytes", "0"
+    )
+    assert code == 0
+    assert "removed 0 entries" in out
+
+
+def test_store_gc_requires_a_bound(capsys, tmp_path):
+    code, _out, err = run_cli(capsys, "store", "gc", "--store", str(tmp_path))
+    assert code == 2
+    assert "needs a bound" in err

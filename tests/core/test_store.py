@@ -260,6 +260,49 @@ def test_gc_and_clear_never_touch_foreign_directories(tmp_path):
     assert (store.root / "sweep.json").exists()
 
 
+def test_gc_on_empty_or_missing_store_is_a_no_op(tmp_path):
+    # Root directory does not even exist yet.
+    store = store_in(tmp_path)
+    outcome = store.gc(max_entries=0)
+    assert outcome.removed_entries == 0 and outcome.freed_bytes == 0
+    assert outcome.remaining_entries == 0 and outcome.remaining_bytes == 0
+    assert store.clear() == 0
+    # An existing-but-empty schema tree behaves the same.
+    store.schema_root.mkdir(parents=True)
+    outcome = store.gc(max_bytes=0)
+    assert outcome.removed_entries == 0 and outcome.remaining_entries == 0
+
+
+def test_gc_max_bytes_zero_evicts_every_entry(tmp_path):
+    store = store_in(tmp_path)
+    wide = {f"scenario-{i}": float(i) for i in range(NPZ_THRESHOLD + 1)}
+    store.put(EVAL_KEY, "plain", result_for(1.0))
+    store.put(EVAL_KEY, "wide", result_for(2.0, scenario_scores=wide))
+    total = store.stats().total_bytes
+    outcome = store.gc(max_bytes=0)
+    assert outcome.removed_entries == 2
+    assert outcome.freed_bytes == total  # npz sidecar bytes counted too
+    assert outcome.remaining_entries == 0 and outcome.remaining_bytes == 0
+    assert store.get(EVAL_KEY, "plain") is None
+    # The sidecar did not survive its entry.
+    assert not list(store.schema_root.rglob("*.npz"))
+
+
+def test_gc_collects_a_sidecar_only_store(tmp_path):
+    """A crash between sidecar and entry writes can leave a store holding
+    nothing but orphaned ``.npz`` files; GC must sweep them without counting
+    them as evicted entries."""
+    store = store_in(tmp_path)
+    orphan_dir = store.schema_root / "aa" / EVAL_KEY
+    orphan_dir.mkdir(parents=True)
+    for i in range(3):
+        (orphan_dir / f"prog{i}.npz").write_bytes(b"orphan")
+    outcome = store.gc(max_entries=10)
+    assert outcome.removed_entries == 0
+    assert not list(store.schema_root.rglob("*.npz"))
+    assert store.stats().entries == 0
+
+
 def test_clear_removes_everything(tmp_path):
     store = store_in(tmp_path)
     for i in range(3):

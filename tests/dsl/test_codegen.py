@@ -4,7 +4,7 @@ import pytest
 
 from repro.dsl import parse, to_c_like, to_python, to_source
 
-from tests.conftest import LISTING_1, StubAggregate, StubHistory, StubObjectInfo
+from tests.conftest import LISTING_1
 
 
 ROUNDTRIP_SOURCES = [

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.dsl import analyze, parse, to_source
 from repro.dsl.ast import Program, Return

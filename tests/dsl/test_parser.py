@@ -11,7 +11,6 @@ from repro.dsl import (
     Compare,
     ForRange,
     If,
-    Name,
     Number,
     Return,
     Ternary,

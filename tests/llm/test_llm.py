@@ -8,7 +8,7 @@ from repro.cc.template import cc_template, kernel_llm_config
 from repro.core.generator import LLMGenerator
 from repro.dsl import analyze, parse
 from repro.dsl.codegen import to_source
-from repro.llm.client import ChatMessage, CompletionResponse
+from repro.llm.client import ChatMessage
 from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
 from repro.llm.prompts import PromptBuilder, extract_code_blocks
 from repro.llm.tokens import UsageTracker, count_tokens

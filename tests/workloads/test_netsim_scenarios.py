@@ -6,7 +6,7 @@ from repro.cc.evaluator import CCObjective, CongestionControlEvaluator
 from repro.cc.policies.reno import RenoController
 from repro.netsim.link import LinkConfig
 from repro.netsim.simulator import NetworkSimulator, SimulationConfig
-from repro.workloads import build_scenario, get_workload
+from repro.workloads import build_scenario
 from repro.workloads.netsim import (
     BurstWindowController,
     CrossTrafficSpec,

@@ -1,0 +1,123 @@
+"""Tests of fidelity scaling at the workload and evaluator layers."""
+
+import pytest
+
+from repro.cache.request import Trace, prefix_trace
+from repro.cache.search import CachingEvaluator
+from repro.cc.evaluator import CongestionControlEvaluator
+from repro.core.scenarios import MultiScenarioEvaluator
+from repro.workloads import build_workload, get_workload
+from repro.workloads.netsim import build_scenario
+
+
+def test_workload_scale_shrinks_num_requests():
+    base = get_workload("caching/zipf-hot")
+    scaled = base.scale(0.25)
+    assert scaled.param("num_requests") == base.param("num_requests") // 4
+    assert scaled.label == "caching/zipf-hot@0.25"
+    # Non-budget parameters are untouched; the trace still builds.
+    assert scaled.param("zipf_alpha") == base.param("zipf_alpha")
+    assert len(build_workload(scaled)) == scaled.param("num_requests")
+
+
+def test_workload_scale_shrinks_netsim_duration():
+    base = get_workload("cc/satellite")
+    scaled = base.scale(0.5)
+    assert scaled.param("duration_s") == pytest.approx(base.param("duration_s") / 2)
+    scenario = build_workload(scaled)
+    assert scenario.duration_s == pytest.approx(6.0)
+
+
+def test_workload_scale_edge_cases():
+    base = get_workload("caching/zipf-hot")
+    assert base.scale(1.0) is base
+    reseeded = base.scale(0.5, seed=99)
+    assert reseeded.param("seed") == 99
+    # A reseed-only copy is a full-budget workload, not a rung variant: it
+    # keeps its label (and so its scenario name).
+    reseed_only = base.scale(1.0, seed=99)
+    assert reseed_only.param("seed") == 99
+    assert reseed_only.display_name == base.display_name
+    with pytest.raises(ValueError, match="fraction"):
+        base.scale(0.0)
+    with pytest.raises(ValueError, match="cannot be fidelity-scaled"):
+        get_workload("caching/csv").scale(0.5)
+
+
+def test_every_builtin_workload_scales_except_file_backed():
+    from repro.workloads import available_workloads
+
+    for name in available_workloads():
+        workload = get_workload(name)
+        if "path" in workload.param_dict:
+            continue  # file-backed: refuses to scale (asserted above)
+        scaled = workload.scale(0.3)
+        params = scaled.param_dict
+        assert "num_requests" in params or "duration_s" in params
+
+
+def test_prefix_trace_is_an_exact_prefix():
+    trace = build_workload(get_workload("caching/shifting", num_requests=200))
+    scaled = prefix_trace(trace, 0.25)
+    assert isinstance(scaled, Trace)
+    assert len(scaled) == 50
+    assert list(scaled)[:50] == list(trace)[:50]
+    with pytest.raises(ValueError):
+        prefix_trace(trace, 1.5)
+
+
+def test_caching_evaluator_at_fidelity_keeps_cache_size():
+    trace = build_workload(get_workload("caching/zipf-hot", num_requests=400))
+    evaluator = CachingEvaluator(trace)
+    scaled = evaluator.at_fidelity(0.25)
+    assert evaluator.at_fidelity(1.0) is evaluator
+    assert len(scaled.trace) == 100
+    # The cache under test keeps its full-trace size: a rung simulation is a
+    # prefix of the full simulation, not a smaller deployment.
+    assert scaled.cache_size == evaluator.cache_size
+    assert scaled.backend == evaluator.backend
+
+
+def test_caching_evaluator_at_fidelity_scales_warmup():
+    trace = build_workload(get_workload("caching/zipf-hot", num_requests=400))
+    evaluator = CachingEvaluator(trace, warmup=100)
+    scaled = evaluator.at_fidelity(0.25)
+    # An absolute warmup of 100 would swallow the whole 100-request prefix
+    # and leave every candidate tied at zero measured requests.
+    assert scaled.warmup == 25
+    assert scaled.warmup < len(scaled.trace)
+
+
+def test_cc_evaluator_at_fidelity_shortens_the_run():
+    evaluator = CongestionControlEvaluator(scenario=build_scenario("cc/multi-flow"))
+    scaled = evaluator.at_fidelity(0.25)
+    assert scaled.scenario.duration_s == pytest.approx(2.0)
+    assert scaled.scenario.rate_bps == evaluator.scenario.rate_bps
+    assert scaled.objective is evaluator.objective
+    # Scaled runs still score: a shorter run of the same scenario.
+    assert evaluator.at_fidelity(1.0) is evaluator
+
+
+def test_netsim_scenario_scaled_bounds_events_too():
+    scenario = build_scenario("cc/single-flow")
+    scaled = scenario.scaled(0.5)
+    assert scaled.duration_s == pytest.approx(scenario.duration_s / 2)
+    assert scaled.max_events == scenario.max_events // 2
+    with pytest.raises(ValueError):
+        scenario.scaled(0)
+
+
+def test_multi_scenario_evaluator_scales_every_scenario():
+    traces = [
+        build_workload(get_workload("caching/zipf-hot", num_requests=200)),
+        build_workload(get_workload("caching/scan-storm", num_requests=200)),
+    ]
+    evaluator = MultiScenarioEvaluator(
+        [(trace.name, CachingEvaluator(trace)) for trace in traces]
+    )
+    scaled = evaluator.at_fidelity(0.5)
+    assert scaled.scenario_names == evaluator.scenario_names
+    assert all(
+        len(sub.trace) == 100 for _name, sub in scaled.scenarios
+    )
+    assert scaled.reducer is evaluator.reducer
