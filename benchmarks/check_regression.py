@@ -152,13 +152,17 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if baseline.get("bench_full") != current.get("bench_full"):
+        # Scale mismatch (a full baseline vs a smoke run, or vice versa):
+        # absolute throughputs are not comparable, but a large regression in
+        # a machine-relative metric is still worth surfacing -- warn and
+        # continue rather than refuse.
         print(
-            "error: baseline and current were produced at different benchmark "
-            f"scales (bench_full {baseline.get('bench_full')} vs "
-            f"{current.get('bench_full')}); the comparison is meaningless",
+            "warning: baseline and current were produced at different "
+            f"benchmark scales (bench_full {baseline.get('bench_full')} vs "
+            f"{current.get('bench_full')}); absolute throughput deltas are "
+            "not meaningful across scales -- interpret with care",
             file=sys.stderr,
         )
-        return 2
 
     rows, regressions, missing, notes = compare(
         baseline, current, args.threshold, args.profile

@@ -8,9 +8,12 @@ qualitative result (asserted) and the wall-clock cost (reported by
 pytest-benchmark).
 
 Scale knobs: the benchmarks run on reduced corpora / candidate counts so the
-whole suite finishes in a few minutes.  Set ``REPRO_BENCH_FULL=1`` to run the
-paper-scale versions (full 105-trace CloudPhysics corpus, 100 candidates,
-20x25 search).
+whole suite finishes in a few minutes.  Pass ``--bench-full`` (or set
+``REPRO_BENCH_FULL=1``) to run the paper-scale versions (full 105-trace
+CloudPhysics corpus, 100 candidates, 20x25 search).  The scale a run used is
+recorded as ``bench_full`` in BENCH_engine.json so a regression comparison
+knows whether the two files are even comparable
+(``check_regression.py`` warns when the scales differ).
 """
 
 from __future__ import annotations
@@ -22,6 +25,25 @@ from pathlib import Path
 import pytest
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-full",
+        action="store_true",
+        default=False,
+        help="run the paper-scale benchmark suite and mark the resulting "
+        "BENCH_engine.json with bench_full=true (equivalent to "
+        "REPRO_BENCH_FULL=1)",
+    )
+
+
+def pytest_configure(config):
+    global FULL
+    if config.getoption("--bench-full", default=False):
+        FULL = True
+        # Keep the env var in sync for anything spawned by the benchmarks.
+        os.environ["REPRO_BENCH_FULL"] = "1"
 
 #: Machine-readable headline numbers (req/s, candidates/s, hit rates),
 #: collected by whichever benchmarks ran and written to BENCH_engine.json at

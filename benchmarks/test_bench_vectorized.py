@@ -1,0 +1,114 @@
+"""Benchmarks of the vectorized (fused columnar) simulation backend.
+
+Two gates, both measured in-process so the ratios are stable under machine
+noise even though absolute req/s numbers are not:
+
+* ``simulate_vectorized`` must clear the ISSUE-6 floors -- >= 3x the
+  compiled-scalar backend and >= 10x the tree-walking interpreter on the
+  same trace and kernel;
+* the batched ``simulate_many`` path (columns decoded once, every candidate
+  scored off the shared arrays) reports candidates/second so the nightly
+  regression gate guards amortized dispatch too.
+
+Results must stay bit-identical across backends -- asserted here before any
+timing, because a fast wrong simulator is worse than a slow right one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cache.policies.evolved import EVOLVED_HEURISTICS, program_for
+from repro.cache.priority_cache import PriorityFunctionCache
+from repro.cache.simulator import CacheSimulator, cache_size_for, simulate_many
+from repro.workloads import build_trace
+
+MIN_SPEEDUP_VS_COMPILED = 3.0
+MIN_SPEEDUP_VS_INTERPRETER = 10.0
+
+
+@pytest.fixture(scope="module")
+def bench_trace():
+    return build_trace("caching/cloudphysics", index=89, num_requests=2500)
+
+
+def _best_time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_vectorized_simulator_speedup(benchmark, bench_trace, bench_records):
+    size = cache_size_for(bench_trace)
+    program = program_for("Heuristic A")
+    bench_trace.columns()  # decode once; every backend walks the same trace
+
+    def run(backend):
+        cache = PriorityFunctionCache(size, program, name="bench", backend=backend)
+        return CacheSimulator().run(cache, bench_trace)
+
+    results = {b: run(b) for b in ("interpreter", "compiled", "vectorized")}
+    assert results["vectorized"] == results["compiled"] == results["interpreter"]
+
+    t_interpreter = _best_time(lambda: run("interpreter"))
+    t_compiled = _best_time(lambda: run("compiled"), repeats=5)
+    benchmark(lambda: run("vectorized"))
+    t_vectorized = benchmark.stats.stats.min
+
+    n = len(bench_trace)
+    vs_compiled = t_compiled / t_vectorized
+    vs_interpreter = t_interpreter / t_vectorized
+    record = {
+        "requests_per_sec": round(n / t_vectorized),
+        "vs_compiled_speedup": round(vs_compiled, 2),
+        "vs_interpreter_speedup": round(vs_interpreter, 2),
+    }
+    benchmark.extra_info.update(record)
+    bench_records["simulate_vectorized"] = record
+    print(
+        f"\n[vectorized] {record['requests_per_sec']} req/s = "
+        f"{vs_compiled:.1f}x compiled ({n / t_compiled:.0f} req/s), "
+        f"{vs_interpreter:.1f}x interpreter ({n / t_interpreter:.0f} req/s)"
+    )
+    assert vs_compiled >= MIN_SPEEDUP_VS_COMPILED, (
+        f"vectorized backend only {vs_compiled:.2f}x over compiled "
+        f"(floor {MIN_SPEEDUP_VS_COMPILED}x)"
+    )
+    assert vs_interpreter >= MIN_SPEEDUP_VS_INTERPRETER, (
+        f"vectorized backend only {vs_interpreter:.2f}x over interpreter "
+        f"(floor {MIN_SPEEDUP_VS_INTERPRETER}x)"
+    )
+
+
+def test_batched_candidate_scoring(benchmark, bench_trace, bench_records):
+    """Candidates/second through ``simulate_many``'s amortized columnar path."""
+    size = cache_size_for(bench_trace)
+
+    def factories(backend):
+        return {
+            name: (
+                lambda capacity, program=program_for(name): PriorityFunctionCache(
+                    capacity, program, backend=backend
+                )
+            )
+            for name in sorted(EVOLVED_HEURISTICS)
+        }
+
+    vectorized = benchmark(
+        lambda: simulate_many(factories("vectorized"), bench_trace, cache_size=size)
+    )
+    elapsed = benchmark.stats.stats.min
+    compiled = simulate_many(factories("compiled"), bench_trace, cache_size=size)
+    assert vectorized == compiled  # batching must not change any candidate's result
+
+    candidates_per_sec = round(len(vectorized) / elapsed, 1)
+    benchmark.extra_info["candidates_per_sec"] = candidates_per_sec
+    bench_records["simulate_many_vectorized"] = {
+        "candidates_per_sec": candidates_per_sec
+    }
+    print(f"\n[simulate_many/vectorized] {candidates_per_sec} candidates/s")

@@ -54,6 +54,8 @@ class Trace:
         self.name = name
         self._footprint: Optional[int] = None
         self._unique: Optional[int] = None
+        self._columns: Optional[tuple] = None
+        self._columns_failed = False
 
     # -- container protocol -------------------------------------------------
 
@@ -98,6 +100,28 @@ class Trace:
                     sizes[request.key] = request.size
             self._footprint = sum(sizes.values())
         return self._footprint
+
+    def columns(self) -> Optional[tuple]:
+        """The trace as ``(timestamps, keys, sizes)`` int64 numpy arrays.
+
+        This is the struct-of-arrays form the fused columnar simulator
+        (:mod:`repro.cache.columnar`) iterates; it is built once and cached.
+        Returns ``None`` when any field does not fit in int64 (the fused
+        path then falls back to the per-request loop).
+        """
+        if self._columns is None and not self._columns_failed:
+            import numpy as np
+
+            n = len(self._requests)
+            try:
+                self._columns = (
+                    np.fromiter((r.timestamp for r in self._requests), np.int64, n),
+                    np.fromiter((r.key for r in self._requests), np.int64, n),
+                    np.fromiter((r.size for r in self._requests), np.int64, n),
+                )
+            except OverflowError:
+                self._columns_failed = True
+        return self._columns
 
     def compulsory_miss_ratio(self) -> float:
         """Lower bound on any policy's miss ratio (first access always misses)."""

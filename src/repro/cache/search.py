@@ -18,7 +18,7 @@ This module wires the framework to the cache substrate:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.cache.metrics import SimulationResult
 from repro.cache.priority_cache import PriorityFunctionCache, TEMPLATE_PARAMS
@@ -203,6 +203,12 @@ class CachingEvaluator(Evaluator):
         self.backend = backend
         self._simulator = CacheSimulator()
         self.evaluations = 0
+        #: Evaluations by *resolved* backend (``make_runner`` falls back down
+        #: the chain for unvectorizable/uncompilable programs, so the
+        #: resolved backend can differ from the requested one).  Shared with
+        #: ``at_fidelity`` copies; with a process-pool executor the counters
+        #: only reflect in-process evaluations.
+        self.backend_stats: Dict[str, Any] = {"requested": backend, "resolved": {}}
 
     def evaluate_program(self, program: Program) -> EvaluationResult:
         cache = PriorityFunctionCache(
@@ -212,6 +218,8 @@ class CachingEvaluator(Evaluator):
             name="candidate",
             backend=self.backend,
         )
+        resolved = self.backend_stats["resolved"]
+        resolved[cache._priority.backend] = resolved.get(cache._priority.backend, 0) + 1
         result: SimulationResult = self._simulator.run(cache, self.trace, warmup=self.warmup)
         self.evaluations += 1
         return EvaluationResult(
@@ -243,6 +251,7 @@ class CachingEvaluator(Evaluator):
             refresh_interval=self.refresh_interval,
             backend=self.backend,
         )
+        scaled.backend_stats = self.backend_stats  # rung evaluations count too
         return scaled
 
 

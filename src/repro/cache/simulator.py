@@ -57,7 +57,20 @@ class CacheSimulator:
         ``warmup`` requests at the start of the trace are executed but not
         counted in the reported metrics (the cache still fills), matching the
         usual methodology for short traces.
+
+        When ``policy`` is a :class:`~repro.cache.priority_cache.
+        PriorityFunctionCache` running a vectorized DSL program, the
+        simulation is delegated to the fused columnar loop
+        (:func:`repro.cache.columnar.fused_cache_run`), which produces an
+        identical result and identical final policy state, just faster; it
+        declines (returns ``None``) whenever exact replication is not
+        guaranteed, and this loop runs as before.
         """
+        from repro.cache.columnar import fused_cache_run
+
+        fused = fused_cache_run(self, policy, trace, warmup)
+        if fused is not None:
+            return fused
         result = SimulationResult(
             policy=policy.policy_name,
             trace=trace.name,
@@ -116,8 +129,18 @@ def simulate_many(
     cache_size: Optional[int] = None,
     cache_fraction: float = DEFAULT_CACHE_FRACTION,
 ) -> Dict[str, SimulationResult]:
-    """Run every policy in ``policies`` over ``trace`` with the same capacity."""
+    """Run every policy in ``policies`` over ``trace`` with the same capacity.
+
+    The batched path: the trace's struct-of-arrays columns are decoded once
+    up front and shared by every candidate, so one pass of column extraction
+    amortises over the whole candidate set (each candidate still owns its
+    simulation loop -- cache states diverge from the first eviction, so the
+    per-candidate loops cannot be fused further without changing results).
+    """
     size = cache_size if cache_size is not None else cache_size_for(trace, cache_fraction)
+    columns_of = getattr(trace, "columns", None)
+    if callable(columns_of):
+        columns_of()  # warm the cached columnar form once for all candidates
     results: Dict[str, SimulationResult] = {}
     for name, factory in policies.items():
         policy = factory(size)

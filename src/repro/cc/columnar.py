@@ -1,0 +1,155 @@
+"""Zero-layer scoring fast path for vectorized DSL congestion controllers.
+
+The classic invocation path builds a fresh environment dict and a
+:class:`~repro.cc.signals.HistoryView` (which copies and reverses the
+interval list) for *every* ACK, then calls the runner through its
+normalising wrapper with keyword arguments.  Per-ACK cwnd updates are the
+netsim inner loop, so those layers dominate once the program itself is a
+compiled kernel.
+
+This module generates one specialised function per program that reads the
+:class:`~repro.netsim.flow.CCSignals` fields directly, inlines the
+``HistoryView`` accessor bodies over the live interval list (index 0 of the
+view is the *newest* interval, i.e. ``history[len - 1]``), and feeds the
+kernel's feature columns positionally into its raw compiled function --
+exactly one Python frame per cwnd update.  True cross-ACK batching is not
+possible (each update's inputs depend on the previous update's cwnd), so
+this per-event lowering is the congestion-control counterpart of the fused
+cache loop in :mod:`repro.cache.columnar`.
+
+Exactness: the generated function computes bit-identical values to the
+classic path -- same clamping (``max(0, rtt)``), same bounds-clamped
+history indexing, same ``int()`` truncation of method arguments.  It is
+used opportunistically: any kernel column outside the cong_control
+Template vocabulary returns ``None`` and the caller keeps the classic
+path, and a generated call that raises is re-run through the classic path
+so errors surface with their usual normalised types and messages.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
+
+from repro.dsl.vectorize import VectorizedProgram
+
+#: CCSignals reads for the Template's scalar parameters.  ``rtt``-family
+#: signals are clamped to zero exactly like ``signals_environment``.
+_SCALAR_SRC = {
+    "now": "s.now_us",
+    "cwnd": "s.cwnd_pkts",
+    "mss": "s.mss",
+    "acked": "s.acked_bytes",
+    "inflight": "s.inflight_pkts",
+    "rtt": "(_t{i} if (_t{i} := s.rtt_us) > 0 else 0)",
+    "min_rtt": "(_t{i} if (_t{i} := s.min_rtt_us) > 0 else 0)",
+    "srtt": "(_t{i} if (_t{i} := s.srtt_us) > 0 else 0)",
+    "losses": "s.losses_since_last_ack",
+}
+
+_HISTORY_AT_FIELD = {
+    "delivered_at": "delivered_bytes",
+    "rtt_at": "avg_rtt_us",
+    "losses_at": "losses",
+}
+_HISTORY_ARITY = {
+    "length": 0,
+    "delivered_at": 1,
+    "rtt_at": 1,
+    "losses_at": 1,
+    "total_losses": 0,
+    "min_rtt": 0,
+}
+
+_CODE_CACHE: "OrderedDict[str, Any]" = OrderedDict()
+_CODE_CACHE_MAX = 256
+
+
+def _compiled(source: str):
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        code = compile(source, "<cc-columnar>", "exec")
+        _CODE_CACHE[source] = code
+        while len(_CODE_CACHE) > _CODE_CACHE_MAX:
+            _CODE_CACHE.popitem(last=False)
+    else:
+        _CODE_CACHE.move_to_end(source)
+    return code
+
+
+def build_cc_fast(vp: VectorizedProgram) -> Optional[Any]:
+    """Compile the direct ``CCSignals -> cwnd-value`` scorer for ``vp``.
+
+    Returns a callable ``fast(signals)`` returning exactly what the classic
+    ``runner.run(signals_environment(signals))`` would return, or ``None``
+    when any kernel column falls outside the Template vocabulary.
+    """
+    body: List[str] = []
+    names: List[str] = []
+    needs_history = False
+
+    def scalar_source(param: str, temp: str) -> Optional[str]:
+        template = _SCALAR_SRC.get(param)
+        return template.format(i=temp) if template else None
+
+    for index, spec in enumerate(vp.columns):
+        name = f"c{index}"
+        if spec.kind == "scalar":
+            source = scalar_source(spec.param, str(index))
+            if source is None:
+                return None
+            body.append(f"    {name} = {source}")
+        elif spec.kind == "attr":
+            return None  # no attribute-bearing params in the cong_control Template
+        else:  # method column
+            if spec.param != "history":
+                return None
+            arity = _HISTORY_ARITY.get(spec.attr)
+            if arity is None or len(spec.args) != arity:
+                return None
+            needs_history = True
+            if spec.attr == "length":
+                body.append(f"    {name} = hn")
+            elif spec.attr == "total_losses":
+                body.append(f"    {name} = sum(_iv.losses for _iv in h)")
+            elif spec.attr == "min_rtt":
+                body.append(
+                    f"    _rtts{index} = "
+                    "[_iv.avg_rtt_us for _iv in h if _iv.avg_rtt_us > 0]"
+                )
+                body.append(f"    {name} = min(_rtts{index}) if _rtts{index} else 0")
+            else:
+                kind, value = spec.args[0]
+                if kind == "lit":
+                    # HistoryView._at truncates the index with int().
+                    arg_source = repr(int(value))
+                else:
+                    arg_source = scalar_source(value, f"{index}a")
+                    if arg_source is None:
+                        return None
+                field = _HISTORY_AT_FIELD[spec.attr]
+                # HistoryView._at, inlined: clamp into [0, hn-1] over the
+                # reversed view (view index 0 == live list index hn-1).
+                body.extend(
+                    [
+                        "    if hn:",
+                        f"        _i{index} = {arg_source}",
+                        f"        if _i{index} < 0:",
+                        f"            _i{index} = 0",
+                        f"        elif _i{index} > hn - 1:",
+                        f"            _i{index} = hn - 1",
+                        f"        {name} = h[hn - 1 - _i{index}].{field}",
+                        "    else:",
+                        f"        {name} = 0",
+                    ]
+                )
+        names.append(name)
+
+    prologue = ["def _cc_fast(s):"]
+    if needs_history:
+        prologue.append("    h = s.history")
+        prologue.append("    hn = len(h)")
+    source = "\n".join(prologue + body + [f"    return _kernel({', '.join(names)})", ""])
+    namespace: Dict[str, Any] = {"_kernel": vp.kernel._fn}
+    exec(_compiled(source), namespace)  # noqa: S102 - fixed vocabulary
+    return namespace["_cc_fast"]

@@ -26,9 +26,12 @@ class DslCongestionController:
     deployed fallback would behave.
 
     ``backend`` selects the execution strategy: ``"compiled"`` (default, the
-    fast path via :func:`~repro.dsl.compile.compile_program`) or
-    ``"interpreter"`` (the tree-walking oracle).  Compilation failures fall
-    back to the interpreter.
+    fast path via :func:`~repro.dsl.compile.compile_program`),
+    ``"vectorized"`` (the compiled kernel plus the zero-layer per-ACK scorer
+    from :mod:`repro.cc.columnar`, which skips the environment dict and
+    :class:`HistoryView` construction entirely), or ``"interpreter"`` (the
+    tree-walking oracle).  Vectorization and compilation failures fall back
+    down the chain; all backends produce bit-identical cwnd decisions.
     """
 
     def __init__(
@@ -48,6 +51,13 @@ class DslCongestionController:
         self.initial_window = initial_window
         self.strict = strict
         self._runner, self.backend = make_runner(program, backend, max_steps)
+        self._fast = None
+        if self.backend == "vectorized":
+            from repro.cc.columnar import build_cc_fast
+            from repro.dsl.vectorize import VectorizedProgram
+
+            if isinstance(self._runner, VectorizedProgram):
+                self._fast = build_cc_fast(self._runner)
         self.invocations = 0
         self.runtime_errors = 0
         self.last_error: Optional[str] = None
@@ -58,8 +68,24 @@ class DslCongestionController:
         return self.initial_window
 
     def _invoke(self, signals: CCSignals) -> int:
-        env = signals_environment(signals)
         self.invocations += 1
+        fast = self._fast
+        if fast is not None:
+            try:
+                value = fast(signals)
+            except Exception:
+                # Re-run through the classic path below so the error
+                # surfaces with its usual normalised type and message.
+                pass
+            else:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    self.runtime_errors += 1
+                    self.last_error = f"non-numeric cwnd {value!r}"
+                    if self.strict:
+                        raise TypeError(self.last_error)
+                    return signals.cwnd_pkts
+                return int(value)
+        env = signals_environment(signals)
         try:
             value = self._runner.run(env)
         except DslError as exc:

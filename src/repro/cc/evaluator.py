@@ -11,7 +11,7 @@ the objective when the scenario weights them).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cc.dsl_controller import DslCongestionController
 from repro.core.evaluator import EvaluationResult, Evaluator
@@ -119,17 +119,30 @@ class CongestionControlEvaluator(Evaluator):
         self.initial_window = initial_window
         self.backend = backend
         self.evaluations = 0
+        #: Evaluations by *resolved* backend (``make_runner`` falls back down
+        #: the chain for unvectorizable/uncompilable programs).  Shared with
+        #: ``at_fidelity`` copies; with a process-pool executor the counters
+        #: only reflect in-process evaluations.
+        self.backend_stats: Dict[str, Any] = {"requested": backend, "resolved": {}}
 
     def _run_scenario(self, program: Program) -> Tuple[SimulationMetrics, List[int]]:
+        seen: List[str] = []
+
         def controller() -> DslCongestionController:
-            return DslCongestionController(
+            ctl = DslCongestionController(
                 program,
                 initial_window=self.initial_window,
                 strict=True,
                 backend=self.backend,
             )
+            if not seen:  # count once per scenario run, not per flow
+                seen.append(ctl.backend)
+            return ctl
 
         simulator, candidate_ids = self.scenario.build(controller)
+        if seen:
+            resolved = self.backend_stats["resolved"]
+            resolved[seen[0]] = resolved.get(seen[0], 0) + 1
         return simulator.run(), candidate_ids
 
     def run_candidate(self, program: Program) -> SimulationMetrics:
@@ -140,12 +153,14 @@ class CongestionControlEvaluator(Evaluator):
         """A reduced-budget copy: the same link, ``fraction`` of the run."""
         if fraction == 1.0:
             return self
-        return CongestionControlEvaluator(
+        scaled = CongestionControlEvaluator(
             objective=self.objective,
             initial_window=self.initial_window,
             backend=self.backend,
             scenario=self.scenario.scaled(fraction),
         )
+        scaled.backend_stats = self.backend_stats  # rung evaluations count too
+        return scaled
 
     def evaluate_program(self, program: Program) -> EvaluationResult:
         metrics, candidate_ids = self._run_scenario(program)

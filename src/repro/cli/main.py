@@ -7,8 +7,8 @@ Commands
     Run a registered experiment (overriding parameters with ``--set k=v``) or
     a declarative :class:`~repro.core.spec.RunSpec` file, store the run as a
     versioned artifact directory, and print the report.  ``--executor`` /
-    ``--max-workers`` override the spec's engine parallelism without editing
-    the JSON.
+    ``--max-workers`` override the spec's engine parallelism and
+    ``--backend`` its DSL execution backend without editing the JSON.
 ``sweep <spec.json>``
     Run the spec once per seed (``--seeds`` overrides the spec's list),
     seeds in parallel, and print the sweep table.
@@ -46,6 +46,7 @@ from repro.cli.render import render_search_report, render_sweep_report
 from repro.core import artifacts
 from repro.core.events import ProgressPrinter
 from repro.core.executors import available_executors
+from repro.dsl.compile import BACKENDS as DSL_BACKENDS
 from repro.core.spec import EVAL_STORE_DIRNAME, RunSpec, run, run_sweep
 from repro.core.store import EvaluationStore
 from repro.experiments import registry
@@ -108,11 +109,14 @@ def _engine_overrides(args: argparse.Namespace) -> Dict[str, Any]:
         if args.max_workers <= 0:
             raise CliError("--max-workers must be positive")
         overrides["max_workers"] = args.max_workers
+    if getattr(args, "backend", None) is not None:
+        overrides["dsl_backend"] = args.backend
     return overrides
 
 
 def _apply_engine_overrides(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
-    """Layer ``--executor`` / ``--max-workers`` onto a spec's engine block."""
+    """Layer ``--executor`` / ``--max-workers`` / ``--backend`` onto a spec's
+    engine block."""
     overrides = _engine_overrides(args)
     if not overrides:
         return spec
@@ -221,7 +225,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if _engine_overrides(args):
         raise CliError(
-            "--executor/--max-workers apply to RunSpec runs; registered "
+            "--executor/--max-workers/--backend apply to RunSpec runs; registered "
             "experiments manage their own engine configuration"
         )
     if getattr(args, "fidelity", None) is not None:
@@ -502,6 +506,13 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=None,
             help="override the spec's engine worker count",
+        )
+        p.add_argument(
+            "--backend",
+            default=None,
+            choices=DSL_BACKENDS,
+            help="override the DSL execution backend candidates are "
+            "evaluated with (scores are bit-identical across backends)",
         )
         p.add_argument(
             "--fidelity",

@@ -267,6 +267,7 @@ def finalize_run_dir(
     seed: int,
     eval_store: Optional[Dict[str, Any]] = None,
     fidelity: Optional[Dict[str, Any]] = None,
+    dsl_backend: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Write result.json / rounds.jsonl / metadata.json for a finished search.
 
@@ -274,7 +275,11 @@ def finalize_run_dir(
     path, eval-config hash, lookup/hit/write counters -- stored in
     ``metadata.json`` only: like wall time, it describes *this* execution,
     not the spec.  ``fidelity`` (optional) is the run's live ladder record
-    (schedule + rung counters), stored the same way.
+    (schedule + rung counters), stored the same way.  ``dsl_backend``
+    (optional) records which DSL execution backend was requested and how
+    evaluations actually resolved (``make_runner`` falls back down the chain
+    for unvectorizable programs); it never touches ``result.json`` because
+    backends are score-identical by contract.
     """
     path = Path(path)
     _write_json(path / RESULT_FILE, search_result_to_dict(result))
@@ -298,6 +303,8 @@ def finalize_run_dir(
         metadata["eval_store"] = eval_store
     if fidelity is not None:
         metadata["fidelity"] = fidelity
+    if dsl_backend is not None:
+        metadata["dsl_backend"] = dsl_backend
     _write_json(path / METADATA_FILE, metadata)
     return path
 

@@ -231,6 +231,15 @@ def build_search(
                 f"domain {domain.name!r} got unexpected keyword argument(s) "
                 f"{sorted(unknown)}; accepted: {sorted(domain.accepted_kwargs)}"
             )
+        # The engine-level DSL backend knob reaches the domain as its
+        # ``backend`` kwarg; an explicit domain kwarg wins over the engine
+        # default so ablations can still pin one evaluator's backend.
+        if (
+            engine_config is not None
+            and engine_config.dsl_backend is not None
+            and "backend" in domain.accepted_kwargs
+        ):
+            domain_kwargs.setdefault("backend", engine_config.dsl_backend)
 
     workload_specs: Optional[List[Any]] = None
     reducer_obj: Optional[ScoreReducer] = None

@@ -71,6 +71,7 @@ from repro.core.scenarios import MultiScenarioEvaluator
 from repro.core.store import BoundEvalStore
 from repro.dsl.ast import Program
 from repro.dsl.codegen import to_source
+from repro.dsl.compile import BACKENDS as DSL_BACKENDS
 
 
 @dataclass
@@ -88,6 +89,14 @@ class EngineConfig:
     ``eval_timeout_s`` has no effect.  ``dedup`` collapses canonical duplicates within a batch;
     ``memoize`` reuses evaluation results across batches (and gates the disk
     store tier, which is a persistent memo).
+
+    ``dsl_backend`` selects how candidate DSL programs execute during
+    evaluation (``"interpreter"`` / ``"compiled"`` / ``"vectorized"``); it is
+    injected as the domain's ``backend`` kwarg by
+    :func:`~repro.core.domain.build_search` unless the caller already set one
+    explicitly.  ``None`` (the default) keeps the domain's own default.  All
+    backends produce bit-identical scores -- the knob trades compilation
+    effort for evaluation throughput, never results.
     """
 
     max_workers: int = 1
@@ -95,6 +104,7 @@ class EngineConfig:
     eval_timeout_s: Optional[float] = None
     dedup: bool = True
     memoize: bool = True
+    dsl_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -106,6 +116,11 @@ class EngineConfig:
             )
         if self.eval_timeout_s is not None and self.eval_timeout_s <= 0:
             raise ValueError("eval_timeout_s must be positive")
+        if self.dsl_backend is not None and self.dsl_backend not in DSL_BACKENDS:
+            raise ValueError(
+                f"unknown dsl_backend {self.dsl_backend!r}; "
+                f"available: {sorted(DSL_BACKENDS)}"
+            )
 
 
 @dataclass

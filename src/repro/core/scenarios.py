@@ -24,7 +24,7 @@ under any engine configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.evaluator import EvaluationResult, Evaluator
 from repro.dsl.ast import Program
@@ -175,6 +175,30 @@ class MultiScenarioEvaluator(Evaluator):
     def evaluate_scenario(self, program: Program, index: int) -> EvaluationResult:
         """Score ``program`` on one scenario (the engine's unit of sharding)."""
         return self.scenarios[index][1].evaluate(program)
+
+    @property
+    def backend_stats(self) -> Optional[Dict[str, Any]]:
+        """Per-scenario DSL backend counters summed across the matrix.
+
+        ``None`` when no scenario evaluator tracks them (non-DSL ablation
+        evaluators); otherwise the same ``{"requested", "resolved"}`` shape
+        the single-scenario evaluators expose.
+        """
+        merged: Dict[str, int] = {}
+        requested: Optional[str] = None
+        found = False
+        for _name, evaluator in self.scenarios:
+            stats = getattr(evaluator, "backend_stats", None)
+            if not isinstance(stats, dict):
+                continue
+            found = True
+            if requested is None:
+                requested = stats.get("requested")
+            for backend, count in stats.get("resolved", {}).items():
+                merged[backend] = merged.get(backend, 0) + count
+        if not found:
+            return None
+        return {"requested": requested, "resolved": merged}
 
     def at_fidelity(self, fraction: float) -> "MultiScenarioEvaluator":
         """Scale every scenario of the matrix to ``fraction`` of its budget."""

@@ -538,6 +538,18 @@ def run(
                 "rung_promotions": setup.engine.rung_promotions,
                 "rung_eliminations": setup.engine.rung_eliminations,
             }
+        backend_record = None
+        backend_stats = getattr(setup.evaluator, "backend_stats", None)
+        if isinstance(backend_stats, dict) and backend_stats.get("resolved"):
+            requested = backend_stats.get("requested")
+            resolved = dict(backend_stats["resolved"])
+            backend_record = {
+                "requested": requested,
+                "resolved": resolved,
+                "fallbacks": sum(
+                    count for name, count in resolved.items() if name != requested
+                ),
+            }
         artifact_store.finalize_run_dir(
             artifact_dir,
             effective_spec.to_dict(),
@@ -546,6 +558,7 @@ def run(
             seed=effective_seed,
             eval_store=eval_store_record,
             fidelity=fidelity_record,
+            dsl_backend=backend_record,
         )
     return RunOutcome(
         spec=spec,

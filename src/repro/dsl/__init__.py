@@ -52,10 +52,17 @@ from repro.dsl.errors import (
 from repro.dsl.parser import parse
 from repro.dsl.interpreter import Interpreter, EvalContext
 from repro.dsl.compile import CompiledProgram, DslCompileError, compile_program
-from repro.dsl.analysis import ProgramFacts, analyze
+from repro.dsl.analysis import (
+    ColumnSpec,
+    ProgramFacts,
+    VectorizabilityReport,
+    analyze,
+    vectorizability,
+)
 from repro.dsl.codegen import to_c_like, to_python, to_source
 from repro.dsl.mutation import MutationConfig, crossover, mutate
 from repro.dsl.grammar import GrammarConfig, FeatureSpec, random_program
+from repro.dsl.vectorize import DslVectorizeError, VectorizedProgram, vectorize_program
 
 __all__ = [
     "Assign",
@@ -87,6 +94,12 @@ __all__ = [
     "compile_program",
     "ProgramFacts",
     "analyze",
+    "ColumnSpec",
+    "VectorizabilityReport",
+    "vectorizability",
+    "DslVectorizeError",
+    "VectorizedProgram",
+    "vectorize_program",
     "to_source",
     "to_c_like",
     "to_python",

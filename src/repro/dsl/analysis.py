@@ -15,17 +15,26 @@ The facts gathered here feed two consumers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.dsl.ast import (
+    Assign,
     Attribute,
+    AugAssign,
     BinOp,
+    BoolOp,
     Call,
+    Compare,
+    Expr,
     ForRange,
+    If,
     Name,
     Number,
     Program,
     Return,
+    Stmt,
+    Ternary,
+    UnaryOp,
     While,
 )
 
@@ -161,3 +170,202 @@ def _brief_repr(node) -> str:
     if len(text) > 40:
         text = text[:37] + "..."
     return text
+
+
+# --------------------------------------------------------------------------
+# Vectorizability (feeds the numpy batch backend, repro.dsl.vectorize)
+# --------------------------------------------------------------------------
+
+#: Builtin functions the batch lowering can translate, with the arities it
+#: supports (min/max accept 2+; anything else errors at runtime, so such
+#: programs fall back to the scalar backends which produce the right error).
+_VECTOR_BUILTINS = {"min", "max", "abs", "clamp"}
+
+#: Integer literals at or beyond 2**53 are not exactly representable as
+#: float64 lanes, so programs containing them take the scalar backends.
+_EXACT_INT_BOUND = 2**53
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One per-row input column of a vectorized kernel.
+
+    ``kind`` is ``"scalar"`` (a plain numeric parameter read), ``"attr"``
+    (``param.attr``) or ``"method"`` (``param.method(args)``).  ``args`` are
+    ``("lit", value)`` / ``("param", name)`` pairs; canonicalisation is by
+    *value* (``percentile(0.7)`` and ``percentile(0.70)`` share a column).
+    """
+
+    key: str
+    kind: str
+    param: str
+    attr: Optional[str] = None
+    args: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass
+class VectorizabilityReport:
+    """Outcome of :func:`vectorizability`: either a column plan or reasons."""
+
+    ok: bool
+    reasons: List[str] = field(default_factory=list)
+    columns: List[ColumnSpec] = field(default_factory=list)
+
+
+def _column_key(kind: str, param: str, attr: Optional[str], args) -> str:
+    if kind == "scalar":
+        return param
+    if kind == "attr":
+        return f"{param}.{attr}"
+    rendered = ", ".join(repr(v) if k == "lit" else v for k, v in args)
+    return f"{param}.{attr}({rendered})"
+
+
+def vectorizability(program: Program) -> VectorizabilityReport:
+    """Decide whether ``program`` can be lowered to numpy batch kernels.
+
+    The check is conservative: it accepts straight-line numeric programs
+    whose feature accesses can be captured as per-row columns ahead of time
+    (attribute reads and method calls on parameter objects, with literal or
+    never-reassigned-parameter arguments), and rejects everything whose
+    batch semantics could diverge from the scalar backends -- loops, huge
+    integer literals, feature objects used as values, unknown functions.
+    Rejected programs simply run on the compiled/interpreter backends.
+    """
+    params = set(program.params)
+    reasons: List[str] = []
+    columns: List[ColumnSpec] = []
+    seen_keys: Set[str] = set()
+    assigned: Set[str] = set()
+    feature_params: Set[str] = set()
+    bare_reads: Set[str] = set()
+
+    # Pass 1: names assigned anywhere (targets are mutable locals; a feature
+    # or method-argument parameter must never be one of them).
+    for node in program.walk():
+        if isinstance(node, (Assign, AugAssign)):
+            assigned.add(node.target.id)
+        elif isinstance(node, ForRange):
+            assigned.add(node.var.id)
+
+    def add_column(kind: str, param: str, attr: Optional[str], args=()) -> None:
+        key = _column_key(kind, param, attr, args)
+        if key not in seen_keys:
+            seen_keys.add(key)
+            columns.append(
+                ColumnSpec(key=key, kind=kind, param=param, attr=attr, args=tuple(args))
+            )
+
+    def visit_feature_base(base: Expr, what: str) -> Optional[str]:
+        if not isinstance(base, Name):
+            reasons.append(f"{what} on a non-parameter expression")
+            return None
+        if base.id not in params:
+            reasons.append(f"{what} on non-parameter name {base.id!r}")
+            return None
+        feature_params.add(base.id)
+        return base.id
+
+    def visit_expr(expr: Expr) -> None:
+        if isinstance(expr, Number):
+            if isinstance(expr.value, int) and abs(expr.value) >= _EXACT_INT_BOUND:
+                reasons.append(
+                    f"integer literal {expr.value} is not exact in float64 lanes"
+                )
+        elif isinstance(expr, Name):
+            bare_reads.add(expr.id)
+            if expr.id in params:
+                add_column("scalar", expr.id, None)
+            elif expr.id not in assigned:
+                reasons.append(f"name {expr.id!r} is neither a parameter nor assigned")
+        elif isinstance(expr, Attribute):
+            param = visit_feature_base(expr.value, f"attribute read .{expr.attr}")
+            if param is not None:
+                add_column("attr", param, expr.attr)
+        elif isinstance(expr, Call):
+            func = expr.func
+            if isinstance(func, Attribute):
+                param = visit_feature_base(func.value, f"method call .{func.attr}()")
+                if param is None:
+                    return
+                args: List[Tuple[str, Any]] = []
+                for arg in expr.args:
+                    if isinstance(arg, Number):
+                        args.append(("lit", arg.value))
+                    elif isinstance(arg, Name) and arg.id in params:
+                        bare_reads.add(arg.id)
+                        if arg.id in assigned:
+                            reasons.append(
+                                f"method argument {arg.id!r} is reassigned, so its "
+                                "capture-time column would go stale"
+                            )
+                        args.append(("param", arg.id))
+                        add_column("scalar", arg.id, None)
+                    else:
+                        reasons.append(
+                            f"method argument of .{func.attr}() is not a literal "
+                            "or parameter"
+                        )
+                        return
+                add_column("method", param, func.attr, args)
+            elif isinstance(func, Name):
+                if func.id not in _VECTOR_BUILTINS:
+                    reasons.append(f"unknown function {func.id!r}")
+                    return
+                arity = len(expr.args)
+                if func.id in ("min", "max") and arity < 2:
+                    reasons.append(f"{func.id}() with {arity} argument(s)")
+                elif func.id == "abs" and arity != 1:
+                    reasons.append(f"abs() with {arity} argument(s)")
+                elif func.id == "clamp" and arity != 3:
+                    reasons.append(f"clamp() with {arity} argument(s)")
+                for arg in expr.args:
+                    visit_expr(arg)
+            else:
+                reasons.append("unsupported call target")
+        elif isinstance(expr, UnaryOp):
+            visit_expr(expr.operand)
+        elif isinstance(expr, (BinOp, Compare)):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, BoolOp):
+            for value in expr.values:
+                visit_expr(value)
+        elif isinstance(expr, Ternary):
+            visit_expr(expr.condition)
+            visit_expr(expr.if_true)
+            visit_expr(expr.if_false)
+        else:
+            reasons.append(f"unsupported expression {type(expr).__name__}")
+
+    def visit_block(stmts: List[Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                visit_expr(stmt.value)
+            elif isinstance(stmt, AugAssign):
+                # Desugars to a read of the target followed by a binary op.
+                bare_reads.add(stmt.target.id)
+                if stmt.target.id in params:
+                    add_column("scalar", stmt.target.id, None)
+                visit_expr(stmt.value)
+            elif isinstance(stmt, If):
+                visit_expr(stmt.condition)
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+            elif isinstance(stmt, Return):
+                visit_expr(stmt.value)
+            elif isinstance(stmt, (ForRange, While)):
+                reasons.append(f"{type(stmt).__name__} loops are not vectorized")
+            else:
+                reasons.append(f"unsupported statement {type(stmt).__name__}")
+
+    visit_block(program.body)
+
+    for name in sorted(feature_params & assigned):
+        reasons.append(f"feature parameter {name!r} is reassigned")
+    for name in sorted(feature_params & bare_reads):
+        reasons.append(f"feature parameter {name!r} is used as a plain value")
+
+    if reasons:
+        return VectorizabilityReport(ok=False, reasons=reasons)
+    return VectorizabilityReport(ok=True, columns=columns)

@@ -304,17 +304,34 @@ class _InterpreterRunner:
         return self._interpreter.run(self.program, env)
 
 
+#: Backends accepted by :func:`make_runner`, in fallback order.
+BACKENDS = ("vectorized", "compiled", "interpreter")
+
+
 def make_runner(program: Program, backend: str = "compiled", max_steps: int = 20_000):
     """Build a ``run(env)`` executor for ``program``.
 
     Returns ``(runner, effective_backend)``.  ``backend="compiled"`` tries
     the fast path and silently falls back to the interpreter for programs
     the compiler rejects (loops, Python-keyword identifiers, ...);
+    ``backend="vectorized"`` additionally tries the numpy batch lowering
+    (:mod:`repro.dsl.vectorize`) first -- its ``run(env)`` delegates to the
+    compiled scalar program, and hot loops that recognise the runner can
+    call its ``run_batch``/``run_row`` fast paths; programs the lowering
+    rejects degrade to compiled, then interpreter.
     ``backend="interpreter"`` forces the oracle.  This is the single place
     hot-loop adapters get their execution strategy from.
     """
-    if backend not in ("compiled", "interpreter"):
+    if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}")
+    if backend == "vectorized":
+        from repro.dsl.vectorize import VectorizedProgram
+
+        try:
+            return VectorizedProgram(program, max_steps=max_steps), "vectorized"
+        except DslError:
+            pass
+        backend = "compiled"
     if backend == "compiled":
         try:
             return compile_program(program, max_steps=max_steps), "compiled"

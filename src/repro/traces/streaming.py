@@ -170,12 +170,25 @@ class DecodedArraySource:
         self.path = Path(path)
         self.chunk_rows = chunk_rows
 
-    def __iter__(self) -> Iterator[Request]:
+    def _open(self) -> np.ndarray:
         data = np.load(self.path, mmap_mode="r")
         if data.ndim != 2 or data.shape[0] != 3:
             raise ValueError(
                 f"decode cache {self.path} has shape {data.shape}, expected (3, N)"
             )
+        return data
+
+    def columns(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy ``(timestamps, keys, sizes)`` int64 views of the sidecar.
+
+        The rows alias the memory-mapped array directly; the fused columnar
+        simulator iterates them without ever constructing Request objects.
+        """
+        data = self._open()
+        return data[0], data[1], data[2]
+
+    def __iter__(self) -> Iterator[Request]:
+        data = self._open()
         total = data.shape[1]
         for start in range(0, total, self.chunk_rows):
             stop = min(start + self.chunk_rows, total)
@@ -266,6 +279,18 @@ class StreamingTrace:
 
     def __iter__(self) -> Iterator[Request]:
         return iter(self.source)
+
+    def columns(self) -> Optional[tuple]:
+        """Struct-of-arrays form when the source provides one, else ``None``.
+
+        Only :class:`DecodedArraySource` does (its sidecar *is* the columnar
+        form, memory-mapped); plain CSV streaming returns ``None`` and the
+        simulator uses the per-request loop.
+        """
+        source_columns = getattr(self.source, "columns", None)
+        if callable(source_columns):
+            return source_columns()
+        return None
 
     # -- statistics ----------------------------------------------------------------
 

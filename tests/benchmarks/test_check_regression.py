@@ -123,13 +123,15 @@ def test_main_exit_codes(tmp_path, capsys):
         == 0
     )
 
-    # Mismatched benchmark scales are a usage error, not a pass.
+    # Mismatched benchmark scales warn (to stderr) but still compare: a full
+    # baseline must not block a smoke run, and vice versa.
     full = json.loads(json.dumps(BASELINE))
     full["bench_full"] = True
     assert (
         main(["--baseline", baseline, "--current", write(tmp_path, "f.json", full)])
-        == 2
+        == 0
     )
+    assert "different benchmark scales" in capsys.readouterr().err
 
     # Unreadable input is a usage error.
     assert main(["--baseline", str(tmp_path / "nope.json"), "--current", current]) == 2

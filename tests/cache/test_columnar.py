@@ -1,0 +1,226 @@
+"""Fused columnar cache-loop tests.
+
+The fused loop (:func:`repro.cache.columnar.fused_cache_run`) must be an
+*exact* replacement for the classic simulator loop: identical
+:class:`SimulationResult`, identical final policy state (resident objects,
+heap, eviction history, counters), identical exceptions -- for the same
+vectorized kernel.  When exact replication is not guaranteed it must decline
+(return ``None``) so the classic loop runs instead.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.columnar import (
+    _LOOP_CODE_CACHE,
+    _build_fused_loop,
+    fused_cache_run,
+)
+from repro.cache.policies.fifo import FIFOCache
+from repro.cache.priority_cache import PriorityFunctionCache
+from repro.cache.simulator import CacheSimulator
+from repro.dsl.errors import DslError
+from repro.dsl.parser import parse
+
+from tests.conftest import make_trace
+
+_SIG = "def f(now, obj_id, obj_info, counts, ages, sizes, history)"
+
+PROGRAMS = {
+    "lru-like": f"{_SIG} {{ return 0 - (now - obj_info.last_accessed) }}",
+    "aggregates": f"""{_SIG} {{
+        score = obj_info.count * 10
+        if (obj_info.size > sizes.percentile(0.75)) {{ score = score - 100 }}
+        if (obj_info.count > counts.mean()) {{ score = score + ages.maximum() }}
+        return score - sizes.minimum() / 10
+    }}""",
+    "history": f"""{_SIG} {{
+        score = obj_info.count * 30
+        if (history.contains(obj_id)) {{
+            score = score + history.count_of(obj_id) * 20
+            score = score - history.time_since_eviction(obj_id) / 50
+        }}
+        return score + history.length() - (now - obj_info.last_accessed) / 200
+    }}""",
+    "param-arg-aggregate": f"{_SIG} {{ return counts.percentile(now) + ages.percentile(obj_id) }}",
+    "bool-return": f"{_SIG} {{ return obj_info.count > 2 }}",
+}
+
+
+def _workload_trace(seed=0, n=600, keys=40):
+    rng = random.Random(seed)
+    return make_trace(
+        [(t, rng.randint(1, keys), rng.choice([50, 80, 120, 200])) for t in range(n)],
+        name=f"workload-{seed}",
+    )
+
+
+def _policy(source, capacity=1_000, backend="vectorized", **kwargs):
+    return PriorityFunctionCache(
+        capacity, parse(source), name="candidate", backend=backend, **kwargs
+    )
+
+
+def _state(policy):
+    """Full observable end state of a priority cache."""
+    return {
+        "objects": [
+            (k, o.size, o.insert_time, o.last_access_time, o.access_count, dict(o.extra))
+            for k, o in policy._objects.items()
+        ],
+        "used": policy._used,
+        "evictions": policy.eviction_count,
+        "admissions": policy.admission_count,
+        "priority_evaluations": policy.priority_evaluations,
+        "generation": policy._generation,
+        "since_refresh": policy._requests_since_refresh,
+        "heap": list(policy._heap),
+        "history": [
+            (k, r.evicted_at, r.access_count, r.age_at_eviction, r.size)
+            for k, r in policy.history._records.items()
+        ],
+        "history_now": policy.history._now,
+    }
+
+
+def _run_pair(source, trace, warmup=0, capacity=1_000):
+    """(fused result+state, classic result+state) for the same kernel."""
+    fused_policy = _policy(source, capacity)
+    fused = fused_cache_run(CacheSimulator(), fused_policy, trace, warmup)
+    assert fused is not None, "expected the fused loop to take this run"
+    # A never-firing invariant check forces the classic loop with the *same*
+    # vectorized kernel: a pure control oracle.
+    classic_policy = _policy(source, capacity)
+    classic = CacheSimulator(check_invariants_every=10**9).run(
+        classic_policy, trace, warmup=warmup
+    )
+    return (fused, _state(fused_policy)), (classic, _state(classic_policy))
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+@pytest.mark.parametrize("warmup", [0, 100])
+def test_fused_matches_classic_exactly(name, warmup):
+    (fused, fused_state), (classic, classic_state) = _run_pair(
+        PROGRAMS[name], _workload_trace(), warmup=warmup
+    )
+    assert fused == classic
+    assert fused_state == classic_state
+    assert fused.evictions > 0, "workload too easy to exercise eviction"
+
+
+def test_fused_matches_classic_warmup_beyond_trace():
+    trace = _workload_trace(n=50)
+    (fused, fused_state), (classic, classic_state) = _run_pair(
+        PROGRAMS["lru-like"], trace, warmup=500
+    )
+    assert fused == classic
+    assert fused.requests == 0
+    assert fused_state == classic_state
+
+
+def test_fused_matches_compiled_backend_scores():
+    """Cross-backend contract: compiled-backend classic run, same result."""
+    trace = _workload_trace(seed=3)
+    fused_policy = _policy(PROGRAMS["aggregates"])
+    fused = fused_cache_run(CacheSimulator(), fused_policy, trace, 0)
+    compiled = CacheSimulator().run(_policy(PROGRAMS["aggregates"], backend="compiled"), trace)
+    assert fused == compiled
+
+
+def test_fused_raises_same_error_as_classic():
+    source = f"{_SIG} {{ return 1 / (obj_info.count - 2) }}"
+    trace = _workload_trace()
+    with pytest.raises(DslError) as fused_exc:
+        fused_cache_run(CacheSimulator(), _policy(source), trace, 0)
+    with pytest.raises(DslError) as classic_exc:
+        CacheSimulator(check_invariants_every=10**9).run(_policy(source), trace)
+    assert type(fused_exc.value) is type(classic_exc.value)
+    assert str(fused_exc.value) == str(classic_exc.value)
+
+
+# -- gating: every ineligible shape must decline, not misbehave ----------------------
+
+
+def test_declines_invariant_checking_simulator():
+    sim = CacheSimulator(check_invariants_every=1)
+    assert fused_cache_run(sim, _policy(PROGRAMS["lru-like"]), _workload_trace(), 0) is None
+
+
+def test_declines_non_priority_policy():
+    assert fused_cache_run(CacheSimulator(), FIFOCache(1_000), _workload_trace(), 0) is None
+
+
+def test_declines_priority_cache_subclass():
+    class Subclassed(PriorityFunctionCache):
+        pass
+
+    policy = Subclassed(1_000, parse(PROGRAMS["lru-like"]), backend="vectorized")
+    assert fused_cache_run(CacheSimulator(), policy, _workload_trace(), 0) is None
+
+
+def test_declines_eviction_listeners():
+    policy = _policy(PROGRAMS["lru-like"])
+    policy.add_eviction_listener(lambda obj, now: None)
+    assert fused_cache_run(CacheSimulator(), policy, _workload_trace(), 0) is None
+
+
+def test_declines_non_vectorized_backend():
+    policy = _policy(PROGRAMS["lru-like"], backend="compiled")
+    assert fused_cache_run(CacheSimulator(), policy, _workload_trace(), 0) is None
+
+
+def test_declines_unvectorizable_program():
+    # Expression method-arg: make_runner resolves to "compiled", so the
+    # policy reports a non-vectorized backend and the gate declines.
+    source = f"{_SIG} {{ return counts.percentile(now % 1) }}"
+    policy = _policy(source)
+    assert policy._priority.backend == "compiled"
+    assert fused_cache_run(CacheSimulator(), policy, _workload_trace(), 0) is None
+
+
+def test_declines_used_policy():
+    trace = _workload_trace()
+    policy = _policy(PROGRAMS["lru-like"])
+    assert fused_cache_run(CacheSimulator(), policy, trace, 0) is not None
+    assert fused_cache_run(CacheSimulator(), policy, trace, 0) is None  # stateful now
+
+
+def test_declines_trace_without_columns():
+    class RowsOnly:
+        name = "workload-0"  # match the wrapped trace so results compare equal
+
+        def __init__(self, trace):
+            self._trace = trace
+
+        def __iter__(self):
+            return iter(self._trace)
+
+        def footprint_bytes(self):
+            return self._trace.footprint_bytes()
+
+    trace = _workload_trace()
+    assert fused_cache_run(CacheSimulator(), _policy(PROGRAMS["lru-like"]), RowsOnly(trace), 0) is None
+    # ...and the simulator still produces the right answer via the classic loop.
+    classic = CacheSimulator().run(_policy(PROGRAMS["lru-like"]), RowsOnly(trace))
+    fused = CacheSimulator().run(_policy(PROGRAMS["lru-like"]), trace)
+    assert fused == classic
+
+
+def test_simulator_run_uses_fused_path_transparently():
+    """CacheSimulator.run on a vectorized policy equals an explicit fused run."""
+    trace = _workload_trace(seed=7)
+    via_run = CacheSimulator().run(_policy(PROGRAMS["history"]), trace, warmup=50)
+    explicit = fused_cache_run(CacheSimulator(), _policy(PROGRAMS["history"]), trace, 50)
+    assert via_run == explicit
+
+
+def test_loop_code_cache_shared_across_same_column_programs():
+    policy_a = _policy(PROGRAMS["lru-like"])
+    built_a = _build_fused_loop(policy_a._priority._runner, policy_a)
+    before = len(_LOOP_CODE_CACHE)
+    # Same column vocabulary, different kernel constant: same code object.
+    policy_b = _policy(f"{_SIG} {{ return 5 - (now - obj_info.last_accessed) }}")
+    built_b = _build_fused_loop(policy_b._priority._runner, policy_b)
+    assert built_a is not None and built_b is not None
+    assert len(_LOOP_CODE_CACHE) == before
