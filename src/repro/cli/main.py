@@ -8,7 +8,10 @@ Commands
     a declarative :class:`~repro.core.spec.RunSpec` file, store the run as a
     versioned artifact directory, and print the report.  ``--executor`` /
     ``--max-workers`` override the spec's engine parallelism and
-    ``--backend`` its DSL execution backend without editing the JSON.
+    ``--backend`` its DSL execution backend without editing the JSON;
+    ``--pipeline`` turns on generation/evaluation overlap and ``--provider``
+    layers an LLM provider block (retries, timeouts, batch size, prompt
+    cache) onto the spec -- none of which change the run's results.
 ``sweep <spec.json>``
     Run the spec once per seed (``--seeds`` overrides the spec's list),
     seeds in parallel, and print the sweep table.
@@ -24,7 +27,9 @@ Commands
     Inspect and maintain the persistent evaluation store (the engine's disk
     memo tier, default ``<artifact root>/evalstore``); searches warm-start
     from it across processes.  ``--eval-store PATH`` / ``--no-eval-store``
-    on ``run``/``sweep``/``resume`` redirect or disable it.
+    on ``run``/``sweep``/``resume`` redirect or disable it.  With
+    ``--prompt-cache`` the same subcommands maintain the on-disk LLM prompt
+    cache (default ``<artifact root>/promptcache``) instead.
 ``report <run dir>``
     Re-render a stored run's report from its artifacts, byte-identical to
     the original ``run`` output, without re-running anything.
@@ -49,6 +54,7 @@ from repro.core.executors import available_executors
 from repro.dsl.compile import BACKENDS as DSL_BACKENDS
 from repro.core.spec import EVAL_STORE_DIRNAME, RunSpec, run, run_sweep
 from repro.core.store import EvaluationStore
+from repro.llm.cache import PROMPT_CACHE_DIRNAME, PromptCache
 from repro.experiments import registry
 
 DEFAULT_ARTIFACT_ROOT = "runs"
@@ -122,6 +128,38 @@ def _apply_engine_overrides(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
         return spec
     data = spec.to_dict()
     data["engine"] = {**data["engine"], **overrides}
+    return RunSpec.from_dict(data)
+
+
+def _apply_pipeline_overrides(spec: RunSpec, args: argparse.Namespace) -> RunSpec:
+    """Layer ``--pipeline`` / ``--provider`` onto a spec without editing the
+    JSON.
+
+    ``--provider`` accepts a bare provider name (``synthetic``) or a JSON
+    object (``{"name": "synthetic", "retries": 2, "batch_size": 4,
+    "prompt_cache": "runs/promptcache"}``); it lands in the spec's
+    ``llm["provider"]`` block and is validated by
+    :class:`~repro.llm.client.ProviderConfig`.
+    """
+    data: Optional[Dict[str, Any]] = None
+    if getattr(args, "pipeline", False):
+        data = spec.to_dict()
+        data["search"] = {**data["search"], "pipeline": True}
+    raw = getattr(args, "provider", None)
+    if raw is not None:
+        try:
+            ref: Any = json.loads(raw)
+        except json.JSONDecodeError:
+            ref = raw  # a bare provider name
+        if not isinstance(ref, (str, dict)):
+            raise CliError(
+                f"--provider expects a provider name or a JSON object, got {raw!r}"
+            )
+        if data is None:
+            data = spec.to_dict()
+        data["llm"] = {**data["llm"], "provider": ref}
+    if data is None:
+        return spec
     return RunSpec.from_dict(data)
 
 
@@ -212,6 +250,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             spec = spec.for_seed(args.seed)
         spec = _apply_engine_overrides(spec, args)
         spec = _apply_fidelity_override(spec, args)
+        spec = _apply_pipeline_overrides(spec, args)
         outcome = run(
             spec,
             store=store,
@@ -232,6 +271,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise CliError(
             "--fidelity applies to RunSpec runs; registered experiments "
             "do not use the multi-fidelity scheduler"
+        )
+    if getattr(args, "pipeline", False) or getattr(args, "provider", None) is not None:
+        raise CliError(
+            "--pipeline/--provider apply to RunSpec runs; registered "
+            "experiments do not use the pipelined round scheduler"
         )
     if getattr(args, "eval_store", None) is not None or getattr(
         args, "no_eval_store", False
@@ -279,6 +323,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spec = RunSpec.from_dict({**spec.to_dict(), "seeds": seeds})
     spec = _apply_engine_overrides(spec, args)
     spec = _apply_fidelity_override(spec, args)
+    spec = _apply_pipeline_overrides(spec, args)
     # Progress printing only when seeds run one at a time: concurrent seeds
     # would interleave unattributed lines through one shared printer.
     serial = args.parallel == 1 or len(spec.seed_list) == 1
@@ -395,7 +440,12 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
-    store = EvaluationStore(args.store)
+    prompt_cache = getattr(args, "prompt_cache", False)
+    root = args.store
+    if root is None:
+        dirname = PROMPT_CACHE_DIRNAME if prompt_cache else EVAL_STORE_DIRNAME
+        root = os.path.join(DEFAULT_ARTIFACT_ROOT, dirname)
+    store = PromptCache(root) if prompt_cache else EvaluationStore(root)
     if args.action == "stats":
         stats = store.stats()
         if args.json:
@@ -405,7 +455,10 @@ def _cmd_store(args: argparse.Namespace) -> int:
         print(f"schema version: {stats.schema_version}")
         print(f"entries       : {stats.entries}")
         print(f"total bytes   : {stats.total_bytes}")
-        print(f"eval configs  : {stats.eval_configs}")
+        # The prompt cache's first-level directories are key shards, not
+        # per-eval-config partitions -- label them honestly.
+        label = "key shards" if prompt_cache else "eval configs"
+        print(f"{label:<14}: {stats.eval_configs}")
         return 0
     if args.action == "gc":
         if args.max_bytes is None and args.max_entries is None:
@@ -522,6 +575,20 @@ def build_parser() -> argparse.ArgumentParser:
             "comma-separated rung list (e.g. 0.1,0.3,1.0) or a JSON object "
             '(e.g. {"rungs": [0.1, 1.0], "eta": 4, "mode": "shadow"})',
         )
+        p.add_argument(
+            "--pipeline",
+            action="store_true",
+            help="overlap candidate generation with evaluation (results are "
+            "byte-identical to the serial schedule)",
+        )
+        p.add_argument(
+            "--provider",
+            default=None,
+            metavar="NAME|JSON",
+            help="LLM provider block: a bare name ('synthetic') or a JSON "
+            'object (e.g. {"name": "synthetic", "retries": 2, '
+            '"batch_size": 4, "prompt_cache": "runs/promptcache"})',
+        )
 
     p_run = sub.add_parser("run", help="run an experiment by name or a RunSpec file")
     p_run.add_argument("target", help="registered experiment name or path to spec.json")
@@ -565,9 +632,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_store.add_argument("action", choices=["stats", "gc", "clear"])
     p_store.add_argument(
         "--store",
-        default=os.path.join(DEFAULT_ARTIFACT_ROOT, EVAL_STORE_DIRNAME),
+        default=None,
         help="store directory (default: "
-        f"./{os.path.join(DEFAULT_ARTIFACT_ROOT, EVAL_STORE_DIRNAME)})",
+        f"./{os.path.join(DEFAULT_ARTIFACT_ROOT, EVAL_STORE_DIRNAME)}, or "
+        f"./{os.path.join(DEFAULT_ARTIFACT_ROOT, PROMPT_CACHE_DIRNAME)} "
+        "with --prompt-cache)",
+    )
+    p_store.add_argument(
+        "--prompt-cache",
+        action="store_true",
+        help="operate on the LLM prompt cache instead of the evaluation store",
     )
     p_store.add_argument(
         "--max-bytes", type=int, default=None, help="gc: byte budget to shrink to"

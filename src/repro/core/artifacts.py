@@ -67,8 +67,9 @@ def _strip_volatile_round(data: dict) -> dict:
     The store counters depend on what the attached evaluation store happened
     to contain; the rung counters describe how the fidelity ladder budgeted
     evaluation, not what the search found (and a shadow-mode ladder run must
-    stay byte-identical to a ladder-disabled one).  Both are execution
-    telemetry: live values go to ``metadata.json``.
+    stay byte-identical to a ladder-disabled one).  The phase timings are
+    wall-clock (and a pipelined run must stay byte-identical to a serial
+    one).  All are execution telemetry: live values go to ``metadata.json``.
     """
     return dict(
         data,
@@ -77,6 +78,9 @@ def _strip_volatile_round(data: dict) -> dict:
         rung_evaluations=0,
         rung_promotions=0,
         rung_eliminations=0,
+        generation_s=0.0,
+        evaluation_s=0.0,
+        overlap_s=0.0,
     )
 
 
@@ -268,6 +272,7 @@ def finalize_run_dir(
     eval_store: Optional[Dict[str, Any]] = None,
     fidelity: Optional[Dict[str, Any]] = None,
     dsl_backend: Optional[Dict[str, Any]] = None,
+    pipeline: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Write result.json / rounds.jsonl / metadata.json for a finished search.
 
@@ -279,7 +284,9 @@ def finalize_run_dir(
     (optional) records which DSL execution backend was requested and how
     evaluations actually resolved (``make_runner`` falls back down the chain
     for unvectorizable programs); it never touches ``result.json`` because
-    backends are score-identical by contract.
+    backends are score-identical by contract.  ``pipeline`` (optional) is
+    the run's live generation/evaluation overlap record (summed phase
+    timings) -- wall-clock telemetry, metadata only, for the same reason.
     """
     path = Path(path)
     _write_json(path / RESULT_FILE, search_result_to_dict(result))
@@ -305,6 +312,8 @@ def finalize_run_dir(
         metadata["fidelity"] = fidelity
     if dsl_backend is not None:
         metadata["dsl_backend"] = dsl_backend
+    if pipeline is not None:
+        metadata["pipeline"] = pipeline
     _write_json(path / METADATA_FILE, metadata)
     return path
 

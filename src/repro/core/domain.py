@@ -33,6 +33,7 @@ from repro.core.scenarios import MultiScenarioEvaluator, ScoreReducer
 from repro.core.search import EvolutionarySearch, SearchConfig
 from repro.core.template import Template
 from repro.dsl.grammar import GrammarConfig
+from repro.llm.client import ProviderConfig, wrap_client
 from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
 
 
@@ -198,6 +199,7 @@ def build_search(
     evaluator: Optional[Evaluator] = None,
     context: Optional[Context] = None,
     client: Optional[Any] = None,
+    provider: Optional[ProviderConfig] = None,
     workloads: Optional[Sequence[Any]] = None,
     reducer: Any = None,
     **domain_kwargs: Any,
@@ -212,6 +214,14 @@ def build_search(
     (progress, JSONL logging).  ``template`` / ``checker`` /
     ``evaluator`` / ``context`` / ``client`` replace the domain-built
     components (used by ablation experiments).
+
+    ``provider`` (a :class:`~repro.llm.client.ProviderConfig`) layers the
+    provider's resilience/caching adapters around the client --
+    retries/timeouts via :class:`~repro.llm.client.ResilientClient`, an
+    on-disk prompt cache via :class:`~repro.llm.cache.CachingClient` -- and
+    sets the generator's preferred per-call ``batch_size`` for pipelined
+    rounds.  None of those adapters change what the client returns, only how
+    the calls are made.
 
     ``workloads`` declares a *scenario matrix*: a list of workload references
     (registry names, ``{"name": ..., **overrides}`` dictionaries or
@@ -295,7 +305,13 @@ def build_search(
     if client is None:
         llm = domain.prepare_llm_config(llm_config or domain.default_llm_config())
         client = domain.build_client(template, llm, seed)
-    generator = LLMGenerator(template, client, context_description=context.describe())
+    client = wrap_client(client, provider)
+    generator = LLMGenerator(
+        template,
+        client,
+        context_description=context.describe(),
+        batch_size=provider.batch_size if provider is not None else None,
+    )
     checker = checker or domain.build_checker(template)
     if evaluator is None:
         if workload_specs is not None:

@@ -97,6 +97,12 @@ class EngineConfig:
     explicitly.  ``None`` (the default) keeps the domain's own default.  All
     backends produce bit-identical scores -- the knob trades compilation
     effort for evaluation throughput, never results.
+
+    ``pipeline`` asks the search loop to stream generated candidates into
+    the engine as they arrive (and speculatively overlap the next round's
+    generation with this round's tail evaluation) instead of barriering on
+    the full batch; see :meth:`~repro.core.search.EvolutionarySearch`.
+    Off by default -- it changes wall-clock scheduling only, never results.
     """
 
     max_workers: int = 1
@@ -105,6 +111,7 @@ class EngineConfig:
     dedup: bool = True
     memoize: bool = True
     dsl_backend: Optional[str] = None
+    pipeline: bool = False
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -274,12 +281,43 @@ class EvaluationEngine:
             check_issues=issues if not check.ok else [],
         )
 
+    def precheck_candidate(self, candidate: Candidate) -> ScoredCandidate:
+        """Check one candidate *without* the repair loop.
+
+        Pure with respect to the generator: the pipelined round uses this to
+        classify streamed candidates immediately, deferring every repair --
+        each of which consumes the shared LLM client's RNG stream -- to a
+        single ordered phase that replays the serial path's client-call
+        sequence exactly.
+        """
+        check = self.checker.check(candidate.source)
+        return ScoredCandidate(
+            candidate=candidate,
+            program=check.program if check.ok else None,
+            check_ok=check.ok,
+            check_issues=list(check.issues) if not check.ok else [],
+        )
+
     # -- evaluation phase ---------------------------------------------------------
 
     def process_batch(self, candidates: List[Candidate]) -> BatchResult:
         """Run the full pipeline over ``candidates``; preserves input order."""
-        stats = BatchStats(checked=len(candidates))
-        scored = [self.check_candidate(candidate) for candidate in candidates]
+        return self.process_scored(
+            [self.check_candidate(candidate) for candidate in candidates]
+        )
+
+    def process_scored(self, scored: List[ScoredCandidate]) -> BatchResult:
+        """Run the evaluation pipeline over already-checked candidates.
+
+        This is the streaming entry point: the pipelined round checks
+        candidates as they come off the generator and feeds the engine one
+        chunk at a time.  Under the default ``dedup``+``memoize``
+        configuration, splitting a batch into chunks preserves every
+        statistic a serial :meth:`process_batch` would report (a cross-chunk
+        duplicate becomes a memo hit instead of a group join -- both count
+        as ``eval_cache_hits`` with tier ``"memory"``).
+        """
+        stats = BatchStats(checked=len(scored))
         for item in scored:
             if item.check_ok and not item.candidate.repaired:
                 stats.passed_check += 1

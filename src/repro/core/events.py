@@ -72,6 +72,43 @@ class RunStarted(RunEvent):
 
 
 @dataclass(frozen=True)
+class GenerationStarted(RunEvent):
+    """The round's candidate generation is about to run.
+
+    Emitted before the first client call of the round (serial and pipelined
+    paths alike), so a frontend can show generation progress instead of
+    going silent between round summaries.
+    """
+
+    kind: ClassVar[str] = "generation_started"
+
+    round_index: int = 0
+    #: Candidates the round will ask the client for.
+    requested: int = 0
+    #: Parent examples embedded in the prompt (0 in the first round).
+    parents: int = 0
+
+
+@dataclass(frozen=True)
+class GenerationCompleted(RunEvent):
+    """The round's candidate generation finished.
+
+    ``generated`` can fall short of ``requested`` when completions carry no
+    code block; ``chunks`` is the number of client calls the round streamed
+    the prompt through (1 on the serial path).  ``wall_time_s`` is telemetry
+    only -- it never enters result.json.
+    """
+
+    kind: ClassVar[str] = "generation_completed"
+
+    round_index: int = 0
+    requested: int = 0
+    generated: int = 0
+    chunks: int = 1
+    wall_time_s: float = 0.0
+
+
+@dataclass(frozen=True)
 class CandidateEvaluated(RunEvent):
     """One candidate received an evaluation result (fresh or cached)."""
 
@@ -260,6 +297,21 @@ class ProgressPrinter:
                 f"run started: {event.template_name} on {event.context_name or '<no context>'} "
                 f"({event.rounds} rounds x {event.candidates_per_round} candidates{resumed})"
             )
+        elif isinstance(event, GenerationStarted):
+            parents = (
+                f" from {event.parents} parent(s)" if event.parents else ""
+            )
+            self._line(
+                f"round {event.round_index}/{self._total_rounds}: "
+                f"generating {event.requested} candidates{parents}..."
+            )
+        elif isinstance(event, GenerationCompleted):
+            if self.verbose:
+                chunks = f" in {event.chunks} chunk(s)" if event.chunks > 1 else ""
+                self._line(
+                    f"  generated {event.generated}/{event.requested}{chunks} "
+                    f"({event.wall_time_s:.1f}s)"
+                )
         elif isinstance(event, CandidateEvaluated):
             if self.verbose:
                 self._line(

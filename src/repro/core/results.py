@@ -81,6 +81,13 @@ class RoundSummary:
     / ``rounds.jsonl`` (live values land in ``metadata.json``) -- which is
     what keeps a shadow-mode ladder run byte-identical to a ladder-disabled
     one.
+
+    ``generation_s`` / ``evaluation_s`` / ``overlap_s`` time the round's two
+    phases and how much of them ran concurrently (always 0 on the serial
+    path).  They are wall-clock, hence volatile: the artifact writer zeroes
+    them like the store counters (summed live values land in
+    ``metadata.json["pipeline"]``), which is what keeps a pipelined run
+    byte-identical to a serial one.
     """
 
     round_index: int
@@ -100,6 +107,9 @@ class RoundSummary:
     rung_evaluations: int = 0
     rung_promotions: int = 0
     rung_eliminations: int = 0
+    generation_s: float = 0.0
+    evaluation_s: float = 0.0
+    overlap_s: float = 0.0
 
     def eval_cache_hit_rate(self) -> float:
         """Fraction of evaluation requests served from the cache this round."""

@@ -39,6 +39,7 @@ from repro.core.fidelity import FidelitySchedule
 from repro.core.results import SearchResult
 from repro.core.search import SearchConfig
 from repro.core.store import STORE_SCHEMA_VERSION, EvaluationStore
+from repro.llm.client import ProviderConfig
 from repro.llm.mock import SyntheticLLMConfig
 
 #: Directory name of the shared evaluation store under an artifact root.
@@ -52,7 +53,14 @@ SEARCH_FIELDS = frozenset(
     f.name for f in fields(SearchConfig) if f.name != "cost_model"
 )
 ENGINE_FIELDS = frozenset(f.name for f in fields(EngineConfig))
-LLM_FIELDS = frozenset(f.name for f in fields(SyntheticLLMConfig))
+#: ``llm`` overrides map onto :class:`SyntheticLLMConfig` fields, plus the
+#: ``"provider"`` block (a :class:`~repro.llm.client.ProviderConfig`
+#: reference: retries, timeouts, batch size, prompt cache) which configures
+#: the client *adapter* stack rather than the synthetic model itself.
+PROVIDER_KEY = "provider"
+LLM_FIELDS = frozenset(
+    {f.name for f in fields(SyntheticLLMConfig)} | {PROVIDER_KEY}
+)
 
 _NAME_OK = frozenset(
     "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
@@ -108,6 +116,16 @@ class RunSpec:
         _check_overrides("search", self.search, SEARCH_FIELDS)
         _check_overrides("engine", self.engine, ENGINE_FIELDS)
         _check_overrides("llm", self.llm, LLM_FIELDS)
+        # Validate (and normalise) the provider block early, exactly like the
+        # fidelity block: a typoed provider name or unknown key fails at spec
+        # construction, and the canonical dict form keeps config hashes
+        # independent of how the block was spelled.
+        provider = ProviderConfig.from_ref(self.llm.get(PROVIDER_KEY))
+        if provider is not None:
+            self.llm = dict(self.llm)
+            self.llm[PROVIDER_KEY] = provider.to_ref()
+        elif PROVIDER_KEY in self.llm:
+            self.llm = {k: v for k, v in self.llm.items() if k != PROVIDER_KEY}
         # Validate (and normalise) the declarative fidelity block early so a
         # bad ladder fails at spec construction, not mid-run.
         schedule = FidelitySchedule.from_ref(self.fidelity)
@@ -250,9 +268,14 @@ class RunSpec:
         return EngineConfig(**self.engine) if self.engine else None
 
     def llm_config(self, domain: SearchDomain) -> Optional[SyntheticLLMConfig]:
-        if not self.llm:
+        overrides = {k: v for k, v in self.llm.items() if k != PROVIDER_KEY}
+        if not overrides:
             return None
-        return replace(domain.default_llm_config(), **self.llm)
+        return replace(domain.default_llm_config(), **overrides)
+
+    def provider_config(self) -> Optional[ProviderConfig]:
+        """The spec's LLM provider block (``None`` when not configured)."""
+        return ProviderConfig.from_ref(self.llm.get(PROVIDER_KEY))
 
 
 # -- trace references ---------------------------------------------------------------
@@ -395,6 +418,7 @@ def build_from_spec(
         search_config=spec.search_config(domain),
         engine_config=spec.engine_config(),
         llm_config=spec.llm_config(domain),
+        provider=spec.provider_config(),
         checkpoint_path=checkpoint_path,
         checkpoint_every=spec.checkpoint_every,
         events=events,
@@ -550,6 +574,33 @@ def run(
                     count for name, count in resolved.items() if name != requested
                 ),
             }
+        # Round-phase timings are volatile (wall-clock), so they are zeroed
+        # in result.json; the live sums land here instead, alongside the
+        # prompt-cache counters when a caching provider is attached.
+        search_cfg = setup.search.config
+        engine_cfg = setup.engine.config if setup.engine is not None else None
+        pipeline_record: Dict[str, Any] = {
+            "enabled": bool(
+                search_cfg.pipeline
+                or (engine_cfg is not None and engine_cfg.pipeline)
+            ),
+            "generation_s": round(
+                sum(r.generation_s for r in result.rounds), 6
+            ),
+            "evaluation_s": round(
+                sum(r.evaluation_s for r in result.rounds), 6
+            ),
+            "overlap_s": round(sum(r.overlap_s for r in result.rounds), 6),
+        }
+        generator_client = setup.search.generator.client
+        cache = getattr(generator_client, "cache", None)
+        if cache is not None and hasattr(generator_client, "hits"):
+            pipeline_record["prompt_cache"] = {
+                "path": str(cache.root),
+                "hits": generator_client.hits,
+                "misses": generator_client.misses,
+                "corrupt_reads": cache.corrupt_reads,
+            }
         artifact_store.finalize_run_dir(
             artifact_dir,
             effective_spec.to_dict(),
@@ -559,6 +610,7 @@ def run(
             eval_store=eval_store_record,
             fidelity=fidelity_record,
             dsl_backend=backend_record,
+            pipeline=pipeline_record,
         )
     return RunOutcome(
         spec=spec,

@@ -86,7 +86,7 @@ class StoreStats:
 
 @dataclass(frozen=True)
 class GcOutcome:
-    """What one :meth:`EvaluationStore.gc` pass removed and kept."""
+    """What one :meth:`ContentAddressedStore.gc` pass removed and kept."""
 
     removed_entries: int
     freed_bytes: int
@@ -94,8 +94,15 @@ class GcOutcome:
     remaining_bytes: int
 
 
-class EvaluationStore:
-    """Disk-backed evaluation results under one root directory.
+class ContentAddressedStore:
+    """Shared disk machinery for schema-versioned content-addressed caches.
+
+    Subclasses (:class:`EvaluationStore`, the prompt cache in
+    :mod:`repro.llm.cache`) define *what* an entry holds; this base owns the
+    defensive plumbing they must agree on: the ``v<schema>`` root, atomic
+    temp-file writes, mtime touch-on-hit, and LRU garbage collection that
+    only ever deletes ``v<N>`` trees (anything else under the root is not
+    ours to remove).
 
     ``max_entries`` / ``max_bytes`` (optional) bound the store: every
     ``gc_interval`` writes the store garbage-collects itself down to the
@@ -103,6 +110,9 @@ class EvaluationStore:
     store only collects when :meth:`gc` is called explicitly (the
     ``repro store gc`` command).
     """
+
+    #: On-disk payload schema of the concrete store (subclasses override).
+    schema_version: int = 1
 
     def __init__(
         self,
@@ -130,98 +140,12 @@ class EvaluationStore:
 
     @property
     def schema_root(self) -> Path:
-        return self.root / f"v{STORE_SCHEMA_VERSION}"
+        return self.root / f"v{self.schema_version}"
 
-    def entry_path(self, eval_key: str, program_key: str) -> Path:
-        if not eval_key or not program_key:
-            raise ValueError("store entries need non-empty eval and program keys")
-        return self.schema_root / eval_key[:2] / eval_key / f"{program_key}{_ENTRY_SUFFIX}"
+    # -- write/gc bookkeeping -----------------------------------------------------
 
-    def bind(self, eval_key: str) -> "BoundEvalStore":
-        """A view of the store pinned to one evaluation configuration."""
-        return BoundEvalStore(self, eval_key)
-
-    # -- reads --------------------------------------------------------------------
-
-    def get(self, eval_key: str, program_key: str) -> Optional[EvaluationResult]:
-        """The stored result, or ``None`` on miss *or any* malformed entry."""
-        path = self.entry_path(eval_key, program_key)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError):
-            self.corrupt_reads += 1
-            return None
-        try:
-            if payload["schema_version"] != STORE_SCHEMA_VERSION:
-                return None
-            if payload["eval_key"] != eval_key or payload["program_key"] != program_key:
-                # A moved/renamed file must not resurface under the wrong key.
-                self.corrupt_reads += 1
-                return None
-            data = payload["result"]
-            if payload.get("sidecar"):
-                data = dict(data)
-                sidecar = self._read_sidecar(path, data)
-                data.update(sidecar)
-            result = evaluation_from_dict(data)
-        except Exception:  # noqa: BLE001 - any malformed entry is a miss
-            self.corrupt_reads += 1
-            return None
-        self._touch(path)
-        return result
-
-    def _read_sidecar(self, entry_path: Path, data: dict) -> Dict[str, dict]:
-        """Rebuild the float maps whose values live in the ``.npz`` sidecar."""
-        with np.load(entry_path.with_suffix(_SIDECAR_SUFFIX)) as arrays:
-            return {
-                field: dict(
-                    zip(data[f"{field}_keys"], arrays[field].tolist())
-                )
-                for field in ("details", "scenario_scores")
-            }
-
-    @staticmethod
-    def _touch(path: Path) -> None:
-        try:
-            os.utime(path)
-        except OSError:  # a concurrent GC may have evicted the entry
-            pass
-
-    # -- writes -------------------------------------------------------------------
-
-    def put(self, eval_key: str, program_key: str, result: EvaluationResult) -> bool:
-        """Persist ``result``; returns False when nothing was stored.
-
-        Transient failures (timeouts, dead workers) describe the execution
-        environment, not the program -- persisting them would replay the
-        failure forever.  Deterministic failures (a program that always
-        crashes) are stored like any other outcome.  A write that fails at
-        the filesystem level (read-only directory, disk full, quota) also
-        returns False: the store's contract is "at worst wasted work", so a
-        broken store must never abort a running search.
-        """
-        if result.transient:
-            return False
-        path = self.entry_path(eval_key, program_key)
-        data = evaluation_to_dict(result)
-        sidecar = len(data["details"]) + len(data["scenario_scores"]) > NPZ_THRESHOLD
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            if sidecar:
-                data = self._split_sidecar(path, data)
-            payload = {
-                "schema_version": STORE_SCHEMA_VERSION,
-                "eval_key": eval_key,
-                "program_key": program_key,
-                "sidecar": sidecar,
-                "result": data,
-            }
-            self._atomic_write_text(path, json.dumps(payload, sort_keys=True))
-        except OSError:
-            self.write_errors += 1
-            return False
+    def _note_put(self) -> None:
+        """Count one successful write; periodically GC a bounded store."""
         self._puts_since_gc += 1
         if (
             (self.max_entries is not None or self.max_bytes is not None)
@@ -229,40 +153,13 @@ class EvaluationStore:
         ):
             self._puts_since_gc = 0
             self.gc()
-        return True
 
-    def _split_sidecar(self, entry_path: Path, data: dict) -> dict:
-        """Move the float maps' values into an ``.npz`` next to the entry.
-
-        The JSON keeps the (ordered) key lists; the sidecar holds one float
-        array per map.  Written *before* the JSON entry so a crash between
-        the two leaves a dangling sidecar (garbage-collected later) rather
-        than an entry pointing at nothing.
-        """
-        slim = dict(data)
-        arrays = {}
-        for field in ("details", "scenario_scores"):
-            items: List[Tuple[str, float]] = list(data[field].items())
-            slim[f"{field}_keys"] = [key for key, _value in items]
-            arrays[field] = np.array(
-                [float(value) for _key, value in items], dtype=np.float64
-            )
-            del slim[field]
-        sidecar_path = entry_path.with_suffix(_SIDECAR_SUFFIX)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(entry_path.parent), suffix=_SIDECAR_SUFFIX + ".tmp"
-        )
+    @staticmethod
+    def _touch(path: Path) -> None:
         try:
-            with os.fdopen(fd, "wb") as fh:
-                np.savez(fh, **arrays)
-            os.replace(tmp, sidecar_path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return slim
+            os.utime(path)
+        except OSError:  # a concurrent GC may have evicted the entry
+            pass
 
     @staticmethod
     def _atomic_write_text(path: Path, text: str) -> None:
@@ -302,7 +199,7 @@ class EvaluationStore:
         configs = {path.parent for path, _mtime, _size in entries}
         return StoreStats(
             root=str(self.root),
-            schema_version=STORE_SCHEMA_VERSION,
+            schema_version=self.schema_version,
             entries=len(entries),
             total_bytes=sum(size for _path, _mtime, size in entries),
             eval_configs=len(configs),
@@ -421,6 +318,133 @@ class EvaluationStore:
         except OSError:
             pass
         return removed, freed
+
+
+class EvaluationStore(ContentAddressedStore):
+    """Disk-backed evaluation results under one root directory."""
+
+    schema_version = STORE_SCHEMA_VERSION
+
+    # -- addressing ---------------------------------------------------------------
+
+    def entry_path(self, eval_key: str, program_key: str) -> Path:
+        if not eval_key or not program_key:
+            raise ValueError("store entries need non-empty eval and program keys")
+        return self.schema_root / eval_key[:2] / eval_key / f"{program_key}{_ENTRY_SUFFIX}"
+
+    def bind(self, eval_key: str) -> "BoundEvalStore":
+        """A view of the store pinned to one evaluation configuration."""
+        return BoundEvalStore(self, eval_key)
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, eval_key: str, program_key: str) -> Optional[EvaluationResult]:
+        """The stored result, or ``None`` on miss *or any* malformed entry."""
+        path = self.entry_path(eval_key, program_key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self.corrupt_reads += 1
+            return None
+        try:
+            if payload["schema_version"] != self.schema_version:
+                return None
+            if payload["eval_key"] != eval_key or payload["program_key"] != program_key:
+                # A moved/renamed file must not resurface under the wrong key.
+                self.corrupt_reads += 1
+                return None
+            data = payload["result"]
+            if payload.get("sidecar"):
+                data = dict(data)
+                sidecar = self._read_sidecar(path, data)
+                data.update(sidecar)
+            result = evaluation_from_dict(data)
+        except Exception:  # noqa: BLE001 - any malformed entry is a miss
+            self.corrupt_reads += 1
+            return None
+        self._touch(path)
+        return result
+
+    def _read_sidecar(self, entry_path: Path, data: dict) -> Dict[str, dict]:
+        """Rebuild the float maps whose values live in the ``.npz`` sidecar."""
+        with np.load(entry_path.with_suffix(_SIDECAR_SUFFIX)) as arrays:
+            return {
+                field: dict(
+                    zip(data[f"{field}_keys"], arrays[field].tolist())
+                )
+                for field in ("details", "scenario_scores")
+            }
+
+    # -- writes -------------------------------------------------------------------
+
+    def put(self, eval_key: str, program_key: str, result: EvaluationResult) -> bool:
+        """Persist ``result``; returns False when nothing was stored.
+
+        Transient failures (timeouts, dead workers) describe the execution
+        environment, not the program -- persisting them would replay the
+        failure forever.  Deterministic failures (a program that always
+        crashes) are stored like any other outcome.  A write that fails at
+        the filesystem level (read-only directory, disk full, quota) also
+        returns False: the store's contract is "at worst wasted work", so a
+        broken store must never abort a running search.
+        """
+        if result.transient:
+            return False
+        path = self.entry_path(eval_key, program_key)
+        data = evaluation_to_dict(result)
+        sidecar = len(data["details"]) + len(data["scenario_scores"]) > NPZ_THRESHOLD
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            if sidecar:
+                data = self._split_sidecar(path, data)
+            payload = {
+                "schema_version": self.schema_version,
+                "eval_key": eval_key,
+                "program_key": program_key,
+                "sidecar": sidecar,
+                "result": data,
+            }
+            self._atomic_write_text(path, json.dumps(payload, sort_keys=True))
+        except OSError:
+            self.write_errors += 1
+            return False
+        self._note_put()
+        return True
+
+    def _split_sidecar(self, entry_path: Path, data: dict) -> dict:
+        """Move the float maps' values into an ``.npz`` next to the entry.
+
+        The JSON keeps the (ordered) key lists; the sidecar holds one float
+        array per map.  Written *before* the JSON entry so a crash between
+        the two leaves a dangling sidecar (garbage-collected later) rather
+        than an entry pointing at nothing.
+        """
+        slim = dict(data)
+        arrays = {}
+        for field in ("details", "scenario_scores"):
+            items: List[Tuple[str, float]] = list(data[field].items())
+            slim[f"{field}_keys"] = [key for key, _value in items]
+            arrays[field] = np.array(
+                [float(value) for _key, value in items], dtype=np.float64
+            )
+            del slim[field]
+        sidecar_path = entry_path.with_suffix(_SIDECAR_SUFFIX)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(entry_path.parent), suffix=_SIDECAR_SUFFIX + ".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, sidecar_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return slim
 
 
 def fidelity_eval_key(eval_key: str, fraction: float) -> str:

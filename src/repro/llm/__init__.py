@@ -12,19 +12,37 @@ implementing :class:`~repro.llm.client.LLMClient` -- e.g. a real OpenAI or
 Anthropic client -- can be swapped in without touching the framework.
 """
 
-from repro.llm.client import ChatMessage, CompletionResponse, LLMClient
+from repro.llm.client import (
+    ChatMessage,
+    CompletionResponse,
+    LLMClient,
+    LLMError,
+    LLMTimeoutError,
+    ProviderConfig,
+    ResilientClient,
+    wrap_client,
+)
 from repro.llm.tokens import UsageTracker, count_tokens
 from repro.llm.prompts import PromptBuilder, extract_code_blocks
 from repro.llm.mock import SyntheticLLMClient, SyntheticLLMConfig
+from repro.llm.cache import CachingClient, PromptCache, prompt_key
 
 __all__ = [
     "ChatMessage",
     "CompletionResponse",
     "LLMClient",
+    "LLMError",
+    "LLMTimeoutError",
+    "ProviderConfig",
+    "ResilientClient",
+    "wrap_client",
     "UsageTracker",
     "count_tokens",
     "PromptBuilder",
     "extract_code_blocks",
     "SyntheticLLMClient",
     "SyntheticLLMConfig",
+    "CachingClient",
+    "PromptCache",
+    "prompt_key",
 ]

@@ -151,6 +151,21 @@ class SyntheticLLMClient:
             )
         return responses
 
+    def complete_batch(
+        self,
+        prompts: Sequence[Sequence[ChatMessage]],
+        n: int = 1,
+        temperature: float = 1.0,
+    ) -> List[List[CompletionResponse]]:
+        # Sequential on purpose: the RNG stream must advance prompt by
+        # prompt, exactly as repeated complete() calls would.
+        return [self.complete(prompt, n=n, temperature=temperature) for prompt in prompts]
+
+    async def complete_async(
+        self, messages: Sequence[ChatMessage], n: int = 1, temperature: float = 1.0
+    ) -> List[CompletionResponse]:
+        return self.complete(messages, n=n, temperature=temperature)
+
     # -- generation ---------------------------------------------------------------------
 
     def _parse_parents(self, user_text: str) -> List[Program]:

@@ -1,0 +1,131 @@
+"""CLI surface of the pipelined scheduler: ``--pipeline`` / ``--provider``
+on run/sweep, and ``repro store --prompt-cache`` maintenance."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SMOKE_SPEC = REPO_ROOT / "examples" / "specs" / "smoke_caching.json"
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_pipeline_flag_keeps_report_identical(capsys, tmp_path):
+    code, serial_out, _ = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path / "a"), "--quiet"
+    )
+    assert code == 0
+    code, piped_out, _ = run_cli(
+        capsys,
+        "run", str(SMOKE_SPEC),
+        "--artifacts", str(tmp_path / "b"),
+        "--quiet",
+        "--pipeline",
+    )
+    assert code == 0
+    assert piped_out == serial_out
+
+
+def test_provider_flag_and_prompt_cache_store_commands(capsys, tmp_path):
+    cache_dir = tmp_path / "pc"
+    provider = json.dumps(
+        {"name": "synthetic", "retries": 1, "batch_size": 2,
+         "prompt_cache": str(cache_dir)}
+    )
+    code, _out, _err = run_cli(
+        capsys,
+        "run", str(SMOKE_SPEC),
+        "--artifacts", str(tmp_path / "runs"),
+        "--quiet", "--no-eval-store",
+        "--pipeline", "--provider", provider,
+    )
+    assert code == 0
+    assert cache_dir.exists()
+
+    code, out, _ = run_cli(
+        capsys, "store", "stats", "--prompt-cache", "--store", str(cache_dir), "--json"
+    )
+    assert code == 0
+    stats = json.loads(out)
+    assert stats["entries"] > 0
+
+    code, out, _ = run_cli(
+        capsys, "store", "gc", "--prompt-cache", "--store", str(cache_dir),
+        "--max-entries", "1",
+    )
+    assert code == 0
+    assert "1 entries" in out
+
+    code, out, _ = run_cli(
+        capsys, "store", "clear", "--prompt-cache", "--store", str(cache_dir)
+    )
+    assert code == 0
+    assert out.startswith("removed 1 entries")
+
+    code, out, _ = run_cli(
+        capsys, "store", "stats", "--prompt-cache", "--store", str(cache_dir), "--json"
+    )
+    assert code == 0
+    assert json.loads(out)["entries"] == 0
+
+
+def test_bare_provider_name_accepted(capsys, tmp_path):
+    code, _out, _err = run_cli(
+        capsys,
+        "run", str(SMOKE_SPEC),
+        "--artifacts", str(tmp_path),
+        "--quiet", "--provider", "synthetic",
+    )
+    assert code == 0
+
+
+def test_unknown_provider_is_a_clean_error(capsys, tmp_path):
+    code, _out, err = run_cli(
+        capsys,
+        "run", str(SMOKE_SPEC), "--no-artifacts", "--quiet",
+        "--provider", "openai",
+    )
+    assert code == 2
+    assert "unknown LLM provider" in err
+
+
+def test_malformed_provider_json_is_a_clean_error(capsys):
+    code, _out, err = run_cli(
+        capsys,
+        "run", str(SMOKE_SPEC), "--no-artifacts", "--quiet",
+        "--provider", "[1, 2]",
+    )
+    assert code == 2
+    assert "--provider expects" in err
+
+
+def test_pipeline_flags_rejected_for_experiments(capsys):
+    code, _out, err = run_cli(capsys, "run", "caching-search", "--pipeline")
+    assert code == 2
+    assert "--pipeline/--provider apply to RunSpec runs" in err
+
+    code, _out, err = run_cli(
+        capsys, "run", "caching-search", "--provider", "synthetic"
+    )
+    assert code == 2
+    assert "--pipeline/--provider apply to RunSpec runs" in err
+
+
+def test_sweep_accepts_pipeline_flags(capsys, tmp_path):
+    code, out, _err = run_cli(
+        capsys,
+        "sweep", str(SMOKE_SPEC),
+        "--seeds", "3", "4",
+        "--artifacts", str(tmp_path),
+        "--quiet", "--no-eval-store",
+        "--pipeline",
+        "--provider", json.dumps({"name": "synthetic", "batch_size": 2}),
+    )
+    assert code == 0
+    assert "seed" in out
