@@ -29,7 +29,15 @@ Commands
     from it across processes.  ``--eval-store PATH`` / ``--no-eval-store``
     on ``run``/``sweep``/``resume`` redirect or disable it.  With
     ``--prompt-cache`` the same subcommands maintain the on-disk LLM prompt
-    cache (default ``<artifact root>/promptcache``) instead.
+    cache (default ``<artifact root>/promptcache``) instead.  ``stats``
+    reports the distinct registered ``writers`` (runs, sweep seeds,
+    distributed workers) that have shared the tree.
+``worker <queue dir>``
+    Join a distributed search as a worker process: claim tasks from the
+    coordinator's spool queue (see ``--executor distributed`` and the
+    engine's ``queue_dir``), evaluate them, and write results back --
+    through the shared evaluation store when the coordinator attached one.
+    Run it on any host that can reach the queue directory.
 ``report <run dir>``
     Re-render a stored run's report from its artifacts, byte-identical to
     the original ``run`` output, without re-running anything.
@@ -110,6 +118,14 @@ def _eval_store_arg(args: argparse.Namespace):
 def _engine_overrides(args: argparse.Namespace) -> Dict[str, Any]:
     overrides: Dict[str, Any] = {}
     if getattr(args, "executor", None) is not None:
+        # Validated here (not via argparse choices) so an unknown name gets
+        # the same "unknown <thing> ...; available: ..." message and exit
+        # code every other registry miss produces.
+        if args.executor not in available_executors():
+            raise CliError(
+                f"unknown executor {args.executor!r}; "
+                f"available: {available_executors()}"
+            )
         overrides["executor"] = args.executor
     if getattr(args, "max_workers", None) is not None:
         if args.max_workers <= 0:
@@ -117,6 +133,8 @@ def _engine_overrides(args: argparse.Namespace) -> Dict[str, Any]:
         overrides["max_workers"] = args.max_workers
     if getattr(args, "backend", None) is not None:
         overrides["dsl_backend"] = args.backend
+    if getattr(args, "queue_dir", None) is not None:
+        overrides["queue_dir"] = args.queue_dir
     return overrides
 
 
@@ -459,6 +477,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
         # per-eval-config partitions -- label them honestly.
         label = "key shards" if prompt_cache else "eval configs"
         print(f"{label:<14}: {stats.eval_configs}")
+        print(f"writers       : {stats.writers}")
         return 0
     if args.action == "gc":
         if args.max_bytes is None and args.max_entries is None:
@@ -476,6 +495,26 @@ def _cmd_store(args: argparse.Namespace) -> int:
     # clear
     removed = store.clear()
     print(f"removed {removed} entries from {store.root}")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.core.queue import run_worker
+
+    queue_dir = Path(args.queue_dir)
+    if args.poll_s is not None and args.poll_s <= 0:
+        raise CliError("--poll-s must be positive")
+    if args.max_idle_s is not None and args.max_idle_s <= 0:
+        raise CliError("--max-idle-s must be positive")
+    run_worker(
+        queue_dir,
+        worker_id=args.worker_id,
+        poll_s=args.poll_s if args.poll_s is not None else 0.05,
+        max_idle_s=args.max_idle_s,
+        once=args.once,
+        stop_file=Path(args.stop_file) if args.stop_file else None,
+        quiet=args.quiet,
+    )
     return 0
 
 
@@ -551,14 +590,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--executor",
             default=None,
-            choices=available_executors(),
-            help="override the spec's engine executor backend",
+            metavar="NAME",
+            help="override the spec's engine executor backend "
+            f"(one of: {', '.join(available_executors())})",
         )
         p.add_argument(
             "--max-workers",
             type=int,
             default=None,
             help="override the spec's engine worker count",
+        )
+        p.add_argument(
+            "--queue-dir",
+            default=None,
+            metavar="PATH",
+            help="distributed executor: place the spool queue at a fixed "
+            "path (e.g. a shared mount) so `repro worker` processes on "
+            "other hosts can join",
         )
         p.add_argument(
             "--backend",
@@ -665,6 +713,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--domain", default=None, help="restrict the listing to one domain"
     )
     p_wl.set_defaults(func=_cmd_workloads)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="join a distributed search: claim and evaluate tasks from a "
+        "coordinator's spool queue (run on any host sharing the path)",
+    )
+    p_worker.add_argument(
+        "queue_dir", help="spool-queue directory (the coordinator's queue_dir)"
+    )
+    p_worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity (default: <hostname>-<pid>)",
+    )
+    p_worker.add_argument(
+        "--poll-s",
+        type=float,
+        default=None,
+        help="idle sleep between queue polls (default: 0.05)",
+    )
+    p_worker.add_argument(
+        "--max-idle-s",
+        type=float,
+        default=None,
+        help="exit after this long without claiming a task (default: run forever)",
+    )
+    p_worker.add_argument(
+        "--once",
+        action="store_true",
+        help="process at most the currently-pending tasks, then exit",
+    )
+    p_worker.add_argument(
+        "--stop-file",
+        default=None,
+        metavar="PATH",
+        help="also exit when this file appears (used by coordinator-spawned "
+        "workers; the queue's own 'stop' sentinel always applies)",
+    )
+    p_worker.add_argument(
+        "--quiet", action="store_true", help="no join/progress lines on stderr"
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_report = sub.add_parser(
         "report", help="re-render a stored run's report without re-running"

@@ -273,6 +273,7 @@ def finalize_run_dir(
     fidelity: Optional[Dict[str, Any]] = None,
     dsl_backend: Optional[Dict[str, Any]] = None,
     pipeline: Optional[Dict[str, Any]] = None,
+    distributed: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Write result.json / rounds.jsonl / metadata.json for a finished search.
 
@@ -287,6 +288,10 @@ def finalize_run_dir(
     backends are score-identical by contract.  ``pipeline`` (optional) is
     the run's live generation/evaluation overlap record (summed phase
     timings) -- wall-clock telemetry, metadata only, for the same reason.
+    ``distributed`` (optional) is the run's work-queue fabric record --
+    queue path, dispatch/reclaim/rescue counters, per-worker completions --
+    which is volatile by nature (worker pids, who won which task) and so
+    also lives in ``metadata.json`` only.
     """
     path = Path(path)
     _write_json(path / RESULT_FILE, search_result_to_dict(result))
@@ -314,6 +319,8 @@ def finalize_run_dir(
         metadata["dsl_backend"] = dsl_backend
     if pipeline is not None:
         metadata["pipeline"] = pipeline
+    if distributed is not None:
+        metadata["distributed"] = distributed
     _write_json(path / METADATA_FILE, metadata)
     return path
 

@@ -103,6 +103,16 @@ class EngineConfig:
     generation with this round's tail evaluation) instead of barriering on
     the full batch; see :meth:`~repro.core.search.EvolutionarySearch`.
     Off by default -- it changes wall-clock scheduling only, never results.
+
+    The remaining three knobs configure the ``distributed`` executor only
+    (others ignore them).  ``queue_dir`` places the spool queue at a fixed
+    path -- typically on a shared mount -- so externally-launched ``python
+    -m repro worker`` processes (other hosts) can join; ``None`` uses a
+    private temp directory.  ``worker_count`` is how many local worker
+    processes the coordinator spawns (``None`` -> ``max_workers``; ``0`` ->
+    none, rely entirely on external workers).  ``lease_ttl_s`` is how long a
+    claimed task may go without a heartbeat before the coordinator reclaims
+    it from a presumed-dead worker.
     """
 
     max_workers: int = 1
@@ -112,6 +122,9 @@ class EngineConfig:
     memoize: bool = True
     dsl_backend: Optional[str] = None
     pipeline: bool = False
+    queue_dir: Optional[str] = None
+    worker_count: Optional[int] = None
+    lease_ttl_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -128,6 +141,10 @@ class EngineConfig:
                 f"unknown dsl_backend {self.dsl_backend!r}; "
                 f"available: {sorted(DSL_BACKENDS)}"
             )
+        if self.worker_count is not None and self.worker_count < 0:
+            raise ValueError("worker_count must be >= 0")
+        if self.lease_ttl_s <= 0:
+            raise ValueError("lease_ttl_s must be positive")
 
 
 @dataclass
@@ -213,6 +230,10 @@ class EvaluationEngine:
         self.rung_evaluations = 0
         self.rung_promotions = 0
         self.rung_eliminations = 0
+        #: Fabric counters harvested from ``distributed`` executors (one
+        #: merged record across the main and rung executors); ``None`` when
+        #: no distributed work happened.  Read by spec.run() for metadata.
+        self.distributed: Optional[dict] = None
         if fidelity is not None:
             self.attach_fidelity(fidelity)
 
@@ -615,25 +636,52 @@ class EvaluationEngine:
     def close(self) -> None:
         """Shut down the executor backends (recreated lazily on next use)."""
         if self._executor is not None:
+            self._harvest(self._executor)
             self._executor.close()
             self._executor = None
         self._close_rung_executors()
 
     def _close_rung_executors(self) -> None:
         for executor in self._rung_executors.values():
+            self._harvest(executor)
             executor.close()
         self._rung_executors = {}
+
+    def _harvest(self, executor) -> None:
+        """Fold a distributed executor's fabric counters into the engine.
+
+        Called before any executor is closed or discarded so the run's
+        metadata record survives executor churn (backend switches, rung
+        executors, engine close).
+        """
+        fabric = getattr(executor, "fabric_stats", None)
+        if fabric is None:
+            return
+        record = fabric()
+        if record is None:
+            return
+        if self.distributed is None:
+            self.distributed = record
+            return
+        merged = self.distributed
+        for key in ("tasks_dispatched", "tasks_reclaimed", "tasks_rescued"):
+            merged[key] += record[key]
+        merged["workers"].update(record["workers"])
+        merged["workers_joined"] = len(merged["workers"])
 
     def _backend_name(self) -> str:
         # A single worker cannot fan out: run serially whatever the backend,
         # which also keeps the legacy max_workers=1 behaviour (no timeout,
-        # no pool startup cost).
-        if self.config.max_workers <= 1:
+        # no pool startup cost).  The distributed backend is the exception:
+        # one worker process is a meaningful (and testable) deployment, and
+        # external workers may join regardless of max_workers.
+        if self.config.max_workers <= 1 and self.config.executor != "distributed":
             return "serial"
         return self.config.executor
 
     def _ensure_executor(self, backend: str):
         if self._executor is not None and self._executor.name != backend:
+            self._harvest(self._executor)
             self._executor.close()
             self._executor = None
         if self._executor is None:
@@ -643,6 +691,7 @@ class EvaluationEngine:
     def _ensure_rung_executor(self, backend: str, fraction: float, evaluator: Evaluator):
         executor = self._rung_executors.get(fraction)
         if executor is not None and executor.name != backend:
+            self._harvest(executor)
             executor.close()
             executor = None
         if executor is None:
@@ -671,6 +720,19 @@ class EvaluationEngine:
             executor = self._ensure_executor(backend)
         else:
             executor = self._ensure_rung_executor(backend, fraction, evaluator)
+        # Wire the run's event bus and the store view matching this
+        # executor's evaluator: the distributed backend publishes fabric
+        # events on the former and shares whole-candidate results through
+        # the latter (workers warm-start each other); pool backends ignore
+        # both.
+        executor.events = self.events if self.events else None
+        use_store = self.store is not None and self.config.dedup and self.config.memoize
+        if not use_store:
+            executor.bound_store = None
+        elif fraction == 1.0:
+            executor.bound_store = self.store
+        else:
+            executor.bound_store = self.store.at_fidelity(fraction)
         # Note: single-program batches still go through the configured
         # backend -- a serial shortcut would silently drop the timeout and
         # crash isolation.

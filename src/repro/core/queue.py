@@ -1,0 +1,747 @@
+"""Spool-directory work queue: the wire protocol of the ``distributed`` executor.
+
+The distributed backend (see :mod:`repro.core.executors`) fans evaluation
+units out over worker *processes* that need not share the coordinator's
+machine -- only a filesystem path (local disk for one host, NFS or any
+shared mount for several).  This module owns everything both sides must
+agree on: the on-disk queue layout, the task codec, and the lease protocol
+that makes a dead worker's tasks reclaimable instead of lost.
+
+Layout (everything lives under one queue root)::
+
+    queue.json              coordinator config: schema version, lease TTL
+    evaluators/<id>.pkl     pickled evaluators, published once per executor
+    pending/<task>.json     tasks waiting for a claim (atomic tmp+rename)
+    leases/<task>.json      claimed tasks; mtime is the holder's heartbeat
+    results/<task>.json     finished tasks (atomic tmp+rename, last wins)
+    workers/<id>.json       worker registrations; mtime is the liveness beat
+    logs/<id>.log           stdout/stderr of coordinator-spawned workers
+    stop / stop-<pool>      sentinel files: global / per-pool shutdown
+
+Claiming is a single atomic :func:`os.replace` of ``pending/<task>`` into
+``leases/<task>``: exactly one claimant wins, the losers get
+``FileNotFoundError`` and move on.  A claimed lease is heartbeated (mtime
+touched) by a daemon thread in the worker; a lease whose mtime goes stale by
+more than the queue's ``lease_ttl_s`` is presumed orphaned (SIGKILL, OOM,
+power loss) and renamed back into ``pending/`` by the coordinator, where a
+surviving worker re-claims it.  Duplicate execution during a reclaim race is
+harmless by design: evaluation is deterministic, results are written
+atomically, and the coordinator accepts the first result per task id.
+
+Tasks and results are JSON; the candidate :class:`~repro.dsl.ast.Program`
+travels as base64-pickle (a compact AST, ~200 bytes) with its canonical
+source alongside for debuggability.  Pickles are only ever read from the
+operator's own queue directory -- the queue trusts its filesystem exactly
+as much as the artifact store does.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.core.archive import evaluation_from_dict, evaluation_to_dict
+from repro.core.evaluator import EvaluationResult
+from repro.core.events import encode_non_finite
+
+#: Version of the task/result payloads; workers ignore (and fail) tasks
+#: written by any other schema instead of misreading them.
+QUEUE_SCHEMA_VERSION = 1
+
+QUEUE_CONFIG_FILE = "queue.json"
+PENDING_DIRNAME = "pending"
+LEASES_DIRNAME = "leases"
+RESULTS_DIRNAME = "results"
+WORKERS_DIRNAME = "workers"
+EVALUATORS_DIRNAME = "evaluators"
+LOGS_DIRNAME = "logs"
+STOP_FILE = "stop"
+
+#: Default lease TTL when a worker starts before the coordinator has written
+#: queue.json (it re-reads the config as soon as the file appears).
+DEFAULT_LEASE_TTL_S = 5.0
+
+#: How often a worker touches its lease and registration files.  Constant
+#: and deliberately much smaller than any sane TTL: touching a file is
+#: cheap, and a fast beat lets tests run with sub-second TTLs.
+HEARTBEAT_INTERVAL_S = 0.1
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """tmp + rename in the destination directory, like the artifact store."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+# -- task / result codec ------------------------------------------------------------
+
+
+def encode_task(
+    task_id: str,
+    program,
+    *,
+    evaluator_id: str,
+    scenario: Optional[int] = None,
+    failure_score: float = float("-inf"),
+    program_key: str = "",
+    source: str = "",
+    store: Optional[Dict[str, str]] = None,
+) -> dict:
+    """One evaluation unit as a JSON-serializable task payload.
+
+    ``store`` (optional, whole-candidate tasks only) points the worker at
+    the shared evaluation store -- ``{"root": ..., "eval_key": ...}`` -- so
+    a result another run already computed is a disk hit instead of a fresh
+    evaluation, and a fresh result warm-starts every concurrent run.
+    """
+    return {
+        "schema_version": QUEUE_SCHEMA_VERSION,
+        "task_id": task_id,
+        "evaluator_id": evaluator_id,
+        "program": base64.b64encode(pickle.dumps(program)).decode("ascii"),
+        "source": source,
+        "program_key": program_key,
+        "scenario": scenario,
+        "failure_score": encode_non_finite(failure_score),
+        "store": store,
+    }
+
+
+def decode_task(payload: dict) -> dict:
+    """Validate and materialise a task payload (raises on any mismatch)."""
+    if payload.get("schema_version") != QUEUE_SCHEMA_VERSION:
+        raise ValueError(
+            f"task schema {payload.get('schema_version')!r} != {QUEUE_SCHEMA_VERSION}"
+        )
+    task = dict(payload)
+    task["program"] = pickle.loads(base64.b64decode(payload["program"]))
+    task["failure_score"] = float(payload["failure_score"])
+    return task
+
+
+def encode_result(
+    task_id: str, worker_id: str, result: EvaluationResult, tier: str = "fresh"
+) -> dict:
+    # ``transient`` rides outside evaluation_to_dict (the store codec drops
+    # it because stores never persist transient results; the queue must
+    # preserve it so the engine knows not to memoize the failure).
+    return {
+        "schema_version": QUEUE_SCHEMA_VERSION,
+        "task_id": task_id,
+        "worker_id": worker_id,
+        "tier": tier,
+        "transient": result.transient,
+        "result": evaluation_to_dict(result),
+    }
+
+
+def decode_result(payload: dict) -> EvaluationResult:
+    result = evaluation_from_dict(payload["result"])
+    result.transient = bool(payload.get("transient", False))
+    return result
+
+
+# -- the queue ----------------------------------------------------------------------
+
+
+class SpoolQueue:
+    """Coordinator/worker view of one spool directory (see module docstring)."""
+
+    def __init__(self, root: Union[str, Path], lease_ttl_s: Optional[float] = None):
+        self.root = Path(root)
+        self.pending_dir = self.root / PENDING_DIRNAME
+        self.leases_dir = self.root / LEASES_DIRNAME
+        self.results_dir = self.root / RESULTS_DIRNAME
+        self.workers_dir = self.root / WORKERS_DIRNAME
+        self.evaluators_dir = self.root / EVALUATORS_DIRNAME
+        self.lease_ttl_s = lease_ttl_s if lease_ttl_s is not None else DEFAULT_LEASE_TTL_S
+        if lease_ttl_s is None:
+            self.reload_config()
+
+    # -- setup / config -------------------------------------------------------------
+
+    def ensure_layout(self) -> None:
+        for directory in (
+            self.pending_dir,
+            self.leases_dir,
+            self.results_dir,
+            self.workers_dir,
+            self.evaluators_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def write_config(self) -> None:
+        """Publish the coordinator's queue parameters (workers re-read them)."""
+        self.ensure_layout()
+        _atomic_write_text(
+            self.root / QUEUE_CONFIG_FILE,
+            json.dumps(
+                {
+                    "schema_version": QUEUE_SCHEMA_VERSION,
+                    "lease_ttl_s": self.lease_ttl_s,
+                },
+                sort_keys=True,
+            ),
+        )
+
+    def reload_config(self) -> bool:
+        """Adopt queue.json's parameters; False when the file is absent."""
+        try:
+            data = json.loads((self.root / QUEUE_CONFIG_FILE).read_text(encoding="utf-8"))
+            self.lease_ttl_s = float(data["lease_ttl_s"])
+            return True
+        except (OSError, ValueError, KeyError):
+            return False
+
+    # -- evaluators -----------------------------------------------------------------
+
+    def publish_evaluator(self, evaluator) -> str:
+        """Pickle ``evaluator`` into the queue; returns its content id."""
+        blob = pickle.dumps(evaluator)
+        evaluator_id = hashlib.sha1(blob).hexdigest()[:16]
+        path = self.evaluators_dir / f"{evaluator_id}.pkl"
+        if not path.exists():
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        return evaluator_id
+
+    def load_evaluator(self, evaluator_id: str):
+        """Unpickle a published evaluator (raises ``FileNotFoundError`` if gone)."""
+        blob = (self.evaluators_dir / f"{evaluator_id}.pkl").read_bytes()
+        return pickle.loads(blob)
+
+    # -- enqueue / claim / complete --------------------------------------------------
+
+    def enqueue(self, task_id: str, payload: dict) -> None:
+        _atomic_write_text(
+            self.pending_dir / f"{task_id}.json", json.dumps(payload, sort_keys=True)
+        )
+
+    def claim_next(
+        self, worker_id: str, skip: Optional[Set[str]] = None
+    ) -> Optional[Tuple[str, dict]]:
+        """Atomically claim the oldest pending task; ``None`` when dry.
+
+        Pending file names sort by (batch, submission index), so claims
+        approximate submission order.  The rename is the atomicity point:
+        exactly one claimant gets the file.
+        """
+        try:
+            names = sorted(os.listdir(self.pending_dir))
+        except OSError:
+            return None
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            task_id = name[: -len(".json")]
+            if skip and task_id in skip:
+                continue
+            lease = self.leases_dir / name
+            try:
+                os.replace(self.pending_dir / name, lease)
+            except OSError:  # someone else won the claim
+                continue
+            # A rename keeps the file's old mtime (the enqueue time); touch
+            # the lease so it does not look expired the moment it is born.
+            try:
+                os.utime(lease)
+            except OSError:
+                pass
+            try:
+                payload = json.loads(lease.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                # Unreadable task: fail it rather than hang the coordinator.
+                self.complete(
+                    task_id,
+                    encode_result(
+                        task_id,
+                        worker_id,
+                        EvaluationResult.failure(
+                            f"task {task_id} was unreadable in the queue",
+                            transient=True,
+                        ),
+                    ),
+                )
+                continue
+            payload = dict(payload)
+            payload["worker_id"] = worker_id
+            try:
+                _atomic_write_text(lease, json.dumps(payload, sort_keys=True))
+            except OSError:
+                pass
+            return task_id, payload
+        return None
+
+    def unclaim(self, task_id: str) -> None:
+        """Return a claimed task to pending (e.g. its evaluator is not here yet)."""
+        try:
+            os.replace(
+                self.leases_dir / f"{task_id}.json",
+                self.pending_dir / f"{task_id}.json",
+            )
+        except OSError:
+            pass
+
+    def heartbeat(self, task_id: str) -> None:
+        try:
+            os.utime(self.leases_dir / f"{task_id}.json")
+        except OSError:
+            pass
+
+    def complete(self, task_id: str, payload: dict) -> None:
+        """Publish a finished task's result and release its lease."""
+        _atomic_write_text(
+            self.results_dir / f"{task_id}.json", json.dumps(payload, sort_keys=True)
+        )
+        try:
+            os.unlink(self.leases_dir / f"{task_id}.json")
+        except OSError:
+            pass
+
+    def collect(self, task_ids: Iterable[str]) -> List[Tuple[str, dict]]:
+        """Read (and consume) finished results for ``task_ids``."""
+        collected = []
+        for task_id in list(task_ids):
+            path = self.results_dir / f"{task_id}.json"
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            collected.append((task_id, payload))
+            for stale in (
+                path,
+                self.pending_dir / f"{task_id}.json",
+                self.leases_dir / f"{task_id}.json",
+            ):
+                try:
+                    os.unlink(stale)
+                except OSError:
+                    pass
+        return collected
+
+    def forget(self, task_id: str) -> None:
+        """Drop a task the coordinator no longer wants (timeout enforcement)."""
+        for path in (
+            self.pending_dir / f"{task_id}.json",
+            self.leases_dir / f"{task_id}.json",
+            self.results_dir / f"{task_id}.json",
+        ):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # -- lease expiry ----------------------------------------------------------------
+
+    def reclaim_expired(self) -> List[Tuple[str, str]]:
+        """Move stale leases back to pending; ``[(task_id, dead worker id)]``.
+
+        A lease is stale when its heartbeat (mtime) is older than the
+        queue's ``lease_ttl_s``.  The rename is atomic, so racing the
+        not-quite-dead holder at worst produces a duplicate evaluation of a
+        deterministic task.
+        """
+        reclaimed = []
+        try:
+            names = list(os.listdir(self.leases_dir))
+        except OSError:
+            return reclaimed
+        now = time.time()
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            lease = self.leases_dir / name
+            try:
+                if now - lease.stat().st_mtime <= self.lease_ttl_s:
+                    continue
+            except OSError:
+                continue
+            holder = ""
+            try:
+                holder = json.loads(lease.read_text(encoding="utf-8")).get(
+                    "worker_id", ""
+                )
+            except (OSError, ValueError):
+                pass
+            try:
+                os.replace(lease, self.pending_dir / name)
+            except OSError:
+                continue
+            reclaimed.append((name[: -len(".json")], holder))
+        return reclaimed
+
+    def leased_tasks(self) -> List[str]:
+        try:
+            return [
+                name[: -len(".json")]
+                for name in os.listdir(self.leases_dir)
+                if name.endswith(".json")
+            ]
+        except OSError:
+            return []
+
+    def pending_tasks(self) -> List[str]:
+        try:
+            return sorted(
+                name[: -len(".json")]
+                for name in os.listdir(self.pending_dir)
+                if name.endswith(".json")
+            )
+        except OSError:
+            return []
+
+    # -- workers ---------------------------------------------------------------------
+
+    def register_worker(self, worker_id: str, info: dict) -> Path:
+        path = self.workers_dir / f"{worker_id}.json"
+        _atomic_write_text(path, json.dumps(info, sort_keys=True))
+        return path
+
+    def worker_records(self) -> Dict[str, dict]:
+        records: Dict[str, dict] = {}
+        try:
+            names = list(os.listdir(self.workers_dir))
+        except OSError:
+            return records
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                records[name[: -len(".json")]] = json.loads(
+                    (self.workers_dir / name).read_text(encoding="utf-8")
+                )
+            except (OSError, ValueError):
+                continue
+        return records
+
+    def live_workers(self, grace_s: Optional[float] = None) -> List[str]:
+        """Worker ids whose registration heartbeat is fresh."""
+        grace = grace_s if grace_s is not None else max(self.lease_ttl_s, 1.0)
+        alive = []
+        now = time.time()
+        try:
+            names = list(os.listdir(self.workers_dir))
+        except OSError:
+            return alive
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                if now - (self.workers_dir / name).stat().st_mtime <= grace:
+                    alive.append(name[: -len(".json")])
+            except OSError:
+                continue
+        return alive
+
+    # -- shutdown --------------------------------------------------------------------
+
+    def stop_requested(self, extra_stop_file: Optional[Union[str, Path]] = None) -> bool:
+        if not self.root.exists():
+            return True  # the coordinator tore the queue down
+        if (self.root / STOP_FILE).exists():
+            return True
+        return extra_stop_file is not None and Path(extra_stop_file).exists()
+
+    def request_stop(self) -> None:
+        try:
+            self.ensure_layout()
+            (self.root / STOP_FILE).touch()
+        except OSError:
+            pass
+
+
+# -- the worker runtime -------------------------------------------------------------
+
+
+class _Heartbeat:
+    """Daemon thread touching the worker's registration + current lease."""
+
+    def __init__(self, queue: SpoolQueue, worker_path: Path):
+        self.queue = queue
+        self.worker_path = worker_path
+        self._lease_id: Optional[str] = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def set_lease(self, task_id: Optional[str]) -> None:
+        with self._lock:
+            self._lease_id = task_id
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _run(self) -> None:
+        while not self._stop.wait(HEARTBEAT_INTERVAL_S):
+            try:
+                os.utime(self.worker_path)
+            except OSError:
+                pass
+            with self._lock:
+                lease_id = self._lease_id
+            if lease_id is not None:
+                self.queue.heartbeat(lease_id)
+
+
+def _evaluate_task(queue: SpoolQueue, task: dict, evaluators: dict, stores: dict):
+    """Run one decoded task; returns ``(EvaluationResult, tier)``."""
+    evaluator_id = task["evaluator_id"]
+    if evaluator_id not in evaluators:
+        evaluators[evaluator_id] = queue.load_evaluator(evaluator_id)
+    evaluator = evaluators[evaluator_id]
+    program = task["program"]
+    scenario = task.get("scenario")
+    store_ref = task.get("store")
+    if scenario is not None:
+        from repro.core.scenarios import MultiScenarioEvaluator
+
+        assert isinstance(evaluator, MultiScenarioEvaluator)
+        return evaluator.evaluate_scenario(program, int(scenario)), "fresh"
+    store = None
+    program_key = task.get("program_key") or ""
+    if store_ref and program_key:
+        root = store_ref["root"]
+        if root not in stores:
+            from repro.core.store import EvaluationStore
+
+            stores[root] = EvaluationStore(root)
+            stores[root].register_writer(f"worker-{task.get('worker_id', '')}")
+        store = stores[root]
+        stored = store.get(store_ref["eval_key"], program_key)
+        if stored is not None:
+            return stored, "store"
+    result = evaluator.evaluate(program)
+    if store is not None and not result.transient:
+        store.put(store_ref["eval_key"], program_key, result)
+    return result, "fresh"
+
+
+def run_worker(
+    queue_dir: Union[str, Path],
+    *,
+    worker_id: Optional[str] = None,
+    poll_s: float = 0.05,
+    max_idle_s: Optional[float] = None,
+    once: bool = False,
+    stop_file: Optional[Union[str, Path]] = None,
+    quiet: bool = False,
+) -> int:
+    """Claim-evaluate-publish loop of one worker process; returns tasks done.
+
+    Exits when a stop sentinel appears (the queue root's ``stop`` file, or
+    ``stop_file`` -- the per-pool token coordinator-spawned workers watch),
+    when the queue directory disappears, after ``max_idle_s`` seconds
+    without work, or -- with ``once`` -- the first time the queue runs dry.
+    """
+    queue = SpoolQueue(queue_dir)
+    worker_id = worker_id or default_worker_id()
+    deadline_note = f" (max idle {max_idle_s}s)" if max_idle_s else ""
+    if not quiet:
+        print(
+            f"worker {worker_id}: joined queue {queue.root}{deadline_note}",
+            file=sys.stderr,
+        )
+    # The coordinator may not have laid the queue out yet; make the shared
+    # directories so registration works either way.
+    try:
+        queue.ensure_layout()
+    except OSError:
+        return 0
+    info = {
+        "worker_id": worker_id,
+        "host": socket.gethostname(),
+        "pid": os.getpid(),
+        "tasks_done": 0,
+        "store_hits": 0,
+    }
+    worker_path = queue.register_worker(worker_id, info)
+    heartbeat = _Heartbeat(queue, worker_path)
+    heartbeat.start()
+    evaluators: dict = {}
+    stores: dict = {}
+    missing_evaluators: Set[str] = set()
+    done = 0
+    idle_since = time.monotonic()
+    try:
+        while True:
+            if queue.stop_requested(stop_file):
+                break
+            queue.reload_config()
+            claim = queue.claim_next(worker_id, skip=None)
+            if claim is None:
+                if once:
+                    break
+                if (
+                    max_idle_s is not None
+                    and time.monotonic() - idle_since > max_idle_s
+                ):
+                    break
+                missing_evaluators.clear()
+                time.sleep(poll_s)
+                continue
+            task_id, payload = claim
+            heartbeat.set_lease(task_id)
+            try:
+                task = decode_task(payload)
+                result, tier = _evaluate_task(queue, task, evaluators, stores)
+            except FileNotFoundError:
+                # The task's evaluator is not published (yet, or any more):
+                # put the task back for a worker that has it.  Sleep first so
+                # two workers cannot spin the task between them.
+                heartbeat.set_lease(None)
+                if task_id in missing_evaluators:
+                    time.sleep(max(poll_s, 0.2))
+                missing_evaluators.add(task_id)
+                queue.unclaim(task_id)
+                continue
+            except Exception as exc:  # noqa: BLE001 - worker boundary
+                result = EvaluationResult.failure(
+                    f"evaluation failed in worker: {type(exc).__name__}: {exc}",
+                    float(payload.get("failure_score", "-inf")),
+                    transient=True,
+                )
+                tier = "fresh"
+            heartbeat.set_lease(None)
+            queue.complete(task_id, encode_result(task_id, worker_id, result, tier))
+            done += 1
+            info["tasks_done"] = done
+            if tier == "store":
+                info["store_hits"] += 1
+            try:
+                queue.register_worker(worker_id, info)
+            except OSError:
+                pass
+            idle_since = time.monotonic()
+    finally:
+        heartbeat.stop()
+    if not quiet:
+        print(f"worker {worker_id}: done ({done} task(s))", file=sys.stderr)
+    return done
+
+
+# -- coordinator-side worker pool ---------------------------------------------------
+
+
+class LocalWorkerPool:
+    """Worker subprocesses spawned (and respawned) by the coordinator.
+
+    Each worker is a full ``python -m repro worker`` process -- the same
+    entry point an operator runs on other hosts -- watching a pool-private
+    stop token so two coordinators sharing one queue directory only ever
+    stop their own workers.  ``sys.path`` is propagated through
+    ``PYTHONPATH`` so workers can unpickle evaluators defined outside the
+    installed package (tests, benchmarks).
+    """
+
+    #: Respawn budget: a worker crash is recoverable, a crash *loop* is not.
+    MAX_RESPAWNS = 8
+
+    def __init__(self, queue: SpoolQueue, count: int, nonce: str):
+        self.queue = queue
+        self.count = count
+        self.nonce = nonce
+        self.stop_token = queue.root / f"{STOP_FILE}-{nonce}"
+        self._procs: List[Tuple[object, str, object]] = []  # (Popen, id, log fh)
+        self._respawns = 0
+        self._closed = False
+        self._logs_dir = queue.root / LOGS_DIRNAME
+        for index in range(count):
+            self._spawn(f"w{index}-{nonce}")
+
+    def _spawn(self, worker_id: str) -> None:
+        import subprocess
+
+        self._logs_dir.mkdir(parents=True, exist_ok=True)
+        log = open(self._logs_dir / f"{worker_id}.log", "ab")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                str(self.queue.root),
+                "--worker-id",
+                worker_id,
+                "--stop-file",
+                str(self.stop_token),
+            ],
+            stdout=log,
+            stderr=log,
+            env=env,
+            cwd=os.getcwd(),
+        )
+        self._procs.append((proc, worker_id, log))
+
+    def maintain(self) -> None:
+        """Respawn workers that died (crash isolation keeps the pool full)."""
+        if self._closed:
+            return
+        for position, (proc, worker_id, log) in enumerate(list(self._procs)):
+            if proc.poll() is None:
+                continue
+            try:
+                log.close()
+            except OSError:
+                pass
+            self._procs.remove((proc, worker_id, log))
+            if self._respawns < self.MAX_RESPAWNS:
+                self._respawns += 1
+                self._spawn(f"{worker_id.split('+')[0]}+r{self._respawns}")
+
+    def alive(self) -> int:
+        return sum(1 for proc, _id, _log in self._procs if proc.poll() is None)
+
+    def stop(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.stop_token.touch()
+        except OSError:
+            pass
+        for proc, _worker_id, _log in self._procs:
+            try:
+                proc.terminate()
+            except OSError:
+                pass
+        deadline = time.monotonic() + 5.0
+        for proc, _worker_id, log in self._procs:
+            try:
+                proc.wait(timeout=max(0.0, deadline - time.monotonic()))
+            except Exception:  # noqa: BLE001 - last resort below
+                try:
+                    proc.kill()
+                except OSError:
+                    pass
+            try:
+                log.close()
+            except OSError:
+                pass
+        self._procs = []

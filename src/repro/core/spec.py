@@ -538,6 +538,9 @@ def run(
             setup.engine.attach_store(
                 evaluation_store.bind(effective_spec.eval_config_hash())
             )
+            evaluation_store.register_writer(
+                f"run-{effective_spec.name}-seed{effective_seed}"
+            )
         result = setup.search.run()
     finally:
         if event_log is not None:
@@ -601,6 +604,13 @@ def run(
                 "misses": generator_client.misses,
                 "corrupt_reads": cache.corrupt_reads,
             }
+        # The distributed fabric record (queue path, dispatch/reclaim/rescue
+        # counters, per-worker completions) is volatile -- pids, hostnames,
+        # who won which task -- so it lands in metadata.json, never
+        # result.json.
+        distributed_record = (
+            setup.engine.distributed if setup.engine is not None else None
+        )
         artifact_store.finalize_run_dir(
             artifact_dir,
             effective_spec.to_dict(),
@@ -611,6 +621,7 @@ def run(
             fidelity=fidelity_record,
             dsl_backend=backend_record,
             pipeline=pipeline_record,
+            distributed=distributed_record,
         )
     return RunOutcome(
         spec=spec,

@@ -38,8 +38,10 @@ import hashlib
 import json
 import os
 import re
+import socket
 import tempfile
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -63,16 +65,29 @@ _SIDECAR_SUFFIX = ".npz"
 #: Schema trees are the only directories gc/clear may remove wholesale.
 _SCHEMA_DIR_RE = re.compile(r"v\d+")
 
+#: Where writer registrations live (outside the schema trees: gc never
+#: touches them, only :meth:`ContentAddressedStore.clear` does).
+_WRITERS_DIRNAME = "writers"
+
 
 @dataclass(frozen=True)
 class StoreStats:
-    """What ``repro store stats`` reports."""
+    """What ``repro store stats`` reports.
+
+    ``writers`` counts the distinct registered writers -- runs, sweep seeds
+    and distributed workers that announced themselves via
+    :meth:`ContentAddressedStore.register_writer` -- so operators can see
+    how many concurrent producers have shared this tree.  ``writer_records``
+    carries their registration payloads (host, pid, label, start time).
+    """
 
     root: str
     schema_version: int
     entries: int
     total_bytes: int
     eval_configs: int
+    writers: int = 0
+    writer_records: Tuple[dict, ...] = field(default=())
 
     def to_dict(self) -> dict:
         return {
@@ -81,6 +96,10 @@ class StoreStats:
             "entries": self.entries,
             "total_bytes": self.total_bytes,
             "eval_configs": self.eval_configs,
+            "writers": {
+                "count": self.writers,
+                "records": list(self.writer_records),
+            },
         }
 
 
@@ -142,6 +161,54 @@ class ContentAddressedStore:
     def schema_root(self) -> Path:
         return self.root / f"v{self.schema_version}"
 
+    @property
+    def writers_root(self) -> Path:
+        return self.root / _WRITERS_DIRNAME
+
+    # -- writer registry ----------------------------------------------------------
+
+    def register_writer(self, label: str) -> None:
+        """Announce this process as a writer of the store (best effort).
+
+        One JSON record per (host, pid, label) under ``<root>/writers/``;
+        purely observability -- ``repro store stats`` surfaces the distinct
+        holders so operators can see multi-run/multi-host sharing.  Never
+        raises: a store that cannot record writers must still serve entries.
+        """
+        host = socket.gethostname()
+        pid = os.getpid()
+        writer_id = hashlib.sha1(f"{host}:{pid}:{label}".encode("utf-8")).hexdigest()[:16]
+        record = {
+            "writer_id": writer_id,
+            "host": host,
+            "pid": pid,
+            "label": label,
+            "started": time.time(),
+        }
+        try:
+            self.writers_root.mkdir(parents=True, exist_ok=True)
+            self._atomic_write_text(
+                self.writers_root / f"{writer_id}.json",
+                json.dumps(record, sort_keys=True),
+            )
+        except OSError:
+            self.write_errors += 1
+
+    def writer_records(self) -> List[dict]:
+        """Every readable writer registration, sorted by start time."""
+        records = []
+        if not self.writers_root.is_dir():
+            return records
+        for path in self.writers_root.glob("*.json"):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        records.sort(key=lambda r: (r.get("started", 0.0), r.get("writer_id", "")))
+        return records
+
     # -- write/gc bookkeeping -----------------------------------------------------
 
     def _note_put(self) -> None:
@@ -197,12 +264,15 @@ class ContentAddressedStore:
     def stats(self) -> StoreStats:
         entries = self._entries()
         configs = {path.parent for path, _mtime, _size in entries}
+        writer_records = self.writer_records()
         return StoreStats(
             root=str(self.root),
             schema_version=self.schema_version,
             entries=len(entries),
             total_bytes=sum(size for _path, _mtime, size in entries),
             eval_configs=len(configs),
+            writers=len(writer_records),
+            writer_records=tuple(writer_records),
         )
 
     def gc(
@@ -259,9 +329,9 @@ class ContentAddressedStore:
     def clear(self) -> int:
         """Remove every entry (all schema versions); returns how many.
 
-        Like :meth:`gc`, only ``v<N>`` schema trees are touched: pointing
-        ``repro store clear`` at a directory holding anything else must not
-        destroy that data.
+        Like :meth:`gc`, only ``v<N>`` schema trees (plus our own
+        ``writers/`` registry) are touched: pointing ``repro store clear``
+        at a directory holding anything else must not destroy that data.
         """
         removed = 0
         if self.root.exists():
@@ -269,6 +339,18 @@ class ContentAddressedStore:
                 if child.is_dir() and _SCHEMA_DIR_RE.fullmatch(child.name):
                     removed_c, _freed = self._remove_tree(child)
                     removed += removed_c
+        # Writer registrations describe the entries; clearing the entries
+        # retires them too (gc, by contrast, leaves them alone).
+        if self.writers_root.is_dir():
+            for path in self.writers_root.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            try:
+                self.writers_root.rmdir()
+            except OSError:
+                pass
         return removed
 
     @staticmethod

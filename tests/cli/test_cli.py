@@ -296,12 +296,18 @@ def test_store_stats_gc_clear(capsys, tmp_path):
     code, out, _ = run_cli(capsys, "store", "stats", "--store", store_dir)
     assert code == 0
     assert "entries" in out
+    assert "writers" in out
 
     code, out, _ = run_cli(capsys, "store", "stats", "--store", store_dir, "--json")
     assert code == 0
     stats = json.loads(out)
     assert stats["entries"] > 0
     assert stats["eval_configs"] == 1
+    # The run announced itself in the writers ledger.
+    assert stats["writers"]["count"] == 1
+    (record,) = stats["writers"]["records"]
+    assert record["label"].startswith("run-")
+    assert record["pid"] and record["host"]
 
     code, out, _ = run_cli(
         capsys, "store", "gc", "--store", store_dir, "--max-entries", "2"
@@ -314,7 +320,9 @@ def test_store_stats_gc_clear(capsys, tmp_path):
     code, out, _ = run_cli(capsys, "store", "clear", "--store", store_dir)
     assert code == 0
     code, out, _ = run_cli(capsys, "store", "stats", "--store", store_dir, "--json")
-    assert json.loads(out)["entries"] == 0
+    stats = json.loads(out)
+    assert stats["entries"] == 0
+    assert stats["writers"]["count"] == 0  # clear removes the ledger too
 
 
 def test_store_gc_requires_a_bound(capsys, tmp_path):

@@ -69,6 +69,35 @@ def test_workloads_show_unknown_name_exits_2(capsys):
     assert "unknown workload" in err
 
 
+# -- engine overrides ---------------------------------------------------------------
+
+
+def test_run_unknown_executor_exits_2_listing_names(capsys):
+    code, _out, err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--no-artifacts", "--executor", "quantum"
+    )
+    assert code == 2
+    assert "unknown executor 'quantum'" in err
+    for name in ("serial", "thread", "process", "async", "distributed"):
+        assert name in err
+    assert "Traceback" not in err
+
+
+def test_worker_rejects_nonpositive_poll(capsys, tmp_path):
+    code, _out, err = run_cli(capsys, "worker", str(tmp_path), "--poll-s", "0")
+    assert code == 2
+    assert "--poll-s" in err
+    assert "Traceback" not in err
+
+
+def test_worker_once_on_an_empty_queue_exits_0(capsys, tmp_path):
+    # --once drains whatever is pending (here: nothing) and returns cleanly.
+    code, _out, _err = run_cli(
+        capsys, "worker", str(tmp_path / "queue"), "--once", "--quiet"
+    )
+    assert code == 0
+
+
 # -- the --fidelity override --------------------------------------------------------
 
 

@@ -1,0 +1,63 @@
+"""Picklable evaluators for the distributed-executor tests.
+
+These live in their own module (not the test file) so worker subprocesses
+can unpickle them: the coordinator propagates ``sys.path`` through
+``PYTHONPATH``, and pickle resolves classes by module name.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.dsl import Interpreter
+
+
+class InterpEvaluator(Evaluator):
+    """Deterministic toy evaluator: runs the program with ``x = 1``."""
+
+    def evaluate_program(self, program):
+        value = Interpreter().run(program, {"x": 1})
+        return EvaluationResult(score=float(value), valid=True)
+
+
+class BlockingEvaluator(InterpEvaluator):
+    """Blocks while ``flag_path`` exists, recording who is working on what.
+
+    The SIGKILL test uses the block to guarantee a worker is *mid-task* when
+    it is killed: the worker drops a ``<marker_dir>/<pid>`` marker on entry,
+    the test kills that pid, removes the flag, and the survivor finishes.
+    """
+
+    def __init__(self, flag_path, marker_dir):
+        self.flag_path = str(flag_path)
+        self.marker_dir = str(marker_dir)
+
+    def evaluate_program(self, program):
+        marker_dir = Path(self.marker_dir)
+        marker_dir.mkdir(parents=True, exist_ok=True)
+        (marker_dir / str(os.getpid())).write_text("working", encoding="utf-8")
+        while os.path.exists(self.flag_path):
+            time.sleep(0.02)
+        return super().evaluate_program(program)
+
+
+class CrashOnceEvaluator(InterpEvaluator):
+    """Hard-kills its worker process the first time it sees the trigger.
+
+    ``os._exit`` models a SIGKILL/OOM from inside: no exception propagates,
+    no lease is released, no result is written.  The marker file makes the
+    crash one-shot, so the reclaimed task succeeds on its second claim.
+    """
+
+    def __init__(self, marker_path, trigger_score):
+        self.marker_path = str(marker_path)
+        self.trigger_score = trigger_score
+
+    def evaluate_program(self, program):
+        result = super().evaluate_program(program)
+        if result.score == self.trigger_score and not os.path.exists(self.marker_path):
+            with open(self.marker_path, "w", encoding="utf-8") as fh:
+                fh.write("crashed once")
+            os._exit(1)
+        return result

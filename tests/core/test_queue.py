@@ -1,0 +1,298 @@
+"""The spool-queue wire protocol: codec, atomic claims, leases, reclaim.
+
+These are the invariants the distributed executor's fault tolerance rests
+on: exactly one claimant wins a task, a heartbeated lease is never
+reclaimed, a stale one always is, and every payload survives the JSON
+round-trip bit-exactly (including non-finite failure scores and the
+``transient`` flag the store codec deliberately drops).
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.evaluator import EvaluationResult, Evaluator
+from repro.core.queue import (
+    SpoolQueue,
+    decode_result,
+    decode_task,
+    default_worker_id,
+    encode_result,
+    encode_task,
+    run_worker,
+)
+from repro.dsl import Interpreter, parse
+
+PROGRAM_SOURCE = "def f(x) { return x + 1 }"
+
+
+class InterpEvaluator(Evaluator):
+    """Picklable toy evaluator (module level so the queue can ship it)."""
+
+    def evaluate_program(self, program):
+        value = Interpreter().run(program, {"x": 1})
+        return EvaluationResult(score=float(value), valid=True)
+
+
+@pytest.fixture
+def program():
+    return parse(PROGRAM_SOURCE)
+
+
+@pytest.fixture
+def queue(tmp_path):
+    q = SpoolQueue(tmp_path / "queue", lease_ttl_s=5.0)
+    q.write_config()
+    return q
+
+
+# -- codec --------------------------------------------------------------------------
+
+
+def test_task_codec_round_trips(program, queue):
+    payload = encode_task(
+        "t-1",
+        program,
+        evaluator_id="abc",
+        scenario=3,
+        failure_score=float("-inf"),
+        program_key="deadbeef",
+        source=PROGRAM_SOURCE,
+    )
+    # The payload must be plain JSON (it crosses the filesystem boundary).
+    restored = decode_task(json.loads(json.dumps(payload)))
+    assert restored["task_id"] == "t-1"
+    assert restored["scenario"] == 3
+    assert restored["failure_score"] == float("-inf")
+    assert restored["program_key"] == "deadbeef"
+    from repro.dsl.codegen import to_source
+
+    assert to_source(restored["program"]) == to_source(program)
+
+
+def test_task_codec_rejects_other_schemas(program):
+    payload = encode_task("t-1", program, evaluator_id="abc")
+    payload["schema_version"] = 999
+    with pytest.raises(ValueError, match="schema"):
+        decode_task(payload)
+
+
+def test_result_codec_preserves_transient_and_non_finite():
+    failure = EvaluationResult.failure("worker died", transient=True)
+    payload = json.loads(
+        json.dumps(encode_result("t-2", "w0", failure, tier="fresh"))
+    )
+    restored = decode_result(payload)
+    assert restored.transient is True
+    assert restored.valid is False
+    assert restored.score == float("-inf")
+    assert restored.error == "worker died"
+
+    ok = EvaluationResult(score=0.25, details={"hits": 3.0})
+    restored = decode_result(json.loads(json.dumps(encode_result("t-3", "w1", ok))))
+    assert restored.transient is False
+    assert restored.score == 0.25
+    assert restored.details == {"hits": 3.0}
+
+
+# -- claims -------------------------------------------------------------------------
+
+
+def test_claim_is_atomic_under_contention(program, queue):
+    for index in range(8):
+        queue.enqueue(
+            f"t-{index:03d}", encode_task(f"t-{index:03d}", program, evaluator_id="e")
+        )
+    claims = []
+    lock = threading.Lock()
+
+    def claim_all(worker_id):
+        while True:
+            claim = queue.claim_next(worker_id)
+            if claim is None:
+                return
+            with lock:
+                claims.append((claim[0], worker_id))
+
+    threads = [
+        threading.Thread(target=claim_all, args=(f"w{n}",)) for n in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Every task claimed exactly once, none lost, none doubled.
+    assert sorted(task_id for task_id, _w in claims) == [
+        f"t-{index:03d}" for index in range(8)
+    ]
+    # The winner's identity is recorded in the lease payload.
+    for task_id, worker_id in claims:
+        lease = json.loads(
+            (queue.leases_dir / f"{task_id}.json").read_text(encoding="utf-8")
+        )
+        assert lease["worker_id"] == worker_id
+
+
+def test_claims_follow_submission_order(program, queue):
+    for index in (2, 0, 1):
+        queue.enqueue(
+            f"t-{index:03d}", encode_task(f"t-{index:03d}", program, evaluator_id="e")
+        )
+    order = [queue.claim_next("w")[0] for _ in range(3)]
+    assert order == ["t-000", "t-001", "t-002"]
+
+
+def test_unclaim_returns_a_task_to_pending(program, queue):
+    queue.enqueue("t-0", encode_task("t-0", program, evaluator_id="e"))
+    task_id, _payload = queue.claim_next("w0")
+    assert queue.pending_tasks() == []
+    queue.unclaim(task_id)
+    assert queue.pending_tasks() == ["t-0"]
+    assert queue.leased_tasks() == []
+
+
+# -- lease expiry / reclaim ---------------------------------------------------------
+
+
+def test_fresh_lease_is_not_reclaimed(program, queue):
+    queue.enqueue("t-0", encode_task("t-0", program, evaluator_id="e"))
+    queue.claim_next("w0")
+    assert queue.reclaim_expired() == []
+    assert queue.leased_tasks() == ["t-0"]
+
+
+def test_stale_lease_is_reclaimed_with_its_holder(program, tmp_path):
+    queue = SpoolQueue(tmp_path / "q", lease_ttl_s=0.2)
+    queue.write_config()
+    queue.enqueue("t-0", encode_task("t-0", program, evaluator_id="e"))
+    queue.claim_next("w-dead")
+    # No heartbeat: the lease goes stale and is returned to pending.
+    time.sleep(0.35)
+    assert queue.reclaim_expired() == [("t-0", "w-dead")]
+    assert queue.pending_tasks() == ["t-0"]
+    # A survivor re-claims it.
+    task_id, payload = queue.claim_next("w-alive")
+    assert task_id == "t-0"
+    assert payload["worker_id"] == "w-alive"
+
+
+def test_heartbeat_keeps_a_lease_alive(program, tmp_path):
+    queue = SpoolQueue(tmp_path / "q", lease_ttl_s=0.3)
+    queue.write_config()
+    queue.enqueue("t-0", encode_task("t-0", program, evaluator_id="e"))
+    queue.claim_next("w0")
+    deadline = time.monotonic() + 0.7
+    while time.monotonic() < deadline:
+        queue.heartbeat("t-0")
+        time.sleep(0.05)
+        assert queue.reclaim_expired() == []
+    assert queue.leased_tasks() == ["t-0"]
+
+
+def test_complete_and_collect_consume_the_result(program, queue):
+    queue.enqueue("t-0", encode_task("t-0", program, evaluator_id="e"))
+    task_id, _payload = queue.claim_next("w0")
+    queue.complete(
+        task_id, encode_result(task_id, "w0", EvaluationResult(score=1.5))
+    )
+    assert queue.leased_tasks() == []
+    collected = queue.collect(["t-0", "t-missing"])
+    assert [task_id for task_id, _p in collected] == ["t-0"]
+    assert decode_result(collected[0][1]).score == 1.5
+    # Consumed: a second collect sees nothing.
+    assert queue.collect(["t-0"]) == []
+
+
+def test_forget_drops_every_trace_of_a_task(program, queue):
+    queue.enqueue("t-0", encode_task("t-0", program, evaluator_id="e"))
+    queue.forget("t-0")
+    assert queue.pending_tasks() == []
+    queue.enqueue("t-1", encode_task("t-1", program, evaluator_id="e"))
+    queue.claim_next("w0")
+    queue.forget("t-1")
+    assert queue.leased_tasks() == []
+
+
+# -- config / workers / stop --------------------------------------------------------
+
+
+def test_workers_adopt_the_coordinators_lease_ttl(tmp_path):
+    coordinator = SpoolQueue(tmp_path / "q", lease_ttl_s=1.25)
+    coordinator.write_config()
+    worker_view = SpoolQueue(tmp_path / "q")  # reads queue.json
+    assert worker_view.lease_ttl_s == 1.25
+    assert worker_view.reload_config() is True
+
+
+def test_worker_registration_and_liveness(queue):
+    queue.register_worker("w0", {"worker_id": "w0", "host": "h", "pid": 1})
+    assert "w0" in queue.worker_records()
+    assert queue.live_workers() == ["w0"]
+    # A registration whose heartbeat went stale is not live.
+    old = time.time() - 60.0
+    os.utime(queue.workers_dir / "w0.json", (old, old))
+    assert queue.live_workers() == []
+
+
+def test_stop_sentinels(queue, tmp_path):
+    assert queue.stop_requested() is False
+    extra = tmp_path / "pool-token"
+    assert queue.stop_requested(extra) is False
+    extra.touch()
+    assert queue.stop_requested(extra) is True
+    queue.request_stop()
+    assert queue.stop_requested() is True
+    missing = SpoolQueue(tmp_path / "never-made")
+    assert missing.stop_requested() is True  # torn-down queue means stop
+
+
+def test_default_worker_id_names_host_and_pid():
+    worker_id = default_worker_id()
+    assert str(os.getpid()) in worker_id
+
+
+# -- the worker loop (in-process, picklable evaluator from the real domain) ---------
+
+
+def test_run_worker_once_drains_the_queue(program, queue):
+    evaluator = InterpEvaluator()
+    evaluator_id = queue.publish_evaluator(evaluator)
+    reference = evaluator.evaluate(program)
+    for index in range(3):
+        task_id = f"t-{index:03d}"
+        queue.enqueue(
+            task_id, encode_task(task_id, program, evaluator_id=evaluator_id)
+        )
+    done = run_worker(queue.root, worker_id="w-test", once=True, quiet=True)
+    assert done == 3
+    collected = queue.collect([f"t-{i:03d}" for i in range(3)])
+    assert len(collected) == 3
+    for _task_id, payload in collected:
+        assert payload["worker_id"] == "w-test"
+        assert decode_result(payload).score == reference.score
+    # The worker registered itself and counted its work.
+    record = queue.worker_records()["w-test"]
+    assert record["tasks_done"] == 3
+
+
+def test_run_worker_fails_broken_tasks_transiently(queue):
+    queue.enqueue(
+        "t-bad",
+        {
+            "schema_version": 999,  # decode_task rejects this
+            "task_id": "t-bad",
+            "evaluator_id": "none",
+            "program": "",
+            "failure_score": "-inf",
+        },
+    )
+    done = run_worker(queue.root, worker_id="w-test", once=True, quiet=True)
+    assert done == 1
+    [(task_id, payload)] = queue.collect(["t-bad"])
+    result = decode_result(payload)
+    assert result.valid is False
+    assert result.transient is True
+    assert result.score == float("-inf")

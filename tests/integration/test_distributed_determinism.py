@@ -1,0 +1,75 @@
+"""Acceptance: distributed runs are byte-identical to serial ones.
+
+The distributed executor is pure mechanism, like every other backend: for a
+fixed seed, ``result.json`` must be byte-identical across serial,
+distributed with one worker, and distributed with four workers -- in both
+shipped domains, with the evaluation store cold and warm.  The fabric's
+volatile telemetry (worker pids, queue paths, who won which task) may only
+ever appear in ``metadata.json``.
+"""
+
+import json
+
+import pytest
+
+from repro.core.spec import RunSpec, run
+
+CACHING_SPEC = dict(
+    domain="caching",
+    name="dist-caching",
+    domain_kwargs={
+        "workloads": [
+            {"name": "caching/zipf-hot", "num_requests": 400, "num_objects": 120},
+            {"name": "caching/scan-storm", "num_requests": 400, "num_objects": 120},
+        ],
+        "reducer": "mean",
+    },
+    search={"rounds": 1, "candidates_per_round": 3},
+)
+
+CC_SPEC = dict(
+    domain="cc",
+    name="dist-cc",
+    domain_kwargs={"duration_s": 0.6},
+    search={"rounds": 1, "candidates_per_round": 3},
+)
+
+ENGINES = [
+    {},  # serial reference
+    {"executor": "distributed", "max_workers": 1, "lease_ttl_s": 10.0},
+    {"executor": "distributed", "max_workers": 4, "lease_ttl_s": 10.0},
+]
+ENGINE_IDS = ["serial", "dist-1", "dist-4"]
+
+
+@pytest.mark.parametrize("base", [CACHING_SPEC, CC_SPEC], ids=["caching", "cc"])
+def test_result_json_identical_serial_vs_distributed(base, tmp_path):
+    blobs = {}
+    metadata = {}
+    for engine_id, engine in zip(ENGINE_IDS, ENGINES):
+        spec = RunSpec(**base, engine=engine)
+        shared_store = tmp_path / f"store-{engine_id}"
+        cold = run(spec, store=tmp_path / f"cold-{engine_id}", eval_store=shared_store)
+        warm = run(spec, store=tmp_path / f"warm-{engine_id}", eval_store=shared_store)
+        cold_blob = (cold.artifact_dir / "result.json").read_bytes()
+        warm_blob = (warm.artifact_dir / "result.json").read_bytes()
+        assert cold_blob == warm_blob, f"{engine_id}: warm != cold"
+        blobs[engine_id] = cold_blob
+        metadata[engine_id] = json.loads(
+            (cold.artifact_dir / "metadata.json").read_text(encoding="utf-8")
+        )
+    assert blobs["serial"] == blobs["dist-1"] == blobs["dist-4"]
+
+    # The fabric record is metadata-only telemetry: present for distributed
+    # runs (with every dispatched task accounted for), absent for serial.
+    assert "distributed" not in metadata["serial"]
+    for engine_id in ("dist-1", "dist-4"):
+        record = metadata[engine_id]["distributed"]
+        assert record["tasks_dispatched"] > 0
+        assert record["workers_joined"] >= 1
+        completed = sum(w["completed"] for w in record["workers"].values())
+        assert completed + record["tasks_rescued"] >= record["tasks_dispatched"] - record[
+            "tasks_reclaimed"
+        ]
+    # ... and result.json never mentions it.
+    assert b"tasks_dispatched" not in blobs["dist-4"]
