@@ -18,7 +18,11 @@ rates -- where direction is unambiguous (higher is better).  Raw wall-clock
 seconds (``*_s``) are deliberately untracked: they also vary with workload
 scale knobs and machine load, and every one of them already has a rate or
 speedup twin that is tracked.  Counters (``screened_out``, rung lists, the
-``bench_full`` flag) are context, not metrics.
+``bench_full`` flag) are context, not metrics.  The ``static_screen``
+section follows the same pattern: ``eval_over_screen_speedup`` (how many
+times cheaper screening a batch is than one rung-0 evaluation of it) is the
+gated metric; its ``screen_s`` / ``rung0_eval_s`` inputs are untracked
+wall-clock context.
 
 Absolute throughputs (``*_per_sec``) are only comparable across runs of the
 same machine class; a baseline committed from one machine says nothing about

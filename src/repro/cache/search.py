@@ -65,6 +65,46 @@ def caching_feature_spec() -> FeatureSpec:
     )
 
 
+def caching_input_intervals():
+    """Value ranges of the Table-1 features, for static screening.
+
+    Everything the cache substrate feeds the priority function is a
+    non-negative count, time, or size; ``history.contains`` is the one
+    boolean.  The priority score itself is used unclamped (the queue orders
+    raw scores), so no ``output_clamp`` is declared.
+    """
+    from repro.dsl.abstract import InputIntervals, Interval
+
+    non_negative = Interval(0, float("inf"))
+    aggregate = {
+        method: non_negative
+        for method in ("percentile", "mean", "minimum", "maximum", "count")
+    }
+    return InputIntervals(
+        scalars={"now": non_negative, "obj_id": non_negative},
+        attrs={
+            "obj_info": {
+                attr: non_negative
+                for attr in ("count", "last_accessed", "inserted_at", "size")
+            }
+        },
+        methods={
+            "counts": dict(aggregate),
+            "ages": dict(aggregate),
+            "sizes": dict(aggregate),
+            "history": {
+                "contains": Interval(0, 1),
+                "count_of": non_negative,
+                "age_at_eviction": non_negative,
+                "size_of": non_negative,
+                "time_since_eviction": non_negative,
+                "length": non_negative,
+            },
+        },
+        bool_methods=frozenset({("history", "contains")}),
+    )
+
+
 TEMPLATE_DESCRIPTION = """\
 Write a priority function for a web cache.  Object metadata is stored in a
 priority queue; this function is invoked whenever an object is accessed or
@@ -232,6 +272,9 @@ class CachingEvaluator(Evaluator):
             },
         )
 
+    def input_intervals(self):
+        return caching_input_intervals()
+
     def at_fidelity(self, fraction: float) -> "CachingEvaluator":
         """A reduced-budget copy: the first ``fraction`` of the trace.
 
@@ -317,6 +360,9 @@ class CachingDomain(SearchDomain):
             cache_fraction=workload.param("cache_fraction", DEFAULT_CACHE_FRACTION),
             backend=backend,
         )
+
+    def input_intervals(self):
+        return caching_input_intervals()
 
     def default_llm_config(self) -> SyntheticLLMConfig:
         return SyntheticLLMConfig(archetypes=caching_archetypes())

@@ -21,6 +21,46 @@ from repro.netsim.simulator import SimulationConfig, SimulationMetrics
 from repro.workloads.netsim import NetSimScenario, build_scenario
 
 
+def cc_input_intervals():
+    """Value ranges of the cong_control signals, for static screening.
+
+    Every signal is a non-negative integer (``signals_environment`` clamps
+    the RTT family at zero); ``cwnd`` additionally lives inside the flow's
+    clamp, which is also the declared ``output_clamp`` -- the window a
+    returned value is forced into by :meth:`repro.netsim.flow.Flow._apply_cwnd`.
+    A return provably at or below the floor (or at or above the ceiling) for
+    all signal values is a pinned, degenerate controller.
+    """
+    from repro.dsl.abstract import InputIntervals, Interval
+    from repro.netsim.flow import Flow
+
+    non_negative = Interval(0, float("inf"))
+    return InputIntervals(
+        scalars={
+            "now": non_negative,
+            "cwnd": Interval(Flow.MIN_CWND, Flow.MAX_CWND),
+            "mss": non_negative,
+            "acked": non_negative,
+            "inflight": non_negative,
+            "rtt": non_negative,
+            "min_rtt": non_negative,
+            "srtt": non_negative,
+            "losses": non_negative,
+        },
+        methods={
+            "history": {
+                "length": non_negative,
+                "delivered_at": non_negative,
+                "rtt_at": non_negative,
+                "losses_at": non_negative,
+                "total_losses": non_negative,
+                "min_rtt": non_negative,
+            },
+        },
+        output_clamp=(float(Flow.MIN_CWND), float(Flow.MAX_CWND)),
+    )
+
+
 def default_cc_simulation_config(duration_s: float = 8.0) -> SimulationConfig:
     """The paper's evaluation link: 12 Mbps, 20 ms RTT, drop-tail buffer."""
     return SimulationConfig(
@@ -148,6 +188,9 @@ class CongestionControlEvaluator(Evaluator):
     def run_candidate(self, program: Program) -> SimulationMetrics:
         """Simulate ``program`` on the scenario and return raw metrics."""
         return self._run_scenario(program)[0]
+
+    def input_intervals(self):
+        return cc_input_intervals()
 
     def at_fidelity(self, fraction: float) -> "CongestionControlEvaluator":
         """A reduced-budget copy: the same link, ``fraction`` of the run."""

@@ -12,7 +12,11 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.cc.evaluator import CongestionControlEvaluator, default_cc_simulation_config
+from repro.cc.evaluator import (
+    CongestionControlEvaluator,
+    cc_input_intervals,
+    default_cc_simulation_config,
+)
 from repro.cc.kernel_constraints import KernelConstraintChecker
 from repro.cc.template import cc_grammar_config, cc_template, kernel_llm_config
 from repro.core.context import Context
@@ -78,6 +82,9 @@ class CCDomain(SearchDomain):
         from repro.workloads import build_workload
 
         return CongestionControlEvaluator(scenario=build_workload(workload), backend=backend)
+
+    def input_intervals(self):
+        return cc_input_intervals()
 
     def default_llm_config(self) -> SyntheticLLMConfig:
         return kernel_llm_config()

@@ -41,6 +41,14 @@ Commands
 ``report <run dir>``
     Re-render a stored run's report from its artifacts, byte-identical to
     the original ``run`` output, without re-running anything.
+``certify <run dir | program file>``
+    Certify interval bounds on a run's winning candidate (or any DSL
+    program file) with the abstract interpreter: the output's provable
+    ``[lo, hi]`` range over the domain's declared input intervals, whether
+    it is constant or input-independent, and the window the evaluator's
+    output clamp forces it into.  ``--static-screen`` on ``run``/``sweep``
+    uses the same analysis to reject degenerate candidates before
+    evaluation.
 
 Reports go to stdout; progress and artifact paths go to stderr, so stdout
 can be diffed between ``run`` and ``report``.
@@ -57,6 +65,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.cli.render import render_search_report, render_sweep_report
 from repro.core import artifacts
+from repro.core.artifacts import search_result_from_dict
 from repro.core.events import ProgressPrinter
 from repro.core.executors import available_executors
 from repro.dsl.compile import BACKENDS as DSL_BACKENDS
@@ -135,6 +144,8 @@ def _engine_overrides(args: argparse.Namespace) -> Dict[str, Any]:
         overrides["dsl_backend"] = args.backend
     if getattr(args, "queue_dir", None) is not None:
         overrides["queue_dir"] = args.queue_dir
+    if getattr(args, "static_screen", False):
+        overrides["static_screen"] = True
     return overrides
 
 
@@ -282,8 +293,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if _engine_overrides(args):
         raise CliError(
-            "--executor/--max-workers/--backend apply to RunSpec runs; registered "
-            "experiments manage their own engine configuration"
+            "--executor/--max-workers/--backend/--static-screen apply to "
+            "RunSpec runs; registered experiments manage their own engine "
+            "configuration"
         )
     if getattr(args, "fidelity", None) is not None:
         raise CliError(
@@ -533,15 +545,103 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 "interrupted? `repro resume` can finish a checkpointed run"
             ) from exc
         raise CliError(str(exc)) from exc
+    result = _load_result(artifact)
     if artifact.kind == "experiment":
         name = artifact.spec["experiment"]
         try:
             experiment = registry.get_experiment(name)
         except KeyError as exc:
             raise CliError(str(exc)) from exc
-        print(experiment.renderer(artifact.result))
+        print(experiment.renderer(result))
     else:
-        print(render_search_report(artifact.spec, artifact.result))
+        print(render_search_report(artifact.spec, result))
+    return 0
+
+
+def _load_result(artifact: artifacts.RunArtifact) -> Dict[str, Any]:
+    """The run's stored result, with missing/corrupt files named explicitly."""
+    result_path = artifact.path / artifacts.RESULT_FILE
+    try:
+        return artifact.result
+    except FileNotFoundError as exc:
+        raise CliError(
+            f"{result_path} is missing -- was the run interrupted? "
+            "`repro resume` can finish a checkpointed run"
+        ) from exc
+    except ValueError as exc:  # json.JSONDecodeError: truncated/corrupt file
+        raise CliError(f"{result_path} is corrupt or truncated: {exc}") from exc
+
+
+def _infer_certify_domain(function_name: str) -> str:
+    """Map a program's function name to the domain that evaluates it."""
+    inferred = {"priority": "caching", "cong_control": "cc"}.get(function_name)
+    if inferred is None:
+        raise CliError(
+            f"cannot infer a domain from function {function_name!r}; "
+            "pass --domain (e.g. caching or cc)"
+        )
+    return inferred
+
+
+def _certify_intervals(domain_name: str):
+    from repro.core.domain import get_domain
+
+    try:
+        domain = get_domain(domain_name)
+    except KeyError as exc:
+        raise CliError(str(exc).strip('"')) from exc
+    intervals = domain.input_intervals()
+    if intervals is None:
+        raise CliError(
+            f"domain {domain_name!r} declares no input intervals; "
+            "nothing to certify"
+        )
+    return intervals
+
+
+def _parse_certify_program(source: str, origin: str):
+    from repro.dsl.errors import DslError
+    from repro.dsl.parser import parse
+
+    try:
+        return parse(source)
+    except DslError as exc:
+        raise CliError(f"{origin} is not a valid DSL program: {exc}") from exc
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from repro.dsl.abstract import certify_program
+
+    path = Path(args.target)
+    if path.is_dir():
+        artifact = artifacts.RunArtifact(path)
+        artifact.metadata  # enforces the artifact-format version gate
+        if artifact.kind != "search":
+            raise CliError(
+                f"{path} holds an experiment run; certify needs a search "
+                "run directory or a DSL program file"
+            )
+        result = search_result_from_dict(_load_result(artifact))
+        if result.best is None:
+            raise CliError(f"{path} has no winning candidate to certify")
+        program = _parse_certify_program(result.best.source, f"{path} winner")
+        domain_name = args.domain or artifact.spec.get("domain", "")
+    elif path.is_file():
+        program = _parse_certify_program(
+            path.read_text(encoding="utf-8"), str(path)
+        )
+        domain_name = args.domain or _infer_certify_domain(program.name)
+    else:
+        raise CliError(
+            f"{path} is neither a run directory nor a DSL program file"
+        )
+    certificate = certify_program(program, _certify_intervals(domain_name))
+    if args.json:
+        print(json.dumps(certificate.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"domain     : {domain_name}")
+    print(f"program    : {program.name}")
+    print(f"certificate: {certificate.describe()}")
     return 0
 
 
@@ -622,6 +722,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="override the spec's multi-fidelity schedule: 'off', a "
             "comma-separated rung list (e.g. 0.1,0.3,1.0) or a JSON object "
             '(e.g. {"rungs": [0.1, 1.0], "eta": 4, "mode": "shadow"})',
+        )
+        p.add_argument(
+            "--static-screen",
+            action="store_true",
+            help="reject provably-degenerate candidates (constant, "
+            "input-independent or clamp-pinned output) with the interval "
+            "abstract interpreter before any evaluation",
         )
         p.add_argument(
             "--pipeline",
@@ -761,6 +868,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("run_dir", help="artifact directory (or sweep directory)")
     p_report.set_defaults(func=_cmd_report)
+
+    p_certify = sub.add_parser(
+        "certify",
+        help="certify interval bounds of a run's winner or a DSL program file",
+    )
+    p_certify.add_argument(
+        "target", help="run directory (certifies the winner) or DSL program file"
+    )
+    p_certify.add_argument(
+        "--domain",
+        default=None,
+        help="domain whose input intervals to certify against (default: the "
+        "run's domain, or inferred from the program's function name)",
+    )
+    p_certify.add_argument(
+        "--json", action="store_true", help="machine-readable certificate"
+    )
+    p_certify.set_defaults(func=_cmd_certify)
 
     return parser
 

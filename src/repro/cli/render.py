@@ -55,6 +55,34 @@ def _scenario_breakdown(res: SearchResult) -> List[str]:
     return lines
 
 
+def _format_bounds(bounds: Dict) -> str:
+    """``[lo, hi]`` with ``None`` endpoints rendered as unbounded."""
+    lo = bounds.get("lo")
+    hi = bounds.get("hi")
+    return f"[{'-inf' if lo is None else lo}, {'+inf' if hi is None else hi}]"
+
+
+def certification_lines(cert: Dict) -> List[str]:
+    """Human-readable form of a stored interval certificate."""
+    lines = ["", "Certified bounds:"]
+    lines.append(
+        f"  {cert.get('function', '?')} in {_format_bounds(cert.get('bounds', {}))}"
+    )
+    clamped = cert.get("clamped_bounds")
+    if clamped:
+        lines.append(f"  applied window in {_format_bounds(clamped)}")
+    notes = []
+    if cert.get("constant"):
+        notes.append("constant output")
+    elif not cert.get("depends_on_inputs", True):
+        notes.append("independent of all inputs")
+    if cert.get("may_error"):
+        notes.append("may raise at runtime")
+    if notes:
+        lines.append("  " + "; ".join(notes))
+    return lines
+
+
 def render_search_report(spec: Dict, result: Dict) -> str:
     """The generic report for a RunSpec-driven search run."""
     res = search_result_from_dict(result)
@@ -78,6 +106,9 @@ def render_search_report(spec: Dict, result: Dict) -> str:
             f"(score {res.best.score:.4f})"
         )
         lines.extend(_scenario_breakdown(res))
+        certification = result.get("certification")
+        if certification:
+            lines.extend(certification_lines(certification))
         lines.append("")
         lines.append("Best heuristic:")
         lines.append(res.best_source())

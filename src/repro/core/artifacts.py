@@ -67,7 +67,9 @@ def _strip_volatile_round(data: dict) -> dict:
     The store counters depend on what the attached evaluation store happened
     to contain; the rung counters describe how the fidelity ladder budgeted
     evaluation, not what the search found (and a shadow-mode ladder run must
-    stay byte-identical to a ladder-disabled one).  The phase timings are
+    stay byte-identical to a ladder-disabled one).  The static-screen
+    counters likewise describe budgeting (and a run in which nothing screens
+    must stay byte-identical with the knob off).  The phase timings are
     wall-clock (and a pipelined run must stay byte-identical to a serial
     one).  All are execution telemetry: live values go to ``metadata.json``.
     """
@@ -78,6 +80,8 @@ def _strip_volatile_round(data: dict) -> dict:
         rung_evaluations=0,
         rung_promotions=0,
         rung_eliminations=0,
+        screen_checks=0,
+        screened=0,
         generation_s=0.0,
         evaluation_s=0.0,
         overlap_s=0.0,
@@ -124,6 +128,8 @@ def search_result_to_dict(result: SearchResult, include_timing: bool = False) ->
         "rung_evaluations": result.rung_evaluations if include_timing else 0,
         "rung_promotions": result.rung_promotions if include_timing else 0,
         "rung_eliminations": result.rung_eliminations if include_timing else 0,
+        "screen_checks": result.screen_checks if include_timing else 0,
+        "screened": result.screened if include_timing else 0,
     }
 
 
@@ -160,6 +166,8 @@ def search_result_from_dict(data: dict) -> SearchResult:
         rung_evaluations=int(data.get("rung_evaluations", 0)),
         rung_promotions=int(data.get("rung_promotions", 0)),
         rung_eliminations=int(data.get("rung_eliminations", 0)),
+        screen_checks=int(data.get("screen_checks", 0)),
+        screened=int(data.get("screened", 0)),
     )
 
 
@@ -274,6 +282,8 @@ def finalize_run_dir(
     dsl_backend: Optional[Dict[str, Any]] = None,
     pipeline: Optional[Dict[str, Any]] = None,
     distributed: Optional[Dict[str, Any]] = None,
+    static_screen: Optional[Dict[str, Any]] = None,
+    certification: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Write result.json / rounds.jsonl / metadata.json for a finished search.
 
@@ -291,10 +301,18 @@ def finalize_run_dir(
     ``distributed`` (optional) is the run's work-queue fabric record --
     queue path, dispatch/reclaim/rescue counters, per-worker completions --
     which is volatile by nature (worker pids, who won which task) and so
-    also lives in ``metadata.json`` only.
+    also lives in ``metadata.json`` only.  ``static_screen`` (optional) is
+    the run's live screening record (knob state + check/screen counters),
+    metadata only like the rung counters.  ``certification`` (optional) is
+    the winner's interval certificate -- a pure function of the winning
+    program and the evaluator's declared input intervals, independent of the
+    screening knob -- so it *does* go into ``result.json``.
     """
     path = Path(path)
-    _write_json(path / RESULT_FILE, search_result_to_dict(result))
+    result_data = search_result_to_dict(result)
+    if certification is not None:
+        result_data["certification"] = certification
+    _write_json(path / RESULT_FILE, result_data)
     rounds_lines = [
         json.dumps(_strip_volatile_round(round_summary_to_dict(r)), sort_keys=True)
         for r in result.rounds
@@ -321,6 +339,8 @@ def finalize_run_dir(
         metadata["pipeline"] = pipeline
     if distributed is not None:
         metadata["distributed"] = distributed
+    if static_screen is not None:
+        metadata["static_screen"] = static_screen
     _write_json(path / METADATA_FILE, metadata)
     return path
 

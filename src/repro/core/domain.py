@@ -99,6 +99,15 @@ class SearchDomain:
             reducer=str(reducer.to_ref()),
         )
 
+    def input_intervals(self):
+        """Domain-default input declarations for ``repro certify``.
+
+        Returns an :class:`~repro.dsl.abstract.InputIntervals` (or ``None``)
+        without needing a built evaluator, so the CLI can certify a bare
+        program file against the domain's Template.
+        """
+        return None
+
     def default_llm_config(self) -> SyntheticLLMConfig:
         return SyntheticLLMConfig()
 

@@ -37,11 +37,19 @@ shared execution substrate that replaces that loop for every domain:
   persisted under fidelity-qualified keys; ranking and selection only ever
   consume full-fidelity scores.
 
+* **Static screening** -- with ``static_screen`` on and an evaluator that
+  declares input intervals, rung "-1" below the ladder runs every evaluable
+  candidate through the interval abstract interpreter
+  (:mod:`repro.dsl.abstract`) and rejects the provably degenerate ones --
+  constant output, input-independent output, or output pinned to the
+  evaluator's clamp -- with a sentinel failure result at zero evaluator
+  cost.
+
 Each candidate that receives an evaluation result is announced as a
 :class:`~repro.core.events.CandidateEvaluated` event on the engine's
 :class:`~repro.core.events.EventBus`, after the batch's results are assigned
 and in submission order; the event's ``cache_tier`` records where the result
-came from (``"memory"`` / ``"disk"`` / ``"fresh"``).
+came from (``"memory"`` / ``"disk"`` / ``"fresh"`` / ``"screened"``).
 
 Evaluation is assumed deterministic and side-effect free per candidate
 (true for both shipped domains), which is what makes reordering, dedup and
@@ -61,6 +69,7 @@ from repro.core.events import (
     CandidateEliminated,
     CandidateEvaluated,
     CandidatePromoted,
+    CandidateScreened,
     EventBus,
 )
 from repro.core.executors import EvalUnit, available_executors, create_executor
@@ -98,6 +107,16 @@ class EngineConfig:
     backends produce bit-identical scores -- the knob trades compilation
     effort for evaluation throughput, never results.
 
+    ``static_screen`` turns on rung "-1" below the fidelity ladder: every
+    evaluable candidate is first run through the interval abstract
+    interpreter (:mod:`repro.dsl.abstract`), and candidates it proves
+    degenerate -- constant output, input-independent output, or a return
+    provably pinned to the evaluator's output clamp -- receive a sentinel
+    failure result without ever touching the memo, the store or an
+    executor.  A no-op when the evaluator declares no input intervals.
+    Off by default; with it on, a fixed-seed run in which nothing screens
+    is byte-identical to the same run with it off.
+
     ``pipeline`` asks the search loop to stream generated candidates into
     the engine as they arrive (and speculatively overlap the next round's
     generation with this round's tail evaluation) instead of barriering on
@@ -121,6 +140,7 @@ class EngineConfig:
     dedup: bool = True
     memoize: bool = True
     dsl_backend: Optional[str] = None
+    static_screen: bool = False
     pipeline: bool = False
     queue_dir: Optional[str] = None
     worker_count: Optional[int] = None
@@ -174,6 +194,11 @@ class BatchStats:
     rung_evaluations: int = 0
     rung_promotions: int = 0
     rung_eliminations: int = 0
+    #: Static-screening traffic (0 with ``static_screen`` off or no declared
+    #: input intervals): candidates run through the abstract interpreter and
+    #: how many it rejected before any evaluation.
+    screen_checks: int = 0
+    screened: int = 0
 
 
 @dataclass
@@ -220,6 +245,12 @@ class EvaluationEngine:
         self._executor = None  # lazily-created backend, reused across batches
         self._scaled_evaluators: Dict[float, Evaluator] = {}
         self._rung_executors: Dict[float, object] = {}
+        # Static screener (rung "-1"): built lazily from the evaluator's
+        # declared input intervals; verdicts cached by canonical key so a
+        # re-emitted duplicate is only analysed once per engine lifetime.
+        self._screener = None
+        self._screener_ready = False
+        self._screen_verdicts: Dict[str, object] = {}
         # Cumulative counters across the engine's lifetime.
         self.cache_lookups = 0
         self.cache_hits = 0
@@ -230,6 +261,8 @@ class EvaluationEngine:
         self.rung_evaluations = 0
         self.rung_promotions = 0
         self.rung_eliminations = 0
+        self.screen_checks = 0
+        self.screened = 0
         #: Fabric counters harvested from ``distributed`` executors (one
         #: merged record across the main and rung executors); ``None`` when
         #: no distributed work happened.  Read by spec.run() for metadata.
@@ -274,6 +307,17 @@ class EvaluationEngine:
         if fraction not in self._scaled_evaluators:
             self._scaled_evaluators[fraction] = self.evaluator.at_fidelity(fraction)
         return self._scaled_evaluators[fraction]
+
+    def _static_screener(self):
+        """The interval screener, or ``None`` without declared intervals."""
+        if not self._screener_ready:
+            self._screener_ready = True
+            intervals = self.evaluator.input_intervals()
+            if intervals is not None:
+                from repro.dsl.abstract import StaticScreener
+
+                self._screener = StaticScreener(intervals)
+        return self._screener
 
     # -- check/repair phase -------------------------------------------------------
 
@@ -350,6 +394,43 @@ class EvaluationEngine:
                         stats.failure_codes.get(issue.code, 0) + 1
                     )
 
+        tiers: Dict[str, str] = {}  # candidate_id -> "memory"|"disk"|"fresh"|"screened"
+
+        # Static screening (rung "-1"): reject provably-degenerate candidates
+        # before they can enter the dedup/memo pipeline, let alone cost an
+        # evaluation.  Verdicts are cached by canonical key, so screening a
+        # duplicate is a dict lookup.
+        screen_events: List[object] = []
+        if self.config.static_screen:
+            screener = self._static_screener()
+            if screener is not None:
+                for item in scored:
+                    if not item.check_ok or item.program is None:
+                        continue
+                    stats.screen_checks += 1
+                    key = canonical_key(item.program)
+                    verdict = self._screen_verdicts.get(key)
+                    if verdict is None:
+                        verdict = screener.screen(item.program)
+                        self._screen_verdicts[key] = verdict
+                    if not verdict.screened:
+                        continue
+                    stats.screened += 1
+                    item.evaluation = EvaluationResult(
+                        score=self.evaluator.failure_score,
+                        valid=False,
+                        error=verdict.error,
+                    )
+                    tiers[item.candidate.candidate_id] = "screened"
+                    screen_events.append(
+                        CandidateScreened(
+                            candidate_id=item.candidate.candidate_id,
+                            round_index=item.candidate.round_index,
+                            reason=verdict.reason,
+                            detail=verdict.detail,
+                        )
+                    )
+
         # Group evaluable candidates by canonical key; memory-tier hits
         # resolve immediately, disk-tier hits next, the rest evaluate once
         # per unique key.  The disk tier only engages under the default
@@ -359,11 +440,12 @@ class EvaluationEngine:
         use_store = self.store is not None and self.config.dedup and self.config.memoize
         pending: Dict[str, List[ScoredCandidate]] = {}
         order: List[Tuple[str, Program]] = []
-        tiers: Dict[str, str] = {}  # candidate_id -> "memory" | "disk" | "fresh"
         fallback_id = 0
         for item in scored:
             if not item.check_ok or item.program is None:
                 continue
+            if item.evaluation is not None:
+                continue  # statically screened: never costs a cache lookup
             candidate_id = item.candidate.candidate_id
             stats.eval_cache_lookups += 1
             if self.config.dedup or self.config.memoize:
@@ -454,8 +536,12 @@ class EvaluationEngine:
         self.rung_evaluations += stats.rung_evaluations
         self.rung_promotions += stats.rung_promotions
         self.rung_eliminations += stats.rung_eliminations
+        self.screen_checks += stats.screen_checks
+        self.screened += stats.screened
 
         if self.events:
+            for event in screen_events:
+                self.events.emit(event)
             for event in ladder_events:
                 self.events.emit(event)
             for item in scored:
@@ -469,7 +555,7 @@ class EvaluationEngine:
                         origin=item.candidate.origin,
                         valid=item.valid,
                         score=item.evaluation.score,
-                        cached=tier != "fresh",
+                        cached=tier not in ("fresh", "screened"),
                         cache_tier=tier,
                         scenario_scores=dict(item.evaluation.scenario_scores),
                     )

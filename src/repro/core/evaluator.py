@@ -72,6 +72,17 @@ class Evaluator(ABC):
     def evaluate_program(self, program: Program) -> EvaluationResult:
         """Score ``program``; may raise -- :meth:`evaluate` handles errors."""
 
+    def input_intervals(self):
+        """Value ranges of the Template's inputs, for static screening.
+
+        Returns an :class:`~repro.dsl.abstract.InputIntervals` declaring the
+        interval every scalar parameter / feature attribute / feature method
+        result can take in this deployment context, or ``None`` when the
+        evaluator cannot bound its inputs (which disables the engine's
+        static-screening rung and ``repro certify`` for the run).
+        """
+        return None
+
     def at_fidelity(self, fraction: float) -> "Evaluator":
         """A reduced-budget copy of this evaluator (fidelity scheduling).
 

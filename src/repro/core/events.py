@@ -123,10 +123,31 @@ class CandidateEvaluated(RunEvent):
     #: of a fresh simulation.
     cached: bool = False
     #: Which tier served the result: ``"memory"`` (dedup/memo), ``"disk"``
-    #: (the persistent evaluation store) or ``"fresh"`` (evaluated now).
+    #: (the persistent evaluation store), ``"fresh"`` (evaluated now) or
+    #: ``"screened"`` (sentinel from the static screener, never evaluated).
     cache_tier: str = "fresh"
     #: Per-scenario score breakdown (empty for single-scenario evaluation).
     scenario_scores: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CandidateScreened(RunEvent):
+    """A candidate was rejected by the static screener (rung "-1").
+
+    The interval abstract interpreter proved the candidate degenerate --
+    ``reason`` is the rule that fired (``"constant"``,
+    ``"input-independent"``, ``"pinned-min"`` / ``"pinned-max"``) and
+    ``detail`` the human-readable evidence.  Screened candidates receive a
+    sentinel failure result at zero evaluator cost; they never reach the
+    memo, the store or an executor.
+    """
+
+    kind: ClassVar[str] = "candidate_screened"
+
+    candidate_id: str = ""
+    round_index: int = 0
+    reason: str = ""
+    detail: str = ""
 
 
 @dataclass(frozen=True)
@@ -367,6 +388,11 @@ class ProgressPrinter:
                 self._line(
                     f"  {event.candidate_id}: score {event.score:.4f} "
                     f"({'valid' if event.valid else 'invalid'}, {event.cache_tier})"
+                )
+        elif isinstance(event, CandidateScreened):
+            if self.verbose:
+                self._line(
+                    f"  {event.candidate_id}: screened ({event.reason}: {event.detail})"
                 )
         elif isinstance(event, (CandidatePromoted, CandidateEliminated)):
             if self.verbose:

@@ -82,6 +82,16 @@ class RoundSummary:
     what keeps a shadow-mode ladder run byte-identical to a ladder-disabled
     one.
 
+    ``screen_checks`` / ``screened`` count the static screener's traffic
+    this round (0 with ``engine.static_screen`` off).  They are volatile in
+    the same sense as the store counters -- rejecting a degenerate candidate
+    before evaluation is a budgeting decision, not a search finding -- so
+    the artifact writer zeroes them too (live values land in
+    ``metadata.json["static_screen"]``), which is what keeps a run in which
+    nothing screens byte-identical with the knob on or off.  (A run that
+    *does* screen differs exactly by the screened candidates' sentinel
+    entries -- that divergence is the feature.)
+
     ``generation_s`` / ``evaluation_s`` / ``overlap_s`` time the round's two
     phases and how much of them ran concurrently (always 0 on the serial
     path).  They are wall-clock, hence volatile: the artifact writer zeroes
@@ -107,6 +117,8 @@ class RoundSummary:
     rung_evaluations: int = 0
     rung_promotions: int = 0
     rung_eliminations: int = 0
+    screen_checks: int = 0
+    screened: int = 0
     generation_s: float = 0.0
     evaluation_s: float = 0.0
     overlap_s: float = 0.0
@@ -139,6 +151,8 @@ class SearchResult:
     rung_evaluations: int = 0
     rung_promotions: int = 0
     rung_eliminations: int = 0
+    screen_checks: int = 0
+    screened: int = 0
 
     def best_source(self) -> str:
         if self.best is None:

@@ -200,6 +200,23 @@ class MultiScenarioEvaluator(Evaluator):
             return None
         return {"requested": requested, "resolved": merged}
 
+    def input_intervals(self):
+        """Hull of the per-scenario input declarations.
+
+        A bound must hold in *every* scenario to be usable, so the matrix
+        declaration is the pointwise interval join; any scenario that cannot
+        bound its inputs disables screening for the whole matrix.
+        """
+        declared = [
+            evaluator.input_intervals() for _name, evaluator in self.scenarios
+        ]
+        if any(d is None for d in declared):
+            return None
+        joined = declared[0]
+        for other in declared[1:]:
+            joined = joined.join(other)
+        return joined
+
     def at_fidelity(self, fraction: float) -> "MultiScenarioEvaluator":
         """Scale every scenario of the matrix to ``fraction`` of its budget."""
         if fraction == 1.0:

@@ -179,6 +179,8 @@ class EvolutionarySearch:
             "rung_evaluations": 0,
             "rung_promotions": 0,
             "rung_eliminations": 0,
+            "screen_checks": 0,
+            "screened": 0,
         }
 
         checkpoint = self._load_checkpoint()
@@ -219,6 +221,8 @@ class EvolutionarySearch:
             seed_stats["rung_evaluations"] = batch.stats.rung_evaluations
             seed_stats["rung_promotions"] = batch.stats.rung_promotions
             seed_stats["rung_eliminations"] = batch.stats.rung_eliminations
+            seed_stats["screen_checks"] = batch.stats.screen_checks
+            seed_stats["screened"] = batch.stats.screened
 
         run_round = (
             self._run_round_pipelined if self._pipeline_enabled() else self._run_round
@@ -276,6 +280,10 @@ class EvolutionarySearch:
             + sum(r.rung_promotions for r in rounds),
             rung_eliminations=seed_stats.get("rung_eliminations", 0)
             + sum(r.rung_eliminations for r in rounds),
+            screen_checks=seed_stats.get("screen_checks", 0)
+            + sum(r.screen_checks for r in rounds),
+            screened=seed_stats.get("screened", 0)
+            + sum(r.screened for r in rounds),
         )
         usage = getattr(self.generator, "usage", None)
         if usage is not None:
@@ -675,6 +683,8 @@ class EvolutionarySearch:
             stats.rung_evaluations += other.rung_evaluations
             stats.rung_promotions += other.rung_promotions
             stats.rung_eliminations += other.rung_eliminations
+            stats.screen_checks += other.screen_checks
+            stats.screened += other.screened
         return stats
 
     @staticmethod
@@ -691,6 +701,8 @@ class EvolutionarySearch:
         summary.rung_evaluations = stats.rung_evaluations
         summary.rung_promotions = stats.rung_promotions
         summary.rung_eliminations = stats.rung_eliminations
+        summary.screen_checks = stats.screen_checks
+        summary.screened = stats.screened
 
     # -- checkpointing ---------------------------------------------------------------
 

@@ -373,6 +373,11 @@ class RunOutcome:
     #: Domain kwargs after reference resolution (e.g. the concrete Trace),
     #: so callers can reuse the run's context without rebuilding it.
     resolved_domain_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Interval certificate of the winning candidate (``None`` when the run
+    #: produced no winner or the evaluator declares no input intervals).
+    #: A pure function of the winning program and the declared intervals,
+    #: computed whether or not static screening was enabled.
+    certification: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -546,6 +551,21 @@ def run(
         if event_log is not None:
             event_log.close()
 
+    # Certify the winner's output interval.  Computed unconditionally (not
+    # just when static screening ran): certification is a pure function of
+    # the winning program and the evaluator's declared input intervals, so
+    # it lands in result.json without breaking the screening-knob
+    # byte-identity guarantee.
+    certification_record: Optional[Dict[str, Any]] = None
+    if result.best is not None and result.best.program is not None:
+        intervals = setup.evaluator.input_intervals()
+        if intervals is not None:
+            from repro.dsl.abstract import certify_program
+
+            certification_record = certify_program(
+                result.best.program, intervals
+            ).to_dict()
+
     if artifact_dir is not None:
         eval_store_record = None
         if evaluation_store is not None and setup.engine is not None:
@@ -611,6 +631,24 @@ def run(
         distributed_record = (
             setup.engine.distributed if setup.engine is not None else None
         )
+        # The live screening record is volatile telemetry (how evaluation
+        # was budgeted), so like the store/rung counters it goes to
+        # metadata.json only.
+        screen_record = None
+        if (
+            setup.engine is not None
+            and engine_cfg is not None
+            and engine_cfg.static_screen
+        ):
+            checks = setup.engine.screen_checks
+            screen_record = {
+                "enabled": True,
+                "checks": checks,
+                "screened": setup.engine.screened,
+                "screen_rate": (
+                    setup.engine.screened / checks if checks else 0.0
+                ),
+            }
         artifact_store.finalize_run_dir(
             artifact_dir,
             effective_spec.to_dict(),
@@ -622,6 +660,8 @@ def run(
             dsl_backend=backend_record,
             pipeline=pipeline_record,
             distributed=distributed_record,
+            static_screen=screen_record,
+            certification=certification_record,
         )
     return RunOutcome(
         spec=spec,
@@ -630,6 +670,7 @@ def run(
         setup=setup,
         artifact_dir=artifact_dir,
         resolved_domain_kwargs=resolved_kwargs,
+        certification=certification_record,
     )
 
 

@@ -59,6 +59,16 @@ from repro.dsl.analysis import (
     analyze,
     vectorizability,
 )
+from repro.dsl.abstract import (
+    AbstractResult,
+    Certificate,
+    InputIntervals,
+    Interval,
+    ScreenVerdict,
+    StaticScreener,
+    analyze_intervals,
+    certify_program,
+)
 from repro.dsl.codegen import to_c_like, to_python, to_source
 from repro.dsl.mutation import MutationConfig, crossover, mutate
 from repro.dsl.grammar import GrammarConfig, FeatureSpec, random_program
@@ -97,6 +107,14 @@ __all__ = [
     "ColumnSpec",
     "VectorizabilityReport",
     "vectorizability",
+    "AbstractResult",
+    "Certificate",
+    "InputIntervals",
+    "Interval",
+    "ScreenVerdict",
+    "StaticScreener",
+    "analyze_intervals",
+    "certify_program",
     "DslVectorizeError",
     "VectorizedProgram",
     "vectorize_program",

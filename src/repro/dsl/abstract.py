@@ -1,0 +1,836 @@
+"""Interval-domain abstract interpretation over the DSL AST.
+
+Two consumers, one analysis:
+
+* **Screening** (:class:`StaticScreener.screen`) -- prove a candidate
+  trivially degenerate *before* any simulation: a function whose return
+  value is a single point interval (constant output), one whose output is
+  unreachable from every input signal (taint analysis), or a cwnd update
+  provably outside the flow's ``[MIN_CWND, MAX_CWND]`` clamp for all signal
+  values (pinned to the floor or ceiling).  The engine runs this as rung
+  "-1" below the fidelity ladder: screened candidates never touch an
+  executor, the memo, or the evaluation store.
+* **Certification** (:class:`StaticScreener.certify`) -- sound interval
+  bounds on a winner's output ("priority in [lo, hi]", "cwnd stays within
+  [2, 4096] for all signal values"), recorded in ``result.json`` and
+  rendered by ``repro report`` / ``repro certify``.
+
+The abstract domain is a product of an interval (endpoints are exact Python
+numbers; ``+-inf`` for unbounded), an input-taint bit, and a may-be-bool bit
+(feature methods reject boolean arguments, so bool-ness is error-relevant).
+Soundness argument for the arithmetic: integer endpoint arithmetic is exact,
+and float operations are correctly rounded and monotone in each argument, so
+evaluating endpoint combinations bounds every interior point.  Anything the
+analysis cannot bound precisely widens to ``[-inf, +inf]``; any operation
+that *could* raise at runtime (division by an interval containing zero,
+undeclared features, loops that may exhaust the step budget) sets
+``may_error``, which disqualifies the program from screening.
+
+Mirrors the tree walk of :mod:`repro.dsl.interpreter` statement-for-
+statement (see the differential suite in ``tests/dsl/test_abstract.py``)
+and the closure-visitor style of :mod:`repro.dsl.analysis`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.dsl.ast import (
+    Assign,
+    Attribute,
+    AugAssign,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Expr,
+    ForRange,
+    If,
+    Name,
+    Number,
+    Program,
+    Return,
+    Stmt,
+    Ternary,
+    UnaryOp,
+    While,
+)
+
+INF = math.inf
+
+#: Builtins the interpreter installs by default (``EvalContext``).
+_BUILTINS = frozenset({"min", "max", "abs", "clamp"})
+
+#: Exact-unroll budget for ``for (i in range(<constant>))`` loops; larger
+#: (or unknown) limits fall back to havoc + ``may_error``.
+_UNROLL_LIMIT = 32
+
+#: The interpreter's default step budget; an abstract tick count beyond it
+#: means the concrete run may raise ``DslTimeoutError``.
+_DEFAULT_MAX_STEPS = 20_000
+
+
+# --------------------------------------------------------------------------
+# Interval arithmetic
+# --------------------------------------------------------------------------
+
+
+def _nz(value: float, default: float) -> float:
+    """Replace a NaN produced by inf arithmetic with a sound default."""
+    return default if value != value else value
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval over the extended reals.  ``lo <= hi`` always."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:  # pragma: no cover - internal invariant
+            raise ValueError(f"interval lo {self.lo} > hi {self.hi}")
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi and math.isfinite(self.lo)
+
+    def contains(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def neg(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(
+            _nz(self.lo + other.lo, -INF), _nz(self.hi + other.hi, INF)
+        )
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self.add(other.neg())
+
+    def mul(self, other: "Interval") -> "Interval":
+        # 0 * inf -> 0: concrete values are finite, so the zero endpoint
+        # dominates any magnitude (the product of 0 and a finite number is 0).
+        def prod(a: float, b: float) -> float:
+            if a == 0 or b == 0:
+                return 0
+            return a * b
+
+        combos = [
+            prod(a, b) for a in (self.lo, self.hi) for b in (other.lo, other.hi)
+        ]
+        return Interval(min(combos), max(combos))
+
+    def truediv(self, other: "Interval") -> Tuple["Interval", bool]:
+        """``self / other`` -> (bounds, may_divide_by_zero)."""
+        if other.contains(0):
+            return TOP, True
+        if not all(
+            math.isfinite(v) for v in (self.lo, self.hi, other.lo, other.hi)
+        ):
+            return TOP, False
+        combos = [a / b for a in (self.lo, self.hi) for b in (other.lo, other.hi)]
+        return Interval(min(combos), max(combos)), False
+
+    def floordiv(self, other: "Interval") -> Tuple["Interval", bool]:
+        if other.contains(0):
+            return TOP, True
+        if not all(
+            math.isfinite(v) for v in (self.lo, self.hi, other.lo, other.hi)
+        ):
+            return TOP, False
+        combos = [a // b for a in (self.lo, self.hi) for b in (other.lo, other.hi)]
+        return Interval(min(combos), max(combos)), False
+
+    def mod(self, other: "Interval") -> Tuple["Interval", bool]:
+        # Python's % takes the divisor's sign: y > 0 -> [0, y], y < 0 -> [y, 0].
+        if other.lo > 0:
+            return Interval(0, other.hi), False
+        if other.hi < 0:
+            return Interval(other.lo, 0), False
+        # The divisor may be zero; the surviving values still obey the hull.
+        return Interval(min(other.lo, 0), max(other.hi, 0)), True
+
+    def trunc(self) -> "Interval":
+        """Truncation toward zero (``int()``); monotone, so endpoints apply."""
+        lo = math.trunc(self.lo) if math.isfinite(self.lo) else self.lo
+        hi = math.trunc(self.hi) if math.isfinite(self.hi) else self.hi
+        return Interval(lo, hi)
+
+    def clamp_into(self, lo: float, hi: float) -> "Interval":
+        return Interval(
+            min(max(self.lo, lo), hi), min(max(self.hi, lo), hi)
+        )
+
+    def imin(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def imax(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def iabs(self) -> "Interval":
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return self.neg()
+        return Interval(0, max(-self.lo, self.hi))
+
+
+TOP = Interval(-INF, INF)
+ZERO = Interval(0, 0)
+BOOL = Interval(0, 1)
+
+
+def point(value: float) -> Interval:
+    return Interval(value, value)
+
+
+# --------------------------------------------------------------------------
+# Abstract values
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbsValue:
+    """One abstract value: interval x taint x kind.
+
+    ``kind`` is ``"num"`` for numbers (including bools), ``"object"`` for a
+    feature object bound to parameter ``ref``, ``"builtin"`` for a bare
+    builtin reference, and ``"any"`` for values we know nothing about (any
+    use of an ``"any"`` value is treated as possibly erroring).
+    ``is_bool`` tracks values that may be Python bools -- feature methods
+    reject bool arguments, so the distinction is error-relevant.
+    """
+
+    iv: Interval = TOP
+    tainted: bool = True
+    kind: str = "num"
+    ref: str = ""
+    is_bool: bool = False
+
+    def join(self, other: "AbsValue", extra_taint: bool = False) -> "AbsValue":
+        if self.kind != other.kind or (
+            self.kind == "object" and self.ref != other.ref
+        ):
+            return AbsValue(kind="any")
+        differs = self.iv != other.iv
+        return AbsValue(
+            iv=self.iv.join(other.iv),
+            tainted=self.tainted
+            or other.tainted
+            or (extra_taint and differs),
+            kind=self.kind,
+            ref=self.ref,
+            is_bool=self.is_bool or other.is_bool,
+        )
+
+
+UNKNOWN = AbsValue()
+HAVOC = AbsValue(kind="any")
+
+# Three-valued truthiness.
+_TRUE, _FALSE, _MAYBE = 1, 0, 2
+
+
+# --------------------------------------------------------------------------
+# Input declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InputIntervals:
+    """Value ranges for a Template's inputs, declared by the evaluator.
+
+    ``scalars`` maps scalar parameter names to intervals; ``attrs`` and
+    ``methods`` map feature-object parameters to their exported attribute /
+    method result intervals.  ``bool_methods`` names ``(param, method)``
+    pairs whose result is a Python bool.  ``output_clamp`` is the range the
+    substrate clamps the function's return value into (the flow's
+    ``[MIN_CWND, MAX_CWND]`` for cong_control; ``None`` when the output is
+    used as-is, as in caching).
+    """
+
+    scalars: Dict[str, Interval] = field(default_factory=dict)
+    attrs: Dict[str, Dict[str, Interval]] = field(default_factory=dict)
+    methods: Dict[str, Dict[str, Interval]] = field(default_factory=dict)
+    bool_methods: FrozenSet[Tuple[str, str]] = frozenset()
+    output_clamp: Optional[Tuple[float, float]] = None
+
+    def initial_env(self, program: Program) -> Dict[str, AbsValue]:
+        env: Dict[str, AbsValue] = {}
+        for param in program.params:
+            if param in self.scalars:
+                env[param] = AbsValue(iv=self.scalars[param], tainted=True)
+            elif param in self.attrs or param in self.methods:
+                env[param] = AbsValue(kind="object", ref=param)
+            else:
+                env[param] = HAVOC
+        return env
+
+    def join(self, other: "InputIntervals") -> "InputIntervals":
+        """Pointwise hull of two declarations (multi-scenario evaluators).
+
+        Only features declared by *both* sides survive (a feature one
+        scenario cannot bound must stay unbounded).  The joined clamp takes
+        the loosest floor and ceiling so pinned-min/max screening stays
+        sound for every scenario.
+        """
+
+        def join_map(a: Dict[str, Interval], b: Dict[str, Interval]):
+            return {k: a[k].join(b[k]) for k in a.keys() & b.keys()}
+
+        def join_nested(a, b):
+            return {
+                p: join_map(a[p], b[p]) for p in a.keys() & b.keys()
+            }
+
+        clamp = None
+        if self.output_clamp is not None and other.output_clamp is not None:
+            clamp = (
+                min(self.output_clamp[0], other.output_clamp[0]),
+                max(self.output_clamp[1], other.output_clamp[1]),
+            )
+        return InputIntervals(
+            scalars=join_map(self.scalars, other.scalars),
+            attrs=join_nested(self.attrs, other.attrs),
+            methods=join_nested(self.methods, other.methods),
+            bool_methods=self.bool_methods | other.bool_methods,
+            output_clamp=clamp,
+        )
+
+
+# --------------------------------------------------------------------------
+# The abstract interpreter
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class AbstractResult:
+    """Joined return value of a program plus the global error bit."""
+
+    value: AbsValue
+    may_error: bool
+    ticks: int
+
+
+def analyze_intervals(
+    program: Program,
+    intervals: InputIntervals,
+    max_steps: int = _DEFAULT_MAX_STEPS,
+) -> AbstractResult:
+    """Abstractly execute ``program`` over ``intervals``.
+
+    Returns the join of every reachable return value (plus the implicit
+    ``return 0`` fall-through) and whether any path may raise a
+    :class:`~repro.dsl.errors.DslError`.
+    """
+    state = {"error": False, "ticks": 0}
+    returns: List[AbsValue] = []
+
+    def fail() -> AbsValue:
+        state["error"] = True
+        return UNKNOWN
+
+    def tick(n: int = 1) -> None:
+        state["ticks"] += n
+
+    def truthiness(value: AbsValue) -> int:
+        if value.kind in ("object", "builtin"):
+            return _TRUE  # non-None objects are truthy
+        if value.kind != "num":
+            return _MAYBE
+        if not value.iv.contains(0):
+            return _TRUE
+        if value.iv == ZERO:
+            return _FALSE
+        return _MAYBE
+
+    def numeric(value: AbsValue) -> Optional[AbsValue]:
+        """The operand as a number, or None if it may not be one."""
+        if value.kind == "num":
+            return value
+        return None
+
+    def binary(op: str, left: AbsValue, right: AbsValue) -> AbsValue:
+        a, b = numeric(left), numeric(right)
+        if a is None or b is None:
+            return fail()
+        tainted = a.tainted or b.tainted
+        may = False
+        if op == "+":
+            iv = a.iv.add(b.iv)
+        elif op == "-":
+            iv = a.iv.sub(b.iv)
+        elif op == "*":
+            iv = a.iv.mul(b.iv)
+        elif op == "/":
+            iv, may = a.iv.truediv(b.iv)
+        elif op == "//":
+            iv, may = a.iv.floordiv(b.iv)
+        elif op == "%":
+            iv, may = a.iv.mod(b.iv)
+        else:
+            return fail()
+        if may:
+            state["error"] = True
+        return AbsValue(iv=iv, tainted=tainted)
+
+    def compare(op: str, left: AbsValue, right: AbsValue) -> AbsValue:
+        a, b = numeric(left), numeric(right)
+        if a is None or b is None:
+            return fail()
+        tainted = a.tainted or b.tainted
+        x, y = a.iv, b.iv
+        verdict = _MAYBE
+        if op == "<":
+            verdict = (
+                _TRUE if x.hi < y.lo else _FALSE if x.lo >= y.hi else _MAYBE
+            )
+        elif op == "<=":
+            verdict = (
+                _TRUE if x.hi <= y.lo else _FALSE if x.lo > y.hi else _MAYBE
+            )
+        elif op == ">":
+            verdict = (
+                _TRUE if x.lo > y.hi else _FALSE if x.hi <= y.lo else _MAYBE
+            )
+        elif op == ">=":
+            verdict = (
+                _TRUE if x.lo >= y.hi else _FALSE if x.hi < y.lo else _MAYBE
+            )
+        elif op == "==":
+            if x.is_point and y.is_point and x.lo == y.lo:
+                verdict = _TRUE
+            elif x.hi < y.lo or y.hi < x.lo:
+                verdict = _FALSE
+        elif op == "!=":
+            if x.is_point and y.is_point and x.lo == y.lo:
+                verdict = _FALSE
+            elif x.hi < y.lo or y.hi < x.lo:
+                verdict = _TRUE
+        return bool_value(verdict, tainted)
+
+    def bool_value(verdict: int, tainted: bool) -> AbsValue:
+        iv = BOOL if verdict == _MAYBE else point(verdict)
+        return AbsValue(iv=iv, tainted=tainted, is_bool=True)
+
+    def method_result(obj: AbsValue, name: str, args: List[AbsValue]) -> AbsValue:
+        declared = intervals.methods.get(obj.ref, {})
+        if name not in declared:
+            return fail()
+        for arg in args:
+            # Feature methods reject non-numeric and bool arguments.
+            if arg.kind != "num" or arg.is_bool:
+                state["error"] = True
+        return AbsValue(
+            iv=declared[name],
+            tainted=True,
+            is_bool=(obj.ref, name) in intervals.bool_methods,
+        )
+
+    def builtin_call(name: str, args: List[AbsValue]) -> AbsValue:
+        nums = [numeric(a) for a in args]
+        if any(n is None for n in nums):
+            return fail()
+        tainted = any(n.tainted for n in nums)
+        is_bool = any(n.is_bool for n in nums)
+        if name in ("min", "max") and len(nums) >= 2:
+            iv = nums[0].iv
+            for n in nums[1:]:
+                iv = iv.imin(n.iv) if name == "min" else iv.imax(n.iv)
+            # min/max return one of their operands, which may be a bool.
+            return AbsValue(iv=iv, tainted=tainted, is_bool=is_bool)
+        if name == "abs" and len(nums) == 1:
+            return AbsValue(iv=nums[0].iv.iabs(), tainted=tainted)
+        if name == "clamp" and len(nums) == 3:
+            x, lo, hi = (n.iv for n in nums)
+            straight = lo.imax(hi.imin(x))
+            if lo.hi <= hi.lo:  # bounds provably ordered: no swap
+                iv = straight
+            elif lo.lo > hi.hi:  # provably inverted: always swapped
+                iv = hi.imax(lo.imin(x))
+            else:
+                iv = straight.join(hi.imax(lo.imin(x)))
+            return AbsValue(iv=iv, tainted=tainted, is_bool=is_bool)
+        return fail()  # wrong arity -> "builtin ... failed"
+
+    def visit_expr(expr: Expr, env: Dict[str, AbsValue]) -> AbsValue:
+        tick()
+        if isinstance(expr, Number):
+            return AbsValue(iv=point(expr.value), tainted=False)
+        if isinstance(expr, Name):
+            if expr.id in env:
+                return env[expr.id]
+            if expr.id in _BUILTINS:
+                return AbsValue(kind="builtin", ref=expr.id)
+            return fail()  # undefined variable
+        if isinstance(expr, Attribute):
+            target = visit_expr(expr.value, env)
+            if target.kind == "object":
+                declared = intervals.attrs.get(target.ref, {})
+                if expr.attr in declared:
+                    return AbsValue(iv=declared[expr.attr], tainted=True)
+            return fail()
+        if isinstance(expr, Call):
+            args = [visit_expr(arg, env) for arg in expr.args]
+            func = expr.func
+            if isinstance(func, Attribute):
+                target = visit_expr(func.value, env)
+                if target.kind == "object":
+                    return method_result(target, func.attr, args)
+                return fail()
+            if isinstance(func, Name) and func.id in _BUILTINS:
+                return builtin_call(func.id, args)
+            return fail()
+        if isinstance(expr, UnaryOp):
+            operand = visit_expr(expr.operand, env)
+            if expr.op == "-":
+                n = numeric(operand)
+                if n is None:
+                    return fail()
+                return AbsValue(iv=n.iv.neg(), tainted=n.tainted)
+            if expr.op == "not":
+                t = truthiness(operand)
+                flipped = {_TRUE: _FALSE, _FALSE: _TRUE, _MAYBE: _MAYBE}[t]
+                return bool_value(flipped, operand.tainted)
+            return fail()
+        if isinstance(expr, BinOp):
+            left = visit_expr(expr.left, env)
+            right = visit_expr(expr.right, env)
+            return binary(expr.op, left, right)
+        if isinstance(expr, Compare):
+            left = visit_expr(expr.left, env)
+            right = visit_expr(expr.right, env)
+            return compare(expr.op, left, right)
+        if isinstance(expr, BoolOp):
+            # The interpreter may short-circuit; evaluating every operand
+            # only over-counts ticks and over-joins errors (both sound).
+            return boolop(expr.op, expr.values, env)
+        if isinstance(expr, Ternary):
+            cond = visit_expr(expr.condition, env)
+            t = truthiness(cond)
+            if t == _TRUE:
+                return visit_expr(expr.if_true, env)
+            if t == _FALSE:
+                return visit_expr(expr.if_false, env)
+            a = visit_expr(expr.if_true, env)
+            b = visit_expr(expr.if_false, env)
+            return a.join(b, extra_taint=cond.tainted)
+        return fail()
+
+    def boolop(op: str, values: List[Expr], env: Dict[str, AbsValue]) -> AbsValue:
+        results = [visit_expr(v, env) for v in values]
+        truths = [truthiness(r) for r in results]
+        tainted = any(r.tainted for r in results)
+        if op == "and":
+            if any(t == _FALSE for t in truths):
+                return bool_value(_FALSE, tainted)
+            if all(t == _TRUE for t in truths):
+                return bool_value(_TRUE, tainted)
+            return bool_value(_MAYBE, tainted)
+        if op == "or":
+            if any(t == _TRUE for t in truths):
+                return bool_value(_TRUE, tainted)
+            if all(t == _FALSE for t in truths):
+                return bool_value(_FALSE, tainted)
+            return bool_value(_MAYBE, tainted)
+        fail()
+        return bool_value(_MAYBE, tainted)
+
+    # Path taint: true while executing under a branch whose direction may
+    # depend on an input.  Applied to return values (implicit flows).
+    path_taint: List[bool] = [False]
+
+    def add_return(value: AbsValue) -> None:
+        if path_taint[0]:
+            value = AbsValue(
+                iv=value.iv,
+                tainted=True,
+                kind=value.kind,
+                ref=value.ref,
+                is_bool=value.is_bool,
+            )
+        returns.append(value)
+
+    def join_env(
+        a: Dict[str, AbsValue], b: Dict[str, AbsValue], extra_taint: bool
+    ) -> Dict[str, AbsValue]:
+        # Variables assigned on only one path are dropped: a later read is
+        # then treated as a possible undefined-variable error.
+        return {
+            name: a[name].join(b[name], extra_taint=extra_taint)
+            for name in a.keys() & b.keys()
+        }
+
+    def assigned_vars(stmts: List[Stmt]) -> List[str]:
+        names: List[str] = []
+        for stmt in stmts:
+            for node in stmt.walk():
+                if isinstance(node, (Assign, AugAssign)):
+                    if node.target.id not in names:
+                        names.append(node.target.id)
+        return names
+
+    def havoc_loop(
+        stmts: List[Stmt],
+        env: Dict[str, AbsValue],
+        loop_vars: List[str],
+    ) -> Optional[Dict[str, AbsValue]]:
+        """Sound fixpoint for loops we do not unroll: widen every assigned
+        variable to the unknown-value top, run the body once to collect
+        returns and errors, and drop variables the loop may leave undefined."""
+        state["error"] = True  # the step budget / int-ness cannot be proven
+        havoced = dict(env)
+        fresh = [v for v in assigned_vars(stmts) if v not in env]
+        for name in assigned_vars(stmts):
+            havoced[name] = HAVOC
+        for name in loop_vars:
+            havoced[name] = HAVOC
+        old = path_taint[0]
+        path_taint[0] = True
+        exec_block(stmts, dict(havoced))
+        path_taint[0] = old
+        for name in fresh + [v for v in loop_vars if v not in env]:
+            havoced.pop(name, None)
+        return havoced
+
+    def exec_block(
+        stmts: List[Stmt], env: Dict[str, AbsValue]
+    ) -> Optional[Dict[str, AbsValue]]:
+        """Returns the fall-through environment, or None if every path
+        returned."""
+        current: Optional[Dict[str, AbsValue]] = env
+        for stmt in stmts:
+            if current is None:
+                return None
+            current = exec_stmt(stmt, current)
+        return current
+
+    def exec_stmt(
+        stmt: Stmt, env: Dict[str, AbsValue]
+    ) -> Optional[Dict[str, AbsValue]]:
+        tick()
+        if isinstance(stmt, Assign):
+            env[stmt.target.id] = visit_expr(stmt.value, env)
+            return env
+        if isinstance(stmt, AugAssign):
+            if stmt.target.id not in env:
+                fail()  # augmented assignment to undefined variable
+                env[stmt.target.id] = UNKNOWN
+                visit_expr(stmt.value, env)
+                return env
+            operand = visit_expr(stmt.value, env)
+            env[stmt.target.id] = binary(stmt.op, env[stmt.target.id], operand)
+            return env
+        if isinstance(stmt, If):
+            cond = visit_expr(stmt.condition, env)
+            t = truthiness(cond)
+            if t == _TRUE:
+                return exec_block(stmt.body, env)
+            if t == _FALSE:
+                return exec_block(stmt.orelse, env)
+            old = path_taint[0]
+            path_taint[0] = old or cond.tainted
+            then_env = exec_block(stmt.body, dict(env))
+            else_env = exec_block(stmt.orelse, dict(env))
+            path_taint[0] = old
+            if then_env is None:
+                return else_env
+            if else_env is None:
+                return then_env
+            return join_env(then_env, else_env, extra_taint=cond.tainted)
+        if isinstance(stmt, ForRange):
+            limit = visit_expr(stmt.limit, env)
+            n = numeric(limit)
+            if (
+                n is not None
+                and n.iv.is_point
+                and float(n.iv.lo).is_integer()
+                and n.iv.lo <= _UNROLL_LIMIT
+            ):
+                count = max(0, int(n.iv.lo))
+                current: Optional[Dict[str, AbsValue]] = env
+                for i in range(count):
+                    tick()
+                    current[stmt.var.id] = AbsValue(iv=point(i), tainted=False)
+                    current = exec_block(stmt.body, current)
+                    if current is None:
+                        return None
+                return current
+            return havoc_loop(stmt.body, env, [stmt.var.id])
+        if isinstance(stmt, While):
+            cond = visit_expr(stmt.condition, env)
+            if truthiness(cond) == _FALSE:
+                return env
+            return havoc_loop(stmt.body, env, [])
+        if isinstance(stmt, Return):
+            add_return(visit_expr(stmt.value, env))
+            return None
+        fail()
+        return env
+
+    final_env = exec_block(list(program.body), intervals.initial_env(program))
+    if final_env is not None:
+        # Falling off the end returns the neutral score 0.
+        returns.append(AbsValue(iv=ZERO, tainted=False))
+    if not returns:
+        result = UNKNOWN
+    else:
+        result = returns[0]
+        for other in returns[1:]:
+            result = result.join(other)
+    if result.kind != "num":
+        # A non-numeric return (feature object, builtin) is rejected by
+        # every substrate; treat it like an error for screening purposes.
+        state["error"] = True
+        result = AbsValue(iv=result.iv, tainted=result.tainted)
+    if state["ticks"] > max_steps:
+        state["error"] = True  # the concrete run may exhaust its step budget
+    return AbstractResult(
+        value=result, may_error=state["error"], ticks=state["ticks"]
+    )
+
+
+# --------------------------------------------------------------------------
+# Certification and screening
+# --------------------------------------------------------------------------
+
+
+def _bound(value: float) -> Optional[float]:
+    """JSON form of one interval endpoint (None = unbounded)."""
+    if not math.isfinite(value):
+        return None
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Machine-checkable facts about one program's output."""
+
+    function: str
+    lo: float
+    hi: float
+    constant: bool
+    depends_on_inputs: bool
+    may_error: bool
+    clamped_lo: Optional[float] = None
+    clamped_hi: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "function": self.function,
+            "bounds": {"lo": _bound(self.lo), "hi": _bound(self.hi)},
+            "constant": self.constant,
+            "depends_on_inputs": self.depends_on_inputs,
+            "may_error": self.may_error,
+        }
+        if self.clamped_lo is not None and self.clamped_hi is not None:
+            record["clamped_bounds"] = {
+                "lo": _bound(self.clamped_lo),
+                "hi": _bound(self.clamped_hi),
+            }
+        return record
+
+    def describe(self) -> str:
+        def fmt(v: float) -> str:
+            if not math.isfinite(v):
+                return "-inf" if v < 0 else "+inf"
+            b = _bound(v)
+            return str(b)
+
+        parts = [f"{self.function} in [{fmt(self.lo)}, {fmt(self.hi)}]"]
+        if self.clamped_lo is not None and self.clamped_hi is not None:
+            parts.append(
+                f"applied window in [{fmt(self.clamped_lo)}, {fmt(self.clamped_hi)}]"
+            )
+        if self.constant:
+            parts.append("constant output")
+        elif not self.depends_on_inputs:
+            parts.append("independent of all inputs")
+        if self.may_error:
+            parts.append("may raise at runtime")
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class ScreenVerdict:
+    """Outcome of the rung "-1" degeneracy check for one candidate."""
+
+    screened: bool
+    reason: str = ""
+    detail: str = ""
+
+    @property
+    def error(self) -> str:
+        return f"static-screen: {self.reason} ({self.detail})"
+
+
+class StaticScreener:
+    """Screens and certifies candidates against declared input intervals."""
+
+    def __init__(self, intervals: InputIntervals, max_steps: int = _DEFAULT_MAX_STEPS):
+        self.intervals = intervals
+        self.max_steps = max_steps
+
+    def certify(self, program: Program) -> Certificate:
+        result = analyze_intervals(program, self.intervals, self.max_steps)
+        value = result.value
+        clamped_lo = clamped_hi = None
+        clamp = self.intervals.output_clamp
+        if clamp is not None:
+            applied = value.iv.trunc().clamp_into(clamp[0], clamp[1])
+            clamped_lo, clamped_hi = applied.lo, applied.hi
+        return Certificate(
+            function=program.name,
+            lo=value.iv.lo,
+            hi=value.iv.hi,
+            constant=value.iv.is_point and not result.may_error,
+            depends_on_inputs=value.tainted,
+            may_error=result.may_error,
+            clamped_lo=clamped_lo,
+            clamped_hi=clamped_hi,
+        )
+
+    def screen(self, program: Program) -> ScreenVerdict:
+        result = analyze_intervals(program, self.intervals, self.max_steps)
+        value = result.value
+        if result.may_error:
+            # An erroring path means the output is not provably degenerate
+            # (and the evaluator's own failure handling will score it).
+            return ScreenVerdict(False)
+        if value.iv.is_point:
+            return ScreenVerdict(
+                True, "constant", f"always returns {_bound(value.iv.lo)}"
+            )
+        if not value.tainted:
+            return ScreenVerdict(
+                True, "input-independent", "output unreachable from any input"
+            )
+        clamp = self.intervals.output_clamp
+        if clamp is not None:
+            if value.iv.hi <= clamp[0]:
+                return ScreenVerdict(
+                    True,
+                    "pinned-min",
+                    f"return <= {_bound(clamp[0])} for all inputs",
+                )
+            if value.iv.lo >= clamp[1]:
+                return ScreenVerdict(
+                    True,
+                    "pinned-max",
+                    f"return >= {_bound(clamp[1])} for all inputs",
+                )
+        return ScreenVerdict(False)
+
+
+def certify_program(program: Program, intervals: InputIntervals) -> Certificate:
+    """One-shot certification (the ``repro certify`` entry point)."""
+    return StaticScreener(intervals).certify(program)

@@ -353,6 +353,71 @@ def test_executor_and_max_workers_flags(capsys, tmp_path):
     assert stored["engine"] == {"executor": "thread", "max_workers": 2}
 
 
+def test_static_screen_flag_records_metadata_and_certifies(capsys, tmp_path):
+    code, run_out, run_err = run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path),
+        "--static-screen", "--no-eval-store", "--quiet",
+    )
+    assert code == 0
+    run_dir = artifact_dir_from(run_err)
+    stored = json.loads((run_dir / "spec.json").read_text())
+    assert stored["engine"] == {"static_screen": True}
+    metadata = json.loads((run_dir / "metadata.json").read_text())
+    record = metadata["static_screen"]
+    assert record["enabled"] is True
+    assert record["checks"] >= record["screened"] >= 0
+    assert 0.0 <= record["screen_rate"] <= 1.0
+    # The winner's certificate is part of the stored result...
+    result = json.loads((run_dir / "result.json").read_text())
+    assert result["certification"]["function"] == "priority"
+    # ...rendered identically by run and report...
+    code, report_out, _ = run_cli(capsys, "report", str(run_dir))
+    assert code == 0
+    assert report_out == run_out
+    assert "Certified bounds:" in report_out
+    # ...and re-derivable from the run directory alone.
+    code, out, _err = run_cli(capsys, "certify", str(run_dir))
+    assert code == 0
+    assert "domain     : caching" in out
+    assert "priority in" in out
+
+
+def test_static_screen_off_keeps_result_json_byte_identical(capsys, tmp_path):
+    """The knob must not leak into result.json when nothing screens --
+    volatile screen counters are stripped, certification is unconditional."""
+    run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path / "off"),
+        "--no-eval-store", "--quiet",
+    )
+    run_cli(
+        capsys, "run", str(SMOKE_SPEC), "--artifacts", str(tmp_path / "on"),
+        "--static-screen", "--no-eval-store", "--quiet",
+    )
+    off_dir = next(p for p in (tmp_path / "off").iterdir() if (p / "spec.json").exists())
+    on_dir = next(p for p in (tmp_path / "on").iterdir() if (p / "spec.json").exists())
+    metadata = json.loads((on_dir / "metadata.json").read_text())
+    if metadata["static_screen"]["screened"] == 0:
+        assert (on_dir / "result.json").read_bytes() == (
+            off_dir / "result.json"
+        ).read_bytes()
+    else:
+        # The only divergence is the screened candidates' sentinel entries;
+        # the search trajectory and winner are unchanged.
+        on_result = json.loads((on_dir / "result.json").read_text())
+        off_result = json.loads((off_dir / "result.json").read_text())
+        assert on_result["best_candidate_id"] == off_result["best_candidate_id"]
+        assert on_result["certification"] == off_result["certification"]
+        assert on_result["total_candidates"] == off_result["total_candidates"]
+        sentinels = [
+            c
+            for c in on_result["candidates"]
+            if ((c["evaluation"] or {}).get("error") or "").startswith(
+                "static-screen:"
+            )
+        ]
+        assert sentinels
+
+
 def test_engine_flags_rejected_for_experiments(capsys):
     code, _out, err = run_cli(
         capsys, "run", "table2", "--executor", "thread"

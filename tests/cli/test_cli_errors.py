@@ -196,6 +196,119 @@ def test_fidelity_flag_rejected_for_experiments(capsys):
     assert "--fidelity applies to RunSpec runs" in err
 
 
+# -- report on broken run directories -----------------------------------------------
+
+
+def make_run_dir(tmp_path, name="broken-run"):
+    """A structurally-valid run directory missing its result.json."""
+    run_dir = tmp_path / name
+    run_dir.mkdir()
+    (run_dir / "spec.json").write_text(
+        json.dumps({"domain": "caching", "name": name}), encoding="utf-8"
+    )
+    (run_dir / "metadata.json").write_text(
+        json.dumps({"artifact_version": 1, "kind": "search"}), encoding="utf-8"
+    )
+    return run_dir
+
+
+def test_report_missing_result_json_exits_2_naming_path(capsys, tmp_path):
+    run_dir = make_run_dir(tmp_path)
+    code, _out, err = run_cli(capsys, "report", str(run_dir))
+    assert code == 2
+    assert err.startswith("error:")
+    assert str(run_dir / "result.json") in err
+    assert "repro resume" in err
+    assert "Traceback" not in err
+
+
+def test_report_truncated_result_json_exits_2_naming_path(capsys, tmp_path):
+    run_dir = make_run_dir(tmp_path)
+    # A write interrupted mid-flush: syntactically invalid JSON.
+    (run_dir / "result.json").write_text('{"rounds": [{"round_in', encoding="utf-8")
+    code, _out, err = run_cli(capsys, "report", str(run_dir))
+    assert code == 2
+    assert str(run_dir / "result.json") in err
+    assert "corrupt or truncated" in err
+    assert "Traceback" not in err
+
+
+# -- certify ------------------------------------------------------------------------
+
+
+CC_PROGRAM = (
+    "def cong_control(now, cwnd, mss, acked, inflight, rtt, min_rtt, srtt, "
+    "losses, history) { return cwnd + 5000 }"
+)
+
+
+def write_program(tmp_path, source, name="prog.dsl") -> str:
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return str(path)
+
+
+def test_certify_program_file_infers_cc_domain(capsys, tmp_path):
+    path = write_program(tmp_path, CC_PROGRAM)
+    code, out, _err = run_cli(capsys, "certify", path)
+    assert code == 0
+    assert "domain     : cc" in out
+    assert "cong_control in [5002, 9096]" in out
+    assert "applied window in [4096, 4096]" in out
+
+
+def test_certify_program_file_json_output(capsys, tmp_path):
+    path = write_program(tmp_path, CC_PROGRAM)
+    code, out, _err = run_cli(capsys, "certify", path, "--json")
+    assert code == 0
+    record = json.loads(out)
+    assert record["bounds"] == {"lo": 5002, "hi": 9096}
+    assert record["clamped_bounds"] == {"lo": 4096, "hi": 4096}
+    assert record["function"] == "cong_control"
+
+
+def test_certify_caching_program_file(capsys, tmp_path):
+    source = (
+        "def priority(now, obj_id, obj_info, counts, ages, sizes, history) "
+        "{ return obj_info.count }"
+    )
+    path = write_program(tmp_path, source)
+    code, out, _err = run_cli(capsys, "certify", path)
+    assert code == 0
+    assert "domain     : caching" in out
+    assert "priority in [0, +inf]" in out
+
+
+def test_certify_unknown_function_name_needs_domain(capsys, tmp_path):
+    path = write_program(tmp_path, "def mystery(x) { return x }")
+    code, _out, err = run_cli(capsys, "certify", path)
+    assert code == 2
+    assert "cannot infer a domain" in err
+    assert "--domain" in err
+
+
+def test_certify_nonexistent_target_exits_2(capsys, tmp_path):
+    code, _out, err = run_cli(capsys, "certify", str(tmp_path / "nope"))
+    assert code == 2
+    assert "neither a run directory nor a DSL program file" in err
+    assert "Traceback" not in err
+
+
+def test_certify_invalid_dsl_file_exits_2(capsys, tmp_path):
+    path = write_program(tmp_path, "def broken( { nope")
+    code, _out, err = run_cli(capsys, "certify", path)
+    assert code == 2
+    assert "not a valid DSL program" in err
+    assert "Traceback" not in err
+
+
+def test_certify_run_dir_missing_result_json_exits_2(capsys, tmp_path):
+    run_dir = make_run_dir(tmp_path)
+    code, _out, err = run_cli(capsys, "certify", str(run_dir))
+    assert code == 2
+    assert str(run_dir / "result.json") in err
+
+
 # -- store maintenance on degenerate stores -----------------------------------------
 
 

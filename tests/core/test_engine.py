@@ -165,6 +165,117 @@ def test_engine_config_validation():
         EngineConfig(eval_timeout_s=0)
 
 
+# -- static screening (rung "-1") ---------------------------------------------------
+
+
+class ScreeningEvaluator(CountingEvaluator):
+    """CountingEvaluator plus a declared input-interval contract."""
+
+    def input_intervals(self):
+        from repro.dsl.abstract import InputIntervals, Interval
+
+        return InputIntervals(
+            scalars={"x": Interval(0, 100)}, output_clamp=(0.0, 10.0)
+        )
+
+
+SCREEN_SOURCES = [
+    "def f(x) { return 5 }",        # constant
+    "def f(x) { return x + 1000 }",  # pinned above the output clamp
+    "def f(x) { return x }",         # live: must still be evaluated
+]
+
+
+def test_static_screen_rejects_degenerates_at_zero_evaluator_cost():
+    evaluator = ScreeningEvaluator()
+    engine = make_engine(evaluator, static_screen=True)
+    batch = engine.process_batch(candidates(SCREEN_SOURCES))
+    assert evaluator.calls == 1  # only the live candidate reached evaluation
+    assert batch.stats.screen_checks == 3
+    assert batch.stats.screened == 2
+    # Screened candidates never enter the dedup/memo pipeline.
+    assert batch.stats.eval_cache_lookups == 1
+    constant, pinned, live = batch.scored
+    for item in (constant, pinned):
+        assert item.evaluation is not None and not item.evaluation.valid
+        assert item.evaluation.error.startswith("static-screen:")
+        assert item.score == evaluator.failure_score
+    assert "constant" in constant.evaluation.error
+    assert "pinned-max" in pinned.evaluation.error
+    assert live.evaluation.valid and live.score == 0.0
+    assert engine.screen_checks == 3 and engine.screened == 2
+
+
+def test_static_screen_is_off_by_default():
+    evaluator = ScreeningEvaluator()
+    batch = make_engine(evaluator).process_batch(candidates(SCREEN_SOURCES))
+    assert evaluator.calls == 3
+    assert batch.stats.screen_checks == 0 and batch.stats.screened == 0
+
+
+def test_static_screen_noop_without_declared_intervals():
+    evaluator = CountingEvaluator()  # no input_intervals() declaration
+    engine = make_engine(evaluator, static_screen=True)
+    batch = engine.process_batch(candidates(SCREEN_SOURCES))
+    assert evaluator.calls == 3
+    assert batch.stats.screen_checks == 0 and batch.stats.screened == 0
+
+
+def test_static_screen_emits_events_and_tier():
+    from repro.core.events import CandidateEvaluated, CandidateScreened
+
+    engine = make_engine(ScreeningEvaluator(), static_screen=True)
+    events = []
+    engine.events.subscribe(events.append)
+    engine.process_batch(candidates(SCREEN_SOURCES))
+    screened = [e for e in events if isinstance(e, CandidateScreened)]
+    assert [(e.candidate_id, e.reason) for e in screened] == [
+        ("c1", "constant"),
+        ("c2", "pinned-max"),
+    ]
+    evaluated = [e for e in events if isinstance(e, CandidateEvaluated)]
+    tiers = {e.candidate_id: e.cache_tier for e in evaluated}
+    assert tiers == {"c1": "screened", "c2": "screened", "c3": "fresh"}
+    # "screened" is not a cache tier: the result was computed, not replayed.
+    assert all(not e.cached for e in evaluated)
+
+
+def test_static_screen_results_identical_when_nothing_screens():
+    """With no degenerate candidate in the batch, the knob must not perturb
+    scores or cache statistics (the result.json byte-identity guarantee)."""
+    sources = ["def f(x) { return x }", "def f(x) { return x + 1 }"]
+    plain = make_engine(CountingEvaluator()).process_batch(candidates(list(sources)))
+    screening = make_engine(ScreeningEvaluator(), static_screen=True)
+    screened = screening.process_batch(candidates(list(sources)))
+    assert screened.stats.screen_checks == 2 and screened.stats.screened == 0
+    assert [s.score for s in screened.scored] == [s.score for s in plain.scored]
+    assert screened.stats.eval_cache_lookups == plain.stats.eval_cache_lookups
+    assert screened.stats.unique_evaluations == plain.stats.unique_evaluations
+
+
+def test_static_screen_verdicts_cached_across_batches():
+    engine = make_engine(ScreeningEvaluator(), static_screen=True)
+    engine.process_batch(candidates(["def f(x) { return 5 }"]))
+    calls = {"n": 0}
+    screener = engine._static_screener()
+    original = screener.screen
+    screener.screen = lambda program: (calls.__setitem__("n", calls["n"] + 1), original(program))[1]
+    batch = engine.process_batch(candidates(["def f(x) { return 5 }"]))
+    assert calls["n"] == 0  # verdict served from the canonical-key cache
+    assert batch.stats.screened == 1  # but still counted per batch
+    assert engine.screened == 2
+
+
+def test_static_screen_never_touches_store(tmp_path):
+    from repro.core.store import EvaluationStore
+
+    engine = make_engine(ScreeningEvaluator(), static_screen=True)
+    engine.attach_store(EvaluationStore(tmp_path / "evalstore").bind("k" * 64))
+    batch = engine.process_batch(candidates(["def f(x) { return 5 }"]))
+    assert batch.stats.screened == 1
+    assert engine.store_lookups == 0 and engine.store_writes == 0
+
+
 # -- the disk memo tier -------------------------------------------------------------
 
 

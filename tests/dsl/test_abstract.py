@@ -1,0 +1,394 @@
+"""Tests for the interval abstract interpreter (dsl/abstract.py).
+
+The load-bearing property is *soundness*: for any program and any concrete
+inputs inside the declared intervals, the concrete interpreter's output must
+lie within the certified bounds, and a concrete DslError implies the
+analysis flagged ``may_error``.  The hypothesis suites below check this
+differentially against :class:`repro.dsl.Interpreter` for both domains'
+declarations, plus the screening consequence: a program the screener marks
+degenerate never produces two distinct outputs (and never raises).
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.search import caching_feature_spec, caching_input_intervals
+from repro.cc.evaluator import cc_input_intervals
+from repro.cc.template import cc_feature_spec
+from repro.dsl import (
+    Certificate,
+    Interpreter,
+    InputIntervals,
+    Interval,
+    StaticScreener,
+    analyze_intervals,
+    certify_program,
+    parse,
+)
+from repro.dsl.abstract import TOP
+from repro.dsl.errors import DslError
+from repro.dsl.grammar import random_program
+from repro.netsim.flow import Flow
+
+from tests.conftest import StubAggregate, StubHistory, StubObjectInfo
+from repro.cc.signals import HistoryView
+from repro.netsim.flow import HistoryInterval
+
+CACHE_SPEC = caching_feature_spec()
+CC_SPEC = cc_feature_spec()
+CACHE_INTERVALS = caching_input_intervals()
+CC_INTERVALS = cc_input_intervals()
+MAX_EXAMPLES = 40
+
+CACHE_SIG = (
+    "def priority(now, obj_id, obj_info, counts, ages, sizes, history)"
+)
+CC_SIG = (
+    "def cong_control(now, cwnd, mss, acked, inflight, rtt, min_rtt, srtt, "
+    "losses, history)"
+)
+
+
+def _cache_env(count, last_accessed, size, now, in_history):
+    return {
+        "now": now,
+        "obj_id": 7,
+        "obj_info": StubObjectInfo(
+            count=count, last_accessed=last_accessed, inserted_at=0, size=size
+        ),
+        "counts": StubAggregate(max(1, count // 2)),
+        "ages": StubAggregate(max(1, now - last_accessed)),
+        "sizes": StubAggregate(size),
+        "history": StubHistory(members={7} if in_history else set()),
+    }
+
+
+def _cc_env(now, cwnd, acked, rtt, losses):
+    history = HistoryView(
+        [
+            HistoryInterval(delivered_bytes=12_000, avg_rtt_us=rtt, losses=losses),
+            HistoryInterval(delivered_bytes=9_000, avg_rtt_us=rtt + 50, losses=0),
+        ]
+    )
+    return {
+        "now": now,
+        "cwnd": cwnd,
+        "mss": 1500,
+        "acked": acked,
+        "inflight": max(0, cwnd - 1),
+        "rtt": rtt,
+        "min_rtt": max(1, rtt // 2),
+        "srtt": rtt,
+        "losses": losses,
+        "history": history,
+    }
+
+
+# --------------------------------------------------------------------------
+# Interval arithmetic units
+# --------------------------------------------------------------------------
+
+
+def test_interval_basic_arithmetic():
+    a = Interval(1, 3)
+    b = Interval(-2, 4)
+    assert a.add(b) == Interval(-1, 7)
+    assert a.sub(b) == Interval(-3, 5)
+    assert a.mul(b) == Interval(-6, 12)
+    assert Interval(-2, 3).iabs() == Interval(0, 3)
+    assert Interval(2, 5).join(Interval(-1, 3)) == Interval(-1, 5)
+
+
+def test_interval_division_by_zero_widens_and_flags():
+    iv, may = Interval(1, 2).truediv(Interval(-1, 1))
+    assert iv == TOP
+    assert may
+    iv, may = Interval(4, 8).truediv(Interval(2, 4))
+    assert iv == Interval(1, 4)
+    assert not may
+
+
+def test_interval_trunc_and_clamp():
+    assert Interval(-2.7, 3.9).trunc() == Interval(-2, 3)
+    assert Interval(-10, 100).clamp_into(0, 50) == Interval(0, 50)
+    assert Interval(5, 7).clamp_into(0, 50) == Interval(5, 7)
+    inf = float("inf")
+    assert Interval(-inf, inf).trunc() == Interval(-inf, inf)
+
+
+def test_interval_mul_zero_times_infinity_is_zero():
+    # Concrete values are finite, so 0 * [0, inf) must stay [0, anything].
+    assert Interval(0, 0).mul(Interval(0, float("inf"))) == Interval(0, 0)
+
+
+# --------------------------------------------------------------------------
+# Screening verdict units
+# --------------------------------------------------------------------------
+
+
+def test_screen_constant_program():
+    program = parse(f"{CACHE_SIG} {{ return 5 }}")
+    verdict = StaticScreener(CACHE_INTERVALS).screen(program)
+    assert verdict.screened
+    assert verdict.reason == "constant"
+    assert "5" in verdict.detail
+    assert verdict.error.startswith("static-screen: constant")
+
+
+def test_screen_input_independent_program():
+    # 5 % 3 abstracts to the non-point interval [0, 3] but is untainted:
+    # the output is unreachable from every input signal.
+    program = parse(f"{CACHE_SIG} {{ return 5 % 3 }}")
+    verdict = StaticScreener(CACHE_INTERVALS).screen(program)
+    assert verdict.screened
+    assert verdict.reason == "input-independent"
+
+
+def test_screen_pinned_min_and_max():
+    screener = StaticScreener(CC_INTERVALS)
+    low = parse(f"{CC_SIG} {{ return cwnd - 100000 }}")
+    verdict = screener.screen(low)
+    assert verdict.screened and verdict.reason == "pinned-min"
+    high = parse(f"{CC_SIG} {{ return cwnd + 5000 }}")
+    verdict = screener.screen(high)
+    assert verdict.screened and verdict.reason == "pinned-max"
+
+
+def test_screen_passes_live_program():
+    program = parse(f"{CC_SIG} {{ return cwnd + acked / 1500 }}")
+    verdict = StaticScreener(CC_INTERVALS).screen(program)
+    assert not verdict.screened
+
+
+def test_may_error_disables_screening():
+    # losses may be zero, so 1 / losses may raise: never screened even
+    # though the bound alone would pin it below the clamp floor.
+    erroring = parse(f"{CC_SIG} {{ return 1 / losses - 100000 }}")
+    verdict = StaticScreener(CC_INTERVALS).screen(erroring)
+    assert not verdict.screened
+    assert analyze_intervals(erroring, CC_INTERVALS).may_error
+
+
+def test_caching_domain_has_no_output_clamp():
+    assert CACHE_INTERVALS.output_clamp is None
+    assert CC_INTERVALS.output_clamp == (
+        float(Flow.MIN_CWND),
+        float(Flow.MAX_CWND),
+    )
+
+
+# --------------------------------------------------------------------------
+# Certification units
+# --------------------------------------------------------------------------
+
+
+def test_certify_pinned_cc_program():
+    program = parse(f"{CC_SIG} {{ return cwnd + 5000 }}")
+    cert = certify_program(program, CC_INTERVALS)
+    assert isinstance(cert, Certificate)
+    assert cert.lo == Flow.MIN_CWND + 5000
+    assert cert.hi == Flow.MAX_CWND + 5000
+    assert (cert.clamped_lo, cert.clamped_hi) == (Flow.MAX_CWND, Flow.MAX_CWND)
+    assert not cert.constant
+    assert cert.depends_on_inputs
+    record = cert.to_dict()
+    assert record["bounds"] == {"lo": 5002, "hi": 9096}
+    assert record["clamped_bounds"] == {"lo": 4096, "hi": 4096}
+    assert "applied window in [4096, 4096]" in cert.describe()
+
+
+def test_certify_constant_caching_program():
+    program = parse(f"{CACHE_SIG} {{ return 42 }}")
+    cert = certify_program(program, CACHE_INTERVALS)
+    assert cert.constant
+    assert (cert.lo, cert.hi) == (42, 42)
+    assert not cert.may_error
+    record = cert.to_dict()
+    assert "clamped_bounds" not in record  # caching output is unclamped
+    assert record["constant"] is True
+    assert "constant output" in cert.describe()
+
+
+def test_certify_unbounded_program_serializes_none_endpoints():
+    program = parse(f"{CACHE_SIG} {{ return now - obj_info.last_accessed }}")
+    cert = certify_program(program, CACHE_INTERVALS)
+    record = cert.to_dict()
+    # now - last_accessed over [0, inf) x [0, inf) is unbounded both ways.
+    assert record["bounds"] == {"lo": None, "hi": None}
+    assert "in [-inf, +inf]" in cert.describe()
+
+
+def test_input_intervals_join_is_pointwise_hull():
+    a = InputIntervals(
+        scalars={"x": Interval(0, 10), "y": Interval(0, 1)},
+        output_clamp=(2.0, 100.0),
+    )
+    b = InputIntervals(
+        scalars={"x": Interval(5, 20)},
+        output_clamp=(1.0, 50.0),
+    )
+    joined = a.join(b)
+    assert joined.scalars == {"x": Interval(0, 20)}  # y is one-sided: dropped
+    assert joined.output_clamp == (1.0, 100.0)
+    # One side without a clamp disables clamp-based screening entirely.
+    assert a.join(InputIntervals(scalars={"x": Interval(0, 1)})).output_clamp is None
+
+
+# --------------------------------------------------------------------------
+# Differential soundness (hypothesis)
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    count=st.integers(min_value=1, max_value=1_000),
+    last_accessed=st.integers(min_value=0, max_value=100_000),
+    size=st.integers(min_value=1, max_value=1_000_000),
+    now_offset=st.integers(min_value=0, max_value=100_000),
+    in_history=st.booleans(),
+)
+def test_caching_outputs_stay_within_certified_bounds(
+    seed, count, last_accessed, size, now_offset, in_history
+):
+    program = random_program(CACHE_SPEC, random.Random(seed))
+    abstract = analyze_intervals(program, CACHE_INTERVALS)
+    env = _cache_env(
+        count, last_accessed, size, last_accessed + now_offset, in_history
+    )
+    try:
+        value = Interpreter().run(program, env)
+    except DslError:
+        assert abstract.may_error
+        return
+    assert isinstance(value, (int, float, bool))
+    assert not math.isnan(float(value))
+    assert abstract.value.iv.lo <= float(value) <= abstract.value.iv.hi
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    now=st.integers(min_value=0, max_value=10_000_000),
+    cwnd=st.integers(min_value=Flow.MIN_CWND, max_value=Flow.MAX_CWND),
+    acked=st.integers(min_value=0, max_value=1_000_000),
+    rtt=st.integers(min_value=1, max_value=500_000),
+    losses=st.integers(min_value=0, max_value=50),
+)
+def test_cc_outputs_stay_within_certified_bounds(
+    seed, now, cwnd, acked, rtt, losses
+):
+    program = random_program(CC_SPEC, random.Random(seed))
+    abstract = analyze_intervals(program, CC_INTERVALS)
+    env = _cc_env(now, cwnd, acked, rtt, losses)
+    try:
+        value = Interpreter().run(program, env)
+    except DslError:
+        assert abstract.may_error
+        return
+    assert isinstance(value, (int, float, bool))
+    assert abstract.value.iv.lo <= float(value) <= abstract.value.iv.hi
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    env_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_screened_programs_never_vary_or_raise(seed, env_seed):
+    """A screened caching program is provably degenerate: across any two
+    environments inside the declared intervals it returns one value and
+    never raises (the screener requires ``may_error`` to be False)."""
+    program = random_program(CACHE_SPEC, random.Random(seed))
+    verdict = StaticScreener(CACHE_INTERVALS).screen(program)
+    if not verdict.screened:
+        return
+    rng = random.Random(env_seed)
+    outputs = set()
+    for _ in range(4):
+        last = rng.randint(0, 10_000)
+        env = _cache_env(
+            rng.randint(1, 100),
+            last,
+            rng.randint(1, 100_000),
+            last + rng.randint(0, 10_000),
+            rng.random() < 0.5,
+        )
+        outputs.add(Interpreter().run(program, env))
+    assert len(outputs) == 1
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    cwnd=st.integers(min_value=Flow.MIN_CWND, max_value=Flow.MAX_CWND),
+    rtt=st.integers(min_value=1, max_value=500_000),
+)
+def test_cc_screened_pinned_programs_clamp_to_one_window(seed, cwnd, rtt):
+    """A pinned-min/max verdict means the *applied* window is one point for
+    every signal value inside the declaration."""
+    program = random_program(CC_SPEC, random.Random(seed))
+    verdict = StaticScreener(CC_INTERVALS).screen(program)
+    if not verdict.screened or verdict.reason not in ("pinned-min", "pinned-max"):
+        return
+    env = _cc_env(1_000, cwnd, 30_000, rtt, 0)
+    value = Interpreter().run(program, env)
+    applied = min(max(int(value), Flow.MIN_CWND), Flow.MAX_CWND)
+    expected = Flow.MIN_CWND if verdict.reason == "pinned-min" else Flow.MAX_CWND
+    assert applied == expected
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_certificates_are_json_safe(seed):
+    import json
+
+    program = random_program(CC_SPEC, random.Random(seed))
+    record = certify_program(program, CC_INTERVALS).to_dict()
+    json.dumps(record)  # no inf/nan leaks into the artifact
+    assert set(record) >= {
+        "function",
+        "bounds",
+        "constant",
+        "depends_on_inputs",
+        "may_error",
+    }
+
+
+def test_listing_one_is_not_screened(priority_env):
+    """The paper's Listing-1 heuristic must survive screening untouched."""
+    from tests.conftest import LISTING_1
+
+    program = parse(LISTING_1)
+    verdict = StaticScreener(CACHE_INTERVALS).screen(program)
+    assert not verdict.screened
+    cert = certify_program(program, CACHE_INTERVALS)
+    concrete = Interpreter().run(program, priority_env)
+    assert cert.lo <= concrete <= cert.hi
+
+
+def test_analysis_respects_step_budget():
+    body = "\n".join(f"    x{i} = {i}" for i in range(30))
+    program = parse(f"{CACHE_SIG} {{\n{body}\n    return x1\n}}")
+    tight = analyze_intervals(program, CACHE_INTERVALS, max_steps=5)
+    assert tight.may_error  # may exhaust the concrete step budget
+    loose = analyze_intervals(program, CACHE_INTERVALS)
+    assert not loose.may_error
+
+
+@pytest.mark.parametrize(
+    "source,reason",
+    [
+        ("return 0 - 1", "constant"),
+        ("return min(3, 4)", "constant"),
+        ("return clamp(99, 0, 10)", "constant"),
+    ],
+)
+def test_screen_constant_folding_through_builtins(source, reason):
+    program = parse(f"{CACHE_SIG} {{ {source} }}")
+    verdict = StaticScreener(CACHE_INTERVALS).screen(program)
+    assert verdict.screened
+    assert verdict.reason == reason
